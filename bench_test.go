@@ -1,0 +1,229 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// table and figure re-runs the underlying simulation sweep and reports
+// the series the paper plots via b.ReportMetric; the Ablation
+// benchmarks exercise the design choices DESIGN.md calls out.
+//
+// The benches run at the small scale so `go test -bench=. -benchmem`
+// completes in minutes; EXPERIMENTS.md records a full-scale run made
+// with cmd/lapbench.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+// benchScale is shared by every benchmark in this file.
+func benchScale() experiment.Scale { return experiment.SmallScale() }
+
+// runFigure regenerates one paper artifact per iteration and reports
+// each (algorithm, cache size) point as a benchmark metric.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	s := benchScale()
+	var fig experiment.Figure
+	for i := 0; i < b.N; i++ {
+		suite := experiment.NewSuite(s, 0)
+		var err error
+		fig, err = suite.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	unit := "ms"
+	if fig.Unit != "ms" {
+		unit = fig.Unit
+	}
+	for _, series := range fig.Series {
+		for i, mb := range fig.Sizes {
+			b.ReportMetric(series.Values[i], fmt.Sprintf("%s@%dMB_%s", series.Alg, mb, unit))
+		}
+	}
+}
+
+// BenchmarkTable1 formats the simulation-parameter table (trivially
+// cheap; present so every paper artifact has a bench target).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiment.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: average read time, CHARISMA on
+// PAFS.
+func BenchmarkFig4(b *testing.B) { runFigure(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5: average read time, CHARISMA on
+// xFS.
+func BenchmarkFig5(b *testing.B) { runFigure(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6: average read time, Sprite on
+// PAFS.
+func BenchmarkFig6(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7: average read time, Sprite on
+// xFS.
+func BenchmarkFig7(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: disk accesses, CHARISMA on PAFS.
+func BenchmarkFig8(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: disk accesses, CHARISMA on xFS.
+func BenchmarkFig9(b *testing.B) { runFigure(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: disk accesses, Sprite on PAFS.
+func BenchmarkFig10(b *testing.B) { runFigure(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: disk accesses, Sprite on xFS.
+func BenchmarkFig11(b *testing.B) { runFigure(b, "fig11") }
+
+// BenchmarkTable2 regenerates Table 2: per-block disk write counts,
+// CHARISMA on PAFS.
+func BenchmarkTable2(b *testing.B) { runFigure(b, "table2") }
+
+// runAblationCell measures one algorithm variant on CHARISMA/PAFS at
+// 4 MB per node and reports its average read time and misprediction.
+// Ablations run at the tiny scale: the unthrottled variant's cache
+// churn — the very behaviour the paper's linear limit exists to
+// prevent — makes it orders of magnitude more work at larger scales.
+func runAblationCell(b *testing.B, alg core.AlgSpec) {
+	b.Helper()
+	s := experiment.TinyScale()
+	var r experiment.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunCell(s, experiment.Cell{
+			FS: experiment.PAFS, Workload: experiment.Charisma, Alg: alg, CacheMB: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgReadMs, "read_ms")
+	b.ReportMetric(100*r.MispredictionRatio, "mispredict_%")
+	b.ReportMetric(float64(r.DiskAccesses), "disk_accesses")
+}
+
+// BenchmarkAblationLinearity compares the paper's one-outstanding
+// throttle against a K=4 window and fully unthrottled aggression.
+func BenchmarkAblationLinearity(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		out  int
+	}{{"linear1", 1}, {"window4", 4}, {"unlimited", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			runAblationCell(b, core.AlgSpec{
+				Kind: core.AlgISPPM, Order: 1,
+				Mode: core.ModeAggressive, MaxOutstanding: c.out,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationLinkPolicy compares the paper's most-recent link
+// rule against the original PPM most-probable rule.
+func BenchmarkAblationLinkPolicy(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		prob bool
+	}{{"mostRecent", false}, {"mostProbable", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			spec := core.SpecLnAgrISPPM1
+			spec.MostProbableLinks = c.prob
+			runAblationCell(b, spec)
+		})
+	}
+}
+
+// BenchmarkAblationOrder sweeps the Markov order of the aggressive
+// IS_PPM predictor.
+func BenchmarkAblationOrder(b *testing.B) {
+	for order := 1; order <= 4; order++ {
+		b.Run(fmt.Sprintf("order%d", order), func(b *testing.B) {
+			runAblationCell(b, core.AlgSpec{
+				Kind: core.AlgISPPM, Order: order,
+				Mode: core.ModeAggressive, MaxOutstanding: 1,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPriority compares prefetching at the paper's
+// strictly-lower disk priority against user priority.
+func BenchmarkAblationPriority(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		uprio bool
+	}{{"lowPriority", false}, {"userPriority", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			spec := core.SpecLnAgrISPPM1
+			spec.UserPriorityPrefetch = c.uprio
+			runAblationCell(b, spec)
+		})
+	}
+}
+
+// BenchmarkAblationFallback compares IS_PPM with and without the
+// cold-start OBA fallback.
+func BenchmarkAblationFallback(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		nofb bool
+	}{{"withFallback", false}, {"noFallback", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			spec := core.SpecLnAgrISPPM1
+			spec.NoFallback = c.nofb
+			runAblationCell(b, spec)
+		})
+	}
+}
+
+// BenchmarkAblationNChance sweeps xFS's N-chance recirculation count
+// on the Sprite workload: -1 disables singlet forwarding entirely
+// (every node for itself), showing what cooperation buys.
+func BenchmarkAblationNChance(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		recirc int
+	}{{"noForwarding", -1}, {"nChance1", 1}, {"nChance2", 2}, {"nChance4", 4}} {
+		b.Run(c.name, func(b *testing.B) {
+			s := experiment.TinyScale()
+			var r experiment.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = experiment.RunCell(s, experiment.Cell{
+					FS: experiment.XFS, Workload: experiment.Sprite,
+					Alg: core.SpecLnAgrISPPM1, CacheMB: 1,
+					Recirculations: c.recirc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.AvgReadMs, "read_ms")
+			b.ReportMetric(float64(r.DiskAccesses), "disk_accesses")
+		})
+	}
+}
+
+// BenchmarkAblationIntervalVsBlock compares the paper's interval-and-
+// size modelling against the original block-granularity PPM it evolved
+// from (§2.2): same driver, same order, different state.
+func BenchmarkAblationIntervalVsBlock(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		kind core.AlgKind
+	}{{"isppm", core.AlgISPPM}, {"blockppm", core.AlgBlockPPM}} {
+		b.Run(c.name, func(b *testing.B) {
+			runAblationCell(b, core.AlgSpec{
+				Kind: c.kind, Order: 1,
+				Mode: core.ModeAggressive, MaxOutstanding: 1,
+			})
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command lapbench regenerates the paper's evaluation: every figure
+// (4–11), both tables, and the in-text claims report.
+//
+// Usage:
+//
+//	lapbench [-exp all|table1|fig4..fig11|table2|claims|report|ablations] [-scale full|small|tiny] [-workers N] [-v]
+//
+// Results print as aligned text tables, one per artifact. The full
+// scale regenerates everything EXPERIMENTS.md records and takes a few
+// minutes; small and tiny are for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations")
+	scaleName := flag.String("scale", "full", "experiment scale: full, small, tiny")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print per-cell diagnostics for the artifact's matrix")
+	format := flag.String("format", "text", "output format for a single figure: text, csv, json")
+	flag.Parse()
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiment.FullScale()
+	case "small":
+		scale = experiment.SmallScale()
+	case "tiny":
+		scale = experiment.TinyScale()
+	default:
+		fmt.Fprintf(os.Stderr, "lapbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	suite := experiment.NewSuite(scale, *workers)
+	suite.Progress = os.Stderr
+
+	switch *exp {
+	case "all":
+		out, err := suite.RenderAll()
+		exitOn(err)
+		fmt.Print(out)
+	case "table1":
+		fmt.Print(experiment.Table1())
+	case "claims":
+		out, err := suite.Claims()
+		exitOn(err)
+		fmt.Print(out)
+	case "report":
+		rep, err := report.Build(suite)
+		exitOn(err)
+		fmt.Print(rep.Render())
+	case "ablations":
+		// The unlimited-aggression variant churns explosively beyond
+		// the tiny scale; ablations always run there.
+		out, err := experiment.RunAblations(experiment.TinyScale())
+		exitOn(err)
+		fmt.Print(out)
+	default:
+		fig, err := suite.Figure(*exp)
+		exitOn(err)
+		switch *format {
+		case "text":
+			fmt.Print(fig.Render())
+		case "csv":
+			exitOn(fig.WriteCSV(os.Stdout))
+		case "json":
+			exitOn(fig.WriteJSON(os.Stdout))
+		default:
+			fmt.Fprintf(os.Stderr, "lapbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if *verbose {
+			fs, wl, err := experiment.MatrixKeyForFigure(*exp)
+			exitOn(err)
+			m, err := suite.Matrix(fs, wl)
+			exitOn(err)
+			fmt.Print(experiment.SummaryByAlg(m))
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lapbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+// Command lapsim runs one simulation cell — a single point on one
+// curve of one of the paper's figures — and prints every metric the
+// run produced.
+//
+// Usage:
+//
+//	lapsim [-fs pafs|xfs] [-workload charisma|sprite] [-alg NAME] [-cache MB] [-scale full|small|tiny]
+//
+// Algorithm names are the paper's: NP, OBA, Ln_Agr_OBA, IS_PPM:1,
+// Ln_Agr_IS_PPM:1, IS_PPM:3, Ln_Agr_IS_PPM:3 (plus Agr_OBA and
+// Agr_IS_PPM:j for the unthrottled variants used in ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	fsName := flag.String("fs", "pafs", "file system: pafs or xfs")
+	wlName := flag.String("workload", "charisma", "workload: charisma or sprite")
+	algName := flag.String("alg", "Ln_Agr_IS_PPM:1", "algorithm name (paper notation)")
+	cacheMB := flag.Int("cache", 4, "per-node cache size in MB")
+	scaleName := flag.String("scale", "small", "experiment scale: full, small, tiny")
+	traceFile := flag.String("trace", "", "replay this tracegen file instead of generating the workload (uses the scale's machine for the chosen workload)")
+	flag.Parse()
+
+	var fs experiment.FSKind
+	switch strings.ToLower(*fsName) {
+	case "pafs":
+		fs = experiment.PAFS
+	case "xfs":
+		fs = experiment.XFS
+	default:
+		fail("unknown file system %q", *fsName)
+	}
+	var wl experiment.WorkloadKind
+	switch strings.ToLower(*wlName) {
+	case "charisma":
+		wl = experiment.Charisma
+	case "sprite":
+		wl = experiment.Sprite
+	default:
+		fail("unknown workload %q", *wlName)
+	}
+	alg, ok := lookupAlg(*algName)
+	if !ok {
+		fail("unknown algorithm %q (want one of %s)", *algName, strings.Join(algNames(), ", "))
+	}
+	var scale experiment.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiment.FullScale()
+	case "small":
+		scale = experiment.SmallScale()
+	case "tiny":
+		scale = experiment.TinyScale()
+	default:
+		fail("unknown scale %q", *scaleName)
+	}
+
+	cell := experiment.Cell{FS: fs, Workload: wl, Alg: alg, CacheMB: *cacheMB}
+	var (
+		r   experiment.Result
+		err error
+	)
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fail("%v", ferr)
+		}
+		tr, derr := workload.Decode(f)
+		f.Close()
+		if derr != nil {
+			fail("%v", derr)
+		}
+		mach := scale.PM
+		if wl == experiment.Sprite {
+			mach = scale.NOW
+		}
+		r, err = experiment.RunTrace(tr, mach, cell, scale.WarmFraction)
+	} else {
+		r, err = experiment.RunCell(scale, cell)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("cell                 %s (scale %s)\n", cell, scale.Name)
+	fmt.Printf("avg read time        %.3f ms\n", r.AvgReadMs)
+	fmt.Printf("reads / writes       %d / %d\n", r.Reads, r.Writes)
+	fmt.Printf("block hit ratio      %.3f\n", r.HitRatio)
+	fmt.Printf("disk accesses        %d (reads %d, writes %d)\n", r.DiskAccesses, r.DiskReads, r.DiskWrites)
+	fmt.Printf("writes per block     %.2f\n", r.WritesPerBlock)
+	fmt.Printf("prefetches issued    %d\n", r.PrefetchIssued)
+	fmt.Printf("fallback fraction    %.3f\n", r.FallbackFraction)
+	fmt.Printf("misprediction ratio  %.3f\n", r.MispredictionRatio)
+	fmt.Printf("simulated time       %.3f s\n", r.SimTime.Seconds())
+}
+
+// standardAndAblation lists every named algorithm lapsim accepts.
+func standardAndAblation() []core.AlgSpec {
+	specs := core.StandardAlgorithms()
+	specs = append(specs,
+		core.AlgSpec{Kind: core.AlgOBA, Mode: core.ModeAggressive, MaxOutstanding: 0},
+		core.AlgSpec{Kind: core.AlgISPPM, Order: 1, Mode: core.ModeAggressive, MaxOutstanding: 0},
+		core.AlgSpec{Kind: core.AlgISPPM, Order: 3, Mode: core.ModeAggressive, MaxOutstanding: 0},
+		core.AlgSpec{Kind: core.AlgBlockPPM, Order: 1, Mode: core.ModeAggressive, MaxOutstanding: 1},
+	)
+	return specs
+}
+
+func lookupAlg(name string) (core.AlgSpec, bool) {
+	for _, s := range standardAndAblation() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return core.AlgSpec{}, false
+}
+
+func algNames() []string {
+	var out []string
+	for _, s := range standardAndAblation() {
+		out = append(out, s.Name())
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lapsim: "+format+"\n", args...)
+	os.Exit(2)
+}

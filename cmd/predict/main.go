@@ -1,0 +1,89 @@
+// Command predict scores the prefetch predictors offline against the
+// request streams of a workload, with no cache or disks in the loop:
+// pure prediction accuracy, the property §2.2 of the paper argues
+// IS_PPM has and One-Block-Ahead lacks on non-sequential patterns.
+//
+// Usage:
+//
+//	predict [-workload charisma|sprite] [-scale full|small|tiny] [-mode file|nodefile] [-trace FILE]
+//
+// With -trace, a text trace written by tracegen is scored instead of a
+// freshly generated one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/predeval"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "charisma", "workload: charisma or sprite")
+	scaleName := flag.String("scale", "small", "experiment scale: full, small, tiny")
+	modeName := flag.String("mode", "file", "stream mode: file (PAFS server view) or nodefile (xFS node view)")
+	traceFile := flag.String("trace", "", "score this tracegen file instead of generating")
+	flag.Parse()
+
+	var mode predeval.StreamMode
+	switch *modeName {
+	case "file":
+		mode = predeval.PerFile
+	case "nodefile":
+		mode = predeval.PerNodeFile
+	default:
+		fail("unknown mode %q", *modeName)
+	}
+
+	var (
+		tr        *workload.Trace
+		blockSize int64 = 8192
+		err       error
+	)
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fail("%v", ferr)
+		}
+		defer f.Close()
+		tr, err = workload.Decode(f)
+	} else {
+		var scale experiment.Scale
+		switch *scaleName {
+		case "full":
+			scale = experiment.FullScale()
+		case "small":
+			scale = experiment.SmallScale()
+		case "tiny":
+			scale = experiment.TinyScale()
+		default:
+			fail("unknown scale %q", *scaleName)
+		}
+		switch *wlName {
+		case "charisma":
+			blockSize = scale.Charisma.BlockSize
+			tr, err = workload.GenerateCharisma(scale.Charisma)
+		case "sprite":
+			blockSize = scale.Sprite.BlockSize
+			tr, err = workload.GenerateSprite(scale.Sprite)
+		default:
+			fail("unknown workload %q", *wlName)
+		}
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("prediction accuracy, %s streams of trace %q:\n\n", mode, tr.Name)
+	for _, r := range predeval.EvaluateStandard(tr, mode, blockSize) {
+		fmt.Println(r)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "predict: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,126 @@
+// Command tracegen materializes the synthetic CHARISMA and Sprite
+// workloads as text trace files, or prints summary statistics about
+// them, so the request streams driving the experiments can be
+// inspected and replayed.
+//
+// Usage:
+//
+//	tracegen -workload charisma|sprite [-scale full|small|tiny] [-seed N] [-o FILE] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/blockdev"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "charisma", "workload: charisma or sprite")
+	scaleName := flag.String("scale", "small", "experiment scale: full, small, tiny")
+	seed := flag.Uint64("seed", 0, "override the generator seed (0 keeps the scale's)")
+	out := flag.String("o", "", "write the trace to this file (default stdout)")
+	statsOnly := flag.Bool("stats", false, "print summary statistics instead of the trace")
+	analyze := flag.Bool("analyze", false, "print the fidelity analysis (request mix, sequentiality, sharing) instead of the trace")
+	flag.Parse()
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiment.FullScale()
+	case "small":
+		scale = experiment.SmallScale()
+	case "tiny":
+		scale = experiment.TinyScale()
+	default:
+		fail("unknown scale %q", *scaleName)
+	}
+
+	var (
+		tr  *workload.Trace
+		err error
+	)
+	switch *wlName {
+	case "charisma":
+		p := scale.Charisma
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		tr, err = workload.GenerateCharisma(p)
+	case "sprite":
+		p := scale.Sprite
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		tr, err = workload.GenerateSprite(p)
+	default:
+		fail("unknown workload %q", *wlName)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *analyze {
+		fmt.Print(workload.Analyze(tr, 8192).Render())
+		return
+	}
+	if *statsOnly {
+		printStats(tr)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.Encode(w, tr); err != nil {
+		fail("%v", err)
+	}
+}
+
+func printStats(tr *workload.Trace) {
+	reads, writes, closes := 0, 0, 0
+	var bytes int64
+	filesUsed := make(map[blockdev.FileID]bool)
+	for _, p := range tr.Procs {
+		for _, s := range p.Steps {
+			switch s.Kind {
+			case workload.OpRead:
+				reads++
+				bytes += s.Size
+			case workload.OpWrite:
+				writes++
+				bytes += s.Size
+			case workload.OpClose:
+				closes++
+			}
+			filesUsed[s.File] = true
+		}
+	}
+	sizes := make([]int, 0, len(tr.FileBlocks))
+	for _, b := range tr.FileBlocks {
+		sizes = append(sizes, int(b))
+	}
+	sort.Ints(sizes)
+	fmt.Printf("trace            %s\n", tr.Name)
+	fmt.Printf("processes        %d\n", len(tr.Procs))
+	fmt.Printf("files            %d declared, %d used\n", len(tr.FileBlocks), len(filesUsed))
+	fmt.Printf("file blocks      median %d, max %d, total %d\n",
+		sizes[len(sizes)/2], sizes[len(sizes)-1], tr.DistinctBlocks())
+	fmt.Printf("steps            %d (reads %d, writes %d, closes %d)\n",
+		tr.TotalSteps(), reads, writes, closes)
+	fmt.Printf("request bytes    %d (%.1f MB)\n", bytes, float64(bytes)/1e6)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(2)
+}

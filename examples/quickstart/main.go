@@ -1,0 +1,46 @@
+// Quickstart: simulate the same workload twice — once without
+// prefetching and once with the paper's linear aggressive IS_PPM:1 —
+// and print the headline comparison.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	scale := experiment.TinyScale()
+	const cacheMB = 4
+
+	baseline, err := experiment.RunCell(scale, experiment.Cell{
+		FS:       experiment.PAFS,
+		Workload: experiment.Charisma,
+		Alg:      core.SpecNP,
+		CacheMB:  cacheMB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prefetched, err := experiment.RunCell(scale, experiment.Cell{
+		FS:       experiment.PAFS,
+		Workload: experiment.Charisma,
+		Alg:      core.SpecLnAgrISPPM1,
+		CacheMB:  cacheMB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CHARISMA workload on PAFS, %d MB cache per node\n\n", cacheMB)
+	fmt.Printf("%-22s %12s %12s\n", "", "NP", "Ln_Agr_IS_PPM:1")
+	fmt.Printf("%-22s %9.3f ms %9.3f ms\n", "avg read time", baseline.AvgReadMs, prefetched.AvgReadMs)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "block hit ratio", baseline.HitRatio, prefetched.HitRatio)
+	fmt.Printf("%-22s %12d %12d\n", "disk accesses", baseline.DiskAccesses, prefetched.DiskAccesses)
+	fmt.Printf("%-22s %12d %12d\n", "prefetches issued", baseline.PrefetchIssued, prefetched.PrefetchIssued)
+	fmt.Printf("\nspeed-up on reads: %.2fx\n", baseline.AvgReadMs/prefetched.AvgReadMs)
+}

@@ -1,0 +1,109 @@
+// Package blockdev defines the identity types shared by every layer of
+// the simulated storage stack: files, blocks, nodes and disks, plus the
+// arithmetic that maps byte-granularity user requests onto block spans
+// and blocks onto disks (striping).
+package blockdev
+
+import "fmt"
+
+// FileID names a file in the simulated file system. IDs are dense
+// small integers assigned by the workload generators.
+type FileID int32
+
+// NodeID names a machine node (client and/or server).
+type NodeID int32
+
+// DiskID names one physical disk.
+type DiskID int32
+
+// BlockNo is a block index within one file, starting at 0.
+type BlockNo int32
+
+// BlockID names one file block globally: the unit of caching,
+// prefetching and disk transfer.
+type BlockID struct {
+	File  FileID
+	Block BlockNo
+}
+
+// String renders the block as "file:block".
+func (b BlockID) String() string { return fmt.Sprintf("%d:%d", b.File, b.Block) }
+
+// Next returns the sequentially following block of the same file.
+func (b BlockID) Next() BlockID { return BlockID{b.File, b.Block + 1} }
+
+// Span is a contiguous range of blocks [Start, Start+Count) of one
+// file: the block-level image of a user read or write request.
+type Span struct {
+	File  FileID
+	Start BlockNo
+	Count int32
+}
+
+// Blocks returns the individual block IDs covered by the span.
+func (s Span) Blocks() []BlockID {
+	out := make([]BlockID, 0, s.Count)
+	for i := int32(0); i < s.Count; i++ {
+		out = append(out, BlockID{s.File, s.Start + BlockNo(i)})
+	}
+	return out
+}
+
+// End returns the first block index after the span.
+func (s Span) End() BlockNo { return s.Start + BlockNo(s.Count) }
+
+// Contains reports whether the span covers block b of the same file.
+func (s Span) Contains(b BlockID) bool {
+	return b.File == s.File && b.Block >= s.Start && b.Block < s.End()
+}
+
+// String renders the span as "file:[start,end)".
+func (s Span) String() string {
+	return fmt.Sprintf("%d:[%d,%d)", s.File, s.Start, s.End())
+}
+
+// ByteRangeToSpan converts a byte-granularity request (offset, size in
+// bytes) on file f into the covering block span, given the file-system
+// block size. The paper counts a request touching two blocks as a
+// two-block request even if it reads only 2 bytes (§2.2), which is
+// exactly the ceiling arithmetic here. Zero-size requests map to a
+// one-block span (metadata touch); negative arguments panic.
+func ByteRangeToSpan(f FileID, offset, size int64, blockSize int64) Span {
+	if offset < 0 || size < 0 || blockSize <= 0 {
+		panic(fmt.Sprintf("blockdev: invalid byte range off=%d size=%d bs=%d", offset, size, blockSize))
+	}
+	first := offset / blockSize
+	if size == 0 {
+		return Span{File: f, Start: BlockNo(first), Count: 1}
+	}
+	last := (offset + size - 1) / blockSize
+	return Span{File: f, Start: BlockNo(first), Count: int32(last - first + 1)}
+}
+
+// Striper maps blocks to disks. Both simulated file systems stripe
+// file data round-robin across all disks, offset by a per-file
+// rotation so that different files start on different disks (standard
+// practice in parallel file systems, and what makes "prefetch from
+// many files in parallel" use many disks, §3.2).
+type Striper struct {
+	disks int32
+}
+
+// NewStriper returns a striper over nDisks disks. It panics if
+// nDisks <= 0.
+func NewStriper(nDisks int) *Striper {
+	if nDisks <= 0 {
+		panic("blockdev: striper needs at least one disk")
+	}
+	return &Striper{disks: int32(nDisks)}
+}
+
+// Disks returns the number of disks being striped over.
+func (s *Striper) Disks() int { return int(s.disks) }
+
+// DiskFor returns the disk holding block b.
+func (s *Striper) DiskFor(b BlockID) DiskID {
+	// Rotate by a hash of the file ID so file starts spread out.
+	rot := int32(uint32(b.File) * 2654435761 % uint32(s.disks))
+	return DiskID((int32(b.Block) + rot) % s.disks)
+}

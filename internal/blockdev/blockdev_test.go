@@ -1,0 +1,164 @@
+package blockdev
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteRangeToSpanBasics(t *testing.T) {
+	const bs = 8192
+	cases := []struct {
+		name         string
+		offset, size int64
+		wantStart    BlockNo
+		wantCount    int32
+	}{
+		{"one block exact", 0, bs, 0, 1},
+		{"one byte", 0, 1, 0, 1},
+		{"two bytes across boundary", bs - 1, 2, 0, 2}, // the paper's §2.2 example
+		{"second block", bs, bs, 1, 1},
+		{"three blocks", bs / 2, 2 * bs, 0, 3},
+		{"zero size", 3 * bs, 0, 3, 1},
+		{"aligned multi", 2 * bs, 4 * bs, 2, 4},
+	}
+	for _, c := range cases {
+		got := ByteRangeToSpan(7, c.offset, c.size, bs)
+		if got.File != 7 || got.Start != c.wantStart || got.Count != c.wantCount {
+			t.Errorf("%s: got %v, want 7:[%d,%d)", c.name, got, c.wantStart, int32(c.wantStart)+c.wantCount)
+		}
+	}
+}
+
+func TestByteRangeToSpanPanics(t *testing.T) {
+	for _, c := range []struct{ off, size, bs int64 }{
+		{-1, 1, 8192}, {0, -1, 8192}, {0, 1, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ByteRangeToSpan(%d,%d,%d) did not panic", c.off, c.size, c.bs)
+				}
+			}()
+			ByteRangeToSpan(0, c.off, c.size, c.bs)
+		}()
+	}
+}
+
+func TestSpanBlocks(t *testing.T) {
+	s := Span{File: 3, Start: 10, Count: 3}
+	blocks := s.Blocks()
+	want := []BlockID{{3, 10}, {3, 11}, {3, 12}}
+	if len(blocks) != len(want) {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Errorf("block %d = %v, want %v", i, blocks[i], want[i])
+		}
+	}
+	if s.End() != 13 {
+		t.Errorf("End = %d", s.End())
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	s := Span{File: 1, Start: 5, Count: 2}
+	if !s.Contains(BlockID{1, 5}) || !s.Contains(BlockID{1, 6}) {
+		t.Error("span should contain its blocks")
+	}
+	if s.Contains(BlockID{1, 4}) || s.Contains(BlockID{1, 7}) {
+		t.Error("span contains blocks outside range")
+	}
+	if s.Contains(BlockID{2, 5}) {
+		t.Error("span contains block of another file")
+	}
+}
+
+func TestBlockIDNextAndString(t *testing.T) {
+	b := BlockID{4, 9}
+	if b.Next() != (BlockID{4, 10}) {
+		t.Error("Next wrong")
+	}
+	if b.String() != "4:9" {
+		t.Errorf("String = %q", b.String())
+	}
+	s := Span{File: 1, Start: 2, Count: 3}
+	if s.String() != "1:[2,5)" {
+		t.Errorf("Span.String = %q", s.String())
+	}
+}
+
+func TestStriperCoversAllDisks(t *testing.T) {
+	st := NewStriper(16)
+	if st.Disks() != 16 {
+		t.Fatalf("Disks = %d", st.Disks())
+	}
+	seen := make(map[DiskID]bool)
+	for blk := BlockNo(0); blk < 16; blk++ {
+		seen[st.DiskFor(BlockID{File: 1, Block: blk})] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("sequential blocks of one file hit %d/16 disks", len(seen))
+	}
+}
+
+func TestStriperSequentialBlocksAlternate(t *testing.T) {
+	st := NewStriper(4)
+	d0 := st.DiskFor(BlockID{File: 2, Block: 0})
+	d1 := st.DiskFor(BlockID{File: 2, Block: 1})
+	if d0 == d1 {
+		t.Error("adjacent blocks landed on the same disk")
+	}
+}
+
+func TestStriperFilesRotate(t *testing.T) {
+	st := NewStriper(8)
+	starts := make(map[DiskID]bool)
+	for f := FileID(0); f < 64; f++ {
+		starts[st.DiskFor(BlockID{File: f, Block: 0})] = true
+	}
+	if len(starts) < 4 {
+		t.Errorf("file starts concentrated on %d/8 disks", len(starts))
+	}
+}
+
+func TestStriperPanicsOnZeroDisks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStriper(0) did not panic")
+		}
+	}()
+	NewStriper(0)
+}
+
+// Property: every block maps to a valid disk, deterministically.
+func TestStriperRangeProperty(t *testing.T) {
+	st := NewStriper(16)
+	f := func(file int32, blk int32) bool {
+		if blk < 0 {
+			blk = -blk
+		}
+		b := BlockID{FileID(file), BlockNo(blk % 1_000_000)}
+		d := st.DiskFor(b)
+		return d >= 0 && int(d) < 16 && d == st.DiskFor(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ByteRangeToSpan covers exactly the bytes requested — the
+// first byte lands in the first block and the last byte in the last.
+func TestByteRangeCoverageProperty(t *testing.T) {
+	f := func(off uint32, size uint32) bool {
+		const bs = 8192
+		o, sz := int64(off%(1<<24)), int64(size%(1<<20))+1
+		s := ByteRangeToSpan(1, o, sz, bs)
+		firstByteBlock := o / bs
+		lastByteBlock := (o + sz - 1) / bs
+		return int64(s.Start) == firstByteBlock && int64(s.End()-1) == lastByteBlock
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package cachesim implements the cooperative-cache substrate both
+// file systems run on: per-node buffer pools holding file blocks, a
+// global directory locating every cached copy, LRU bookkeeping, dirty
+// blocks with periodic fault-tolerance write-back, and two replacement
+// managers — a globally managed LRU (PAFS-style, §4) and per-node LRU
+// with N-chance singlet forwarding (xFS-style, after Dahlin et al.).
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Copy is one cached copy of a block on one node. Copies are linked
+// into their node's LRU list and, for global-LRU management, into a
+// machine-wide LRU list.
+type Copy struct {
+	Block blockdev.BlockID
+	Node  blockdev.NodeID
+	// Dirty marks data newer than the disk image.
+	Dirty bool
+	// Prefetched marks a copy brought in speculatively and not yet
+	// referenced by any user request.
+	Prefetched bool
+	// Recirculated counts N-chance forwarding hops (xFS policy).
+	Recirculated int
+
+	lastUse  sim.Time
+	nodePrev *Copy // per-node LRU links
+	nodeNext *Copy
+	globPrev *Copy // global LRU links
+	globNext *Copy
+}
+
+// lruList is an intrusive doubly linked list with sentinel, most
+// recently used at the back.
+type lruList struct {
+	head, tail *Copy
+	len        int
+	global     bool // selects which pair of links to use
+}
+
+func (l *lruList) prev(c *Copy) *Copy {
+	if l.global {
+		return c.globPrev
+	}
+	return c.nodePrev
+}
+
+func (l *lruList) next(c *Copy) *Copy {
+	if l.global {
+		return c.globNext
+	}
+	return c.nodeNext
+}
+
+func (l *lruList) setPrev(c, v *Copy) {
+	if l.global {
+		c.globPrev = v
+	} else {
+		c.nodePrev = v
+	}
+}
+
+func (l *lruList) setNext(c, v *Copy) {
+	if l.global {
+		c.globNext = v
+	} else {
+		c.nodeNext = v
+	}
+}
+
+// pushBack appends c as the most recently used element.
+func (l *lruList) pushBack(c *Copy) {
+	l.setPrev(c, l.tail)
+	l.setNext(c, nil)
+	if l.tail != nil {
+		l.setNext(l.tail, c)
+	} else {
+		l.head = c
+	}
+	l.tail = c
+	l.len++
+}
+
+// remove unlinks c.
+func (l *lruList) remove(c *Copy) {
+	p, n := l.prev(c), l.next(c)
+	if p != nil {
+		l.setNext(p, n)
+	} else {
+		l.head = n
+	}
+	if n != nil {
+		l.setPrev(n, p)
+	} else {
+		l.tail = p
+	}
+	l.setPrev(c, nil)
+	l.setNext(c, nil)
+	l.len--
+}
+
+// touch moves c to the most-recently-used position.
+func (l *lruList) touch(c *Copy) {
+	l.remove(c)
+	l.pushBack(c)
+}
+
+// Victim is an evicted copy the caller must handle: if Dirty, the
+// block's contents must be written to disk before the buffer is
+// reused.
+type Victim struct {
+	Block blockdev.BlockID
+	Dirty bool
+	// WasUnusedPrefetch marks a speculative block evicted before any
+	// user request touched it — a wasted prefetch.
+	WasUnusedPrefetch bool
+}
+
+// Stats aggregates cache-level counters.
+type Stats struct {
+	Inserts          uint64
+	Evictions        uint64
+	Forwards         uint64 // N-chance singlet forwards
+	WastedPrefetches uint64 // prefetched copies evicted unused
+	UsedPrefetches   uint64 // prefetched copies later hit by a user request
+}
+
+// Cache is the cooperative cache: per-node pools plus the global
+// directory.
+type Cache struct {
+	engine    *sim.Engine
+	perNode   int // capacity per node, in blocks
+	nodes     []nodeState
+	dir       map[blockdev.BlockID][]*Copy
+	globLRU   lruList // only maintained under global-LRU management
+	policy    Policy
+	rng       *sim.RNG
+	stats     Stats
+	dirty     map[blockdev.BlockID]bool // blocks with a dirty copy
+	scanStart int                       // rotating start for free-buffer scans
+}
+
+type nodeState struct {
+	lru lruList
+}
+
+// Policy chooses how room is made when a node's pool is full.
+type Policy interface {
+	// Name identifies the policy in output.
+	Name() string
+	// MakeRoom frees one buffer so that a new block can be placed
+	// "for" node pref. It returns the node that now has a free buffer
+	// and appends any evicted blocks to out. The returned slice is the
+	// updated out.
+	MakeRoom(c *Cache, pref blockdev.NodeID, out []Victim) (blockdev.NodeID, []Victim)
+}
+
+// New constructs a cache of nNodes pools with perNode blocks each,
+// managed by the given policy. The RNG is split from the engine's
+// stream (N-chance forwarding picks random target nodes).
+func New(e *sim.Engine, nNodes, perNode int, policy Policy) *Cache {
+	if nNodes <= 0 || perNode <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid geometry %d nodes x %d blocks", nNodes, perNode))
+	}
+	return &Cache{
+		engine:  e,
+		perNode: perNode,
+		nodes:   make([]nodeState, nNodes),
+		dir:     make(map[blockdev.BlockID][]*Copy),
+		globLRU: lruList{global: true},
+		policy:  policy,
+		rng:     e.RNG().Split(),
+		dirty:   make(map[blockdev.BlockID]bool),
+	}
+}
+
+// Nodes returns the number of per-node pools.
+func (c *Cache) Nodes() int { return len(c.nodes) }
+
+// PerNodeCapacity returns each pool's capacity in blocks.
+func (c *Cache) PerNodeCapacity() int { return c.perNode }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Policy returns the replacement manager in use.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Len returns the total number of cached copies.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.nodes {
+		n += c.nodes[i].lru.len
+	}
+	return n
+}
+
+// NodeLen returns the number of copies cached on node n.
+func (c *Cache) NodeLen(n blockdev.NodeID) int { return c.nodes[n].lru.len }
+
+// Holders returns the nodes currently holding copies of b, in
+// insertion order; nil if the block is uncached.
+func (c *Cache) Holders(b blockdev.BlockID) []blockdev.NodeID {
+	copies := c.dir[b]
+	if len(copies) == 0 {
+		return nil
+	}
+	out := make([]blockdev.NodeID, len(copies))
+	for i, cp := range copies {
+		out[i] = cp.Node
+	}
+	return out
+}
+
+// Contains reports whether any copy of b is cached.
+func (c *Cache) Contains(b blockdev.BlockID) bool { return len(c.dir[b]) > 0 }
+
+// ContainsOn reports whether node n holds a copy of b.
+func (c *Cache) ContainsOn(n blockdev.NodeID, b blockdev.BlockID) bool {
+	return c.findCopy(n, b) != nil
+}
+
+func (c *Cache) findCopy(n blockdev.NodeID, b blockdev.BlockID) *Copy {
+	for _, cp := range c.dir[b] {
+		if cp.Node == n {
+			return cp
+		}
+	}
+	return nil
+}
+
+// InsertOptions qualifies a new copy.
+type InsertOptions struct {
+	Dirty      bool
+	Prefetched bool
+}
+
+// Insert places a copy of b for node pref, evicting as needed per the
+// policy, and returns the node the copy landed on plus any victims the
+// caller must flush. Inserting a block already present on the chosen
+// node is a touch plus flag merge, not a duplicate.
+func (c *Cache) Insert(pref blockdev.NodeID, b blockdev.BlockID, opts InsertOptions) (blockdev.NodeID, []Victim) {
+	c.checkNode(pref)
+	var victims []Victim
+	if existing := c.findCopy(pref, b); existing != nil {
+		// Merging an insert into an existing copy: refresh recency and
+		// upgrade dirtiness; an existing copy is by definition not a
+		// fresh prefetch.
+		c.touchCopy(existing)
+		if opts.Dirty {
+			existing.Dirty = true
+			c.dirty[b] = true
+		}
+		return pref, victims
+	}
+	// N-chance forwarding can cascade and refill a node that MakeRoom
+	// just drained, so loop until the target really has a free buffer.
+	// Termination: every MakeRoom call either drops a copy or uses up
+	// one recirculation hop, both finite.
+	target := pref
+	for c.findCopy(target, b) == nil && c.nodes[target].lru.len >= c.perNode {
+		target, victims = c.policy.MakeRoom(c, target, victims)
+	}
+	if existing := c.findCopy(target, b); existing != nil {
+		c.touchCopy(existing)
+		if opts.Dirty {
+			existing.Dirty = true
+			c.dirty[b] = true
+		}
+		return target, victims
+	}
+	cp := &Copy{
+		Block:      b,
+		Node:       target,
+		Dirty:      opts.Dirty,
+		Prefetched: opts.Prefetched,
+		lastUse:    c.engine.Now(),
+	}
+	c.dir[b] = append(c.dir[b], cp)
+	c.nodes[target].lru.pushBack(cp)
+	c.globLRU.pushBack(cp)
+	if opts.Dirty {
+		c.dirty[b] = true
+	}
+	c.stats.Inserts++
+	return target, victims
+}
+
+func (c *Cache) touchCopy(cp *Copy) {
+	cp.lastUse = c.engine.Now()
+	c.nodes[cp.Node].lru.touch(cp)
+	c.globLRU.touch(cp)
+	if cp.Prefetched {
+		cp.Prefetched = false
+		c.stats.UsedPrefetches++
+	}
+}
+
+// Touch records a user access to b's copy on node n (or, if n holds no
+// copy, to any copy), updating recency and prefetch accounting. It
+// reports whether a copy was found.
+func (c *Cache) Touch(n blockdev.NodeID, b blockdev.BlockID) bool {
+	cp := c.findCopy(n, b)
+	if cp == nil {
+		copies := c.dir[b]
+		if len(copies) == 0 {
+			return false
+		}
+		cp = copies[0]
+	}
+	c.touchCopy(cp)
+	return true
+}
+
+// MarkDirty flags b's copies as newer than disk. It reports whether
+// the block was cached.
+func (c *Cache) MarkDirty(b blockdev.BlockID) bool {
+	copies := c.dir[b]
+	if len(copies) == 0 {
+		return false
+	}
+	for _, cp := range copies {
+		cp.Dirty = true
+	}
+	c.dirty[b] = true
+	return true
+}
+
+// removeCopy unlinks the copy from all structures and the directory.
+func (c *Cache) removeCopy(cp *Copy) {
+	c.nodes[cp.Node].lru.remove(cp)
+	c.globLRU.remove(cp)
+	copies := c.dir[cp.Block]
+	for i, x := range copies {
+		if x == cp {
+			copies[i] = copies[len(copies)-1]
+			copies = copies[:len(copies)-1]
+			break
+		}
+	}
+	if len(copies) == 0 {
+		delete(c.dir, cp.Block)
+		delete(c.dirty, cp.Block)
+	} else {
+		c.dir[cp.Block] = copies
+	}
+}
+
+// evict removes cp, producing a victim record.
+func (c *Cache) evict(cp *Copy, out []Victim) []Victim {
+	c.stats.Evictions++
+	if cp.Prefetched {
+		c.stats.WastedPrefetches++
+	}
+	dirtyLast := cp.Dirty && len(c.dir[cp.Block]) == 1
+	c.removeCopy(cp)
+	return append(out, Victim{
+		Block:             cp.Block,
+		Dirty:             dirtyLast,
+		WasUnusedPrefetch: cp.Prefetched,
+	})
+}
+
+// Drop removes every copy of b without victim processing (used when a
+// write invalidates stale prefetched data). It reports whether any
+// copy existed.
+func (c *Cache) Drop(b blockdev.BlockID) bool {
+	copies := c.dir[b]
+	if len(copies) == 0 {
+		return false
+	}
+	for len(c.dir[b]) > 0 {
+		c.removeCopy(c.dir[b][0])
+	}
+	return true
+}
+
+// UnusedPrefetchedCopies counts copies still flagged Prefetched (never
+// touched by a user request); experiments add them to the evicted
+// wasted count to compute the paper's misprediction ratio.
+func (c *Cache) UnusedPrefetchedCopies() uint64 {
+	var n uint64
+	for _, copies := range c.dir {
+		for _, cp := range copies {
+			if cp.Prefetched {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyBlocks returns the blocks with at least one dirty copy, in
+// deterministic (directory-ordered by file then block) order.
+func (c *Cache) DirtyBlocks() []blockdev.BlockID {
+	out := make([]blockdev.BlockID, 0, len(c.dirty))
+	for b := range c.dirty {
+		out = append(out, b)
+	}
+	sortBlocks(out)
+	return out
+}
+
+// ClearDirty marks b clean after a successful disk write.
+func (c *Cache) ClearDirty(b blockdev.BlockID) {
+	for _, cp := range c.dir[b] {
+		cp.Dirty = false
+	}
+	delete(c.dirty, b)
+}
+
+func (c *Cache) checkNode(n blockdev.NodeID) {
+	if int(n) < 0 || int(n) >= len(c.nodes) {
+		panic(fmt.Sprintf("cachesim: node %d outside [0,%d)", n, len(c.nodes)))
+	}
+}
+
+func sortBlocks(bs []blockdev.BlockID) {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].File != bs[j].File {
+			return bs[i].File < bs[j].File
+		}
+		return bs[i].Block < bs[j].Block
+	})
+}

@@ -1,0 +1,354 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+func blk(f, b int) blockdev.BlockID {
+	return blockdev.BlockID{File: blockdev.FileID(f), Block: blockdev.BlockNo(b)}
+}
+
+func newTestCache(nodes, perNode int, p Policy) (*sim.Engine, *Cache) {
+	e := sim.NewEngine(1)
+	return e, New(e, nodes, perNode, p)
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	_, c := newTestCache(4, 8, GlobalLRU{})
+	node, victims := c.Insert(2, blk(1, 0), InsertOptions{})
+	if node != 2 {
+		t.Errorf("placed on node %d, want 2", node)
+	}
+	if len(victims) != 0 {
+		t.Errorf("unexpected victims: %v", victims)
+	}
+	if !c.Contains(blk(1, 0)) || !c.ContainsOn(2, blk(1, 0)) {
+		t.Error("block not found after insert")
+	}
+	if c.ContainsOn(0, blk(1, 0)) {
+		t.Error("block reported on wrong node")
+	}
+	if h := c.Holders(blk(1, 0)); len(h) != 1 || h[0] != 2 {
+		t.Errorf("Holders = %v", h)
+	}
+	if c.Holders(blk(9, 9)) != nil {
+		t.Error("Holders of absent block should be nil")
+	}
+}
+
+func TestInsertDuplicateMergesNotDuplicates(t *testing.T) {
+	_, c := newTestCache(2, 4, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	c.Insert(0, blk(1, 0), InsertOptions{Dirty: true})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (merge, not duplicate)", c.Len())
+	}
+	if got := c.DirtyBlocks(); len(got) != 1 {
+		t.Errorf("dirty blocks = %v", got)
+	}
+}
+
+func TestGlobalLRUEvictsOldestAnywhere(t *testing.T) {
+	e, c := newTestCache(2, 2, GlobalLRU{})
+	// Fill both nodes; advance clock between inserts for distinct ages.
+	fill := []struct {
+		node blockdev.NodeID
+		b    blockdev.BlockID
+	}{{0, blk(1, 0)}, {0, blk(1, 1)}, {1, blk(1, 2)}, {1, blk(1, 3)}}
+	for i, f := range fill {
+		e.At(sim.Time(i+1), func(*sim.Engine) {})
+		e.Run()
+		c.Insert(f.node, f.b, InsertOptions{})
+	}
+	// Touch the oldest (1:0) so 1:1 becomes globally oldest.
+	c.Touch(0, blk(1, 0))
+	// Inserting for node 1 (full) must evict 1:1 on node 0 and place there.
+	node, victims := c.Insert(1, blk(2, 0), InsertOptions{})
+	if len(victims) != 1 || victims[0].Block != blk(1, 1) {
+		t.Fatalf("victims = %v, want [1:1]", victims)
+	}
+	if node != 0 {
+		t.Errorf("placement node = %d, want 0 (victim's node)", node)
+	}
+	if c.Contains(blk(1, 1)) {
+		t.Error("victim still cached")
+	}
+}
+
+func TestGlobalLRUUsesFreeBuffersBeforeEvicting(t *testing.T) {
+	_, c := newTestCache(2, 2, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	c.Insert(0, blk(1, 1), InsertOptions{})
+	// Node 0 full, node 1 empty: insert for node 0 must go to node 1.
+	node, victims := c.Insert(0, blk(1, 2), InsertOptions{})
+	if node != 1 || len(victims) != 0 {
+		t.Errorf("placement = node %d victims %v, want node 1 and none", node, victims)
+	}
+}
+
+func TestDirtyVictimFlagged(t *testing.T) {
+	_, c := newTestCache(1, 1, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{Dirty: true})
+	_, victims := c.Insert(0, blk(1, 1), InsertOptions{})
+	if len(victims) != 1 || !victims[0].Dirty {
+		t.Errorf("victims = %v, want one dirty victim", victims)
+	}
+}
+
+func TestWastedPrefetchAccounting(t *testing.T) {
+	_, c := newTestCache(1, 1, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{Prefetched: true})
+	_, victims := c.Insert(0, blk(1, 1), InsertOptions{})
+	if len(victims) != 1 || !victims[0].WasUnusedPrefetch {
+		t.Errorf("victims = %v, want unused-prefetch victim", victims)
+	}
+	if c.Stats().WastedPrefetches != 1 {
+		t.Errorf("WastedPrefetches = %d", c.Stats().WastedPrefetches)
+	}
+}
+
+func TestUsedPrefetchAccounting(t *testing.T) {
+	_, c := newTestCache(1, 4, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{Prefetched: true})
+	if !c.Touch(0, blk(1, 0)) {
+		t.Fatal("touch missed")
+	}
+	st := c.Stats()
+	if st.UsedPrefetches != 1 || st.WastedPrefetches != 0 {
+		t.Errorf("used/wasted = %d/%d, want 1/0", st.UsedPrefetches, st.WastedPrefetches)
+	}
+	// Second touch must not double count.
+	c.Touch(0, blk(1, 0))
+	if c.Stats().UsedPrefetches != 1 {
+		t.Error("prefetch hit double-counted")
+	}
+}
+
+func TestTouchMissingBlock(t *testing.T) {
+	_, c := newTestCache(1, 4, GlobalLRU{})
+	if c.Touch(0, blk(5, 5)) {
+		t.Error("Touch reported hit on absent block")
+	}
+}
+
+func TestMarkDirtyAndWritebackCycle(t *testing.T) {
+	_, c := newTestCache(2, 4, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	c.Insert(1, blk(1, 1), InsertOptions{})
+	if !c.MarkDirty(blk(1, 0)) {
+		t.Fatal("MarkDirty missed cached block")
+	}
+	if c.MarkDirty(blk(7, 7)) {
+		t.Error("MarkDirty hit absent block")
+	}
+	dirty := c.DirtyBlocks()
+	if len(dirty) != 1 || dirty[0] != blk(1, 0) {
+		t.Fatalf("DirtyBlocks = %v", dirty)
+	}
+	c.ClearDirty(blk(1, 0))
+	if len(c.DirtyBlocks()) != 0 {
+		t.Error("block still dirty after ClearDirty")
+	}
+}
+
+func TestDirtyBlocksSorted(t *testing.T) {
+	_, c := newTestCache(1, 8, GlobalLRU{})
+	for _, b := range []blockdev.BlockID{blk(2, 1), blk(1, 5), blk(1, 2), blk(2, 0)} {
+		c.Insert(0, b, InsertOptions{Dirty: true})
+	}
+	got := c.DirtyBlocks()
+	want := []blockdev.BlockID{blk(1, 2), blk(1, 5), blk(2, 0), blk(2, 1)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DirtyBlocks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDrop(t *testing.T) {
+	_, c := newTestCache(2, 4, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{Dirty: true})
+	if !c.Drop(blk(1, 0)) {
+		t.Fatal("Drop missed cached block")
+	}
+	if c.Contains(blk(1, 0)) || len(c.DirtyBlocks()) != 0 || c.Len() != 0 {
+		t.Error("Drop left residue")
+	}
+	if c.Drop(blk(1, 0)) {
+		t.Error("Drop of absent block reported true")
+	}
+}
+
+func TestNChanceForwardsSinglet(t *testing.T) {
+	_, c := newTestCache(4, 1, NChance{Recirculations: 2})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	// Node 0 is full; inserting another block must forward the singlet
+	// 1:0 to some other node rather than dropping it.
+	node, victims := c.Insert(0, blk(1, 1), InsertOptions{})
+	if node != 0 {
+		t.Errorf("xFS placement must be local, got node %d", node)
+	}
+	if len(victims) != 0 {
+		t.Errorf("singlet was dropped: %v", victims)
+	}
+	if !c.Contains(blk(1, 0)) {
+		t.Fatal("forwarded singlet vanished")
+	}
+	if h := c.Holders(blk(1, 0)); h[0] == 0 {
+		t.Error("singlet still on evicting node")
+	}
+	if c.Stats().Forwards != 1 {
+		t.Errorf("Forwards = %d, want 1", c.Stats().Forwards)
+	}
+}
+
+func TestNChanceDropsDuplicates(t *testing.T) {
+	_, c := newTestCache(3, 1, NChance{Recirculations: 2})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	c.Insert(1, blk(1, 0), InsertOptions{}) // duplicate copy on node 1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 copies", c.Len())
+	}
+	// Evicting the duplicate on node 1 must drop, not forward.
+	_, victims := c.Insert(1, blk(2, 0), InsertOptions{})
+	if len(victims) != 1 || victims[0].Block != blk(1, 0) {
+		t.Fatalf("victims = %v, want dropped duplicate 1:0", victims)
+	}
+	if c.Stats().Forwards != 0 {
+		t.Error("duplicate was forwarded")
+	}
+	if !c.Contains(blk(1, 0)) {
+		t.Error("other copy of duplicate vanished")
+	}
+}
+
+func TestNChanceRecirculationLimit(t *testing.T) {
+	_, c := newTestCache(2, 1, NChance{Recirculations: 1})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	// First eviction forwards (hop 1) to node 1.
+	c.Insert(0, blk(1, 1), InsertOptions{})
+	if !c.Contains(blk(1, 0)) {
+		t.Fatal("first forward failed")
+	}
+	// 1:0 now has 1 hop. Evicting it again must drop it.
+	_, victims := c.Insert(1, blk(1, 2), InsertOptions{})
+	found := false
+	for _, v := range victims {
+		if v.Block == blk(1, 0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recirculation-exhausted singlet not dropped; victims = %v", victims)
+	}
+}
+
+func TestNChanceDirtySingletKeepsDirtyThroughForward(t *testing.T) {
+	_, c := newTestCache(3, 1, NChance{Recirculations: 2})
+	c.Insert(0, blk(1, 0), InsertOptions{Dirty: true})
+	c.Insert(0, blk(1, 1), InsertOptions{})
+	if len(c.DirtyBlocks()) != 1 {
+		t.Error("dirty flag lost across forward")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	for _, p := range []Policy{GlobalLRU{}, NChance{Recirculations: 2}} {
+		_, c := newTestCache(3, 4, p)
+		for i := 0; i < 100; i++ {
+			c.Insert(blockdev.NodeID(i%3), blk(1, i), InsertOptions{})
+			for n := 0; n < 3; n++ {
+				if c.NodeLen(blockdev.NodeID(n)) > 4 {
+					t.Fatalf("%s: node %d over capacity after insert %d", p.Name(), n, i)
+				}
+			}
+		}
+		if c.Len() > 12 {
+			t.Fatalf("%s: total %d over capacity", p.Name(), c.Len())
+		}
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	e := sim.NewEngine(1)
+	for _, g := range []struct{ n, c int }{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", g.n, g.c)
+				}
+			}()
+			New(e, g.n, g.c, GlobalLRU{})
+		}()
+	}
+}
+
+func TestInsertPanicsOnBadNode(t *testing.T) {
+	_, c := newTestCache(2, 2, GlobalLRU{})
+	defer func() {
+		if recover() == nil {
+			t.Error("bad node did not panic")
+		}
+	}()
+	c.Insert(5, blk(1, 0), InsertOptions{})
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (GlobalLRU{}).Name() != "global-lru" || (NChance{}).Name() != "n-chance" {
+		t.Error("policy names wrong")
+	}
+}
+
+// Property: the directory and the LRU lists agree — every directory
+// copy is on its node's list (lengths match), and capacity holds —
+// under arbitrary insert/touch/drop sequences.
+func TestDirectoryConsistencyProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		e := sim.NewEngine(9)
+		c := New(e, 4, 3, NChance{Recirculations: 2})
+		for _, op := range ops {
+			node := blockdev.NodeID(op % 4)
+			b := blk(int(op>>2%3), int(op>>4%32))
+			switch op % 3 {
+			case 0:
+				c.Insert(node, b, InsertOptions{Dirty: op%5 == 0, Prefetched: op%7 == 0})
+			case 1:
+				c.Touch(node, b)
+			case 2:
+				c.Drop(b)
+			}
+		}
+		total := 0
+		for n := 0; n < 4; n++ {
+			l := c.NodeLen(blockdev.NodeID(n))
+			if l > 3 {
+				return false
+			}
+			total += l
+		}
+		return total == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	_, c := newTestCache(1, 1, GlobalLRU{})
+	c.Insert(0, blk(1, 0), InsertOptions{})
+	c.Insert(0, blk(1, 1), InsertOptions{})
+	st := c.Stats()
+	if st.Inserts != 2 || st.Evictions != 1 {
+		t.Errorf("inserts/evictions = %d/%d, want 2/1", st.Inserts, st.Evictions)
+	}
+	if c.Policy().Name() != "global-lru" {
+		t.Error("Policy accessor wrong")
+	}
+	if c.Nodes() != 1 || c.PerNodeCapacity() != 1 {
+		t.Error("geometry accessors wrong")
+	}
+}

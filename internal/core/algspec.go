@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AlgKind selects the base predictor of an algorithm configuration.
+type AlgKind int
+
+// Base predictors.
+const (
+	AlgNone     AlgKind = iota // no prefetching (the paper's NP baseline)
+	AlgOBA                     // One-Block-Ahead
+	AlgISPPM                   // IS_PPM:Order
+	AlgBlockPPM                // original block-granularity PPM (related-work baseline)
+)
+
+// AlgSpec is one named algorithm configuration from the paper's
+// evaluation: a predictor plus how aggressively it is driven.
+type AlgSpec struct {
+	Kind  AlgKind
+	Order int // IS_PPM order; ignored otherwise
+	Mode  Mode
+	// MaxOutstanding: 1 = linear (the paper's throttle), 0 = unlimited.
+	MaxOutstanding int
+
+	// Ablation switches (all false reproduces the paper's design).
+
+	// MostProbableLinks makes IS_PPM follow the original PPM
+	// most-traversed link instead of the most recent one.
+	MostProbableLinks bool
+	// NoFallback disables IS_PPM's cold-start OBA rule.
+	NoFallback bool
+	// UserPriorityPrefetch issues prefetch disk reads at user
+	// priority instead of the paper's strictly lower one (§4).
+	UserPriorityPrefetch bool
+}
+
+// Name renders the paper's label for the configuration, with
+// bracketed suffixes for any ablation switches.
+func (s AlgSpec) Name() string {
+	var name string
+	switch s.Kind {
+	case AlgNone:
+		return "NP"
+	case AlgOBA, AlgISPPM, AlgBlockPPM:
+		base := "OBA"
+		switch s.Kind {
+		case AlgISPPM:
+			base = fmt.Sprintf("IS_PPM:%d", s.Order)
+		case AlgBlockPPM:
+			base = fmt.Sprintf("BlockPPM:%d", s.Order)
+		}
+		switch {
+		case s.Mode == ModeOneShot:
+			name = base
+		case s.MaxOutstanding == 1:
+			name = "Ln_Agr_" + base
+		case s.MaxOutstanding == 0:
+			name = "Agr_" + base
+		default:
+			name = fmt.Sprintf("K%d_Agr_%s", s.MaxOutstanding, base)
+		}
+	default:
+		return fmt.Sprintf("unknown(%d)", int(s.Kind))
+	}
+	if s.MostProbableLinks {
+		name += "[prob]"
+	}
+	if s.NoFallback {
+		name += "[nofb]"
+	}
+	if s.UserPriorityPrefetch {
+		name += "[uprio]"
+	}
+	return name
+}
+
+// PrefetchPriority returns the disk priority class for this
+// configuration's prefetch operations.
+func (s AlgSpec) PrefetchPriority() sim.Priority {
+	if s.UserPriorityPrefetch {
+		return sim.PriorityUser
+	}
+	return sim.PriorityPrefetch
+}
+
+// Prefetches reports whether the configuration prefetches at all.
+func (s AlgSpec) Prefetches() bool { return s.Kind != AlgNone }
+
+// NewPredictor instantiates the configured predictor; it panics for
+// AlgNone, which has none.
+func (s AlgSpec) NewPredictor() Predictor {
+	switch s.Kind {
+	case AlgOBA:
+		return NewOBA()
+	case AlgISPPM:
+		m := NewISPPM(s.Order)
+		if s.MostProbableLinks {
+			m.SetLinkPolicy(MostProbableLinkPolicy)
+		}
+		m.SetFallback(!s.NoFallback)
+		return m
+	case AlgBlockPPM:
+		return NewBlockPPM(s.Order)
+	default:
+		panic("core: AlgSpec " + s.Name() + " has no predictor")
+	}
+}
+
+// Canonical configurations from the paper's figures.
+var (
+	// SpecNP is the no-prefetching baseline.
+	SpecNP = AlgSpec{Kind: AlgNone}
+	// SpecOBA is conservative One-Block-Ahead. One-shot algorithms
+	// prefetch their whole predicted batch in parallel: the paper's
+	// linear (one-at-a-time) throttle is introduced specifically for
+	// the aggressive variants (§3.2).
+	SpecOBA = AlgSpec{Kind: AlgOBA, Mode: ModeOneShot, MaxOutstanding: 0}
+	// SpecLnAgrOBA is linear aggressive OBA.
+	SpecLnAgrOBA = AlgSpec{Kind: AlgOBA, Mode: ModeAggressive, MaxOutstanding: 1}
+	// SpecISPPM1 is the non-aggressive 1st-order predictor.
+	SpecISPPM1 = AlgSpec{Kind: AlgISPPM, Order: 1, Mode: ModeOneShot, MaxOutstanding: 0}
+	// SpecLnAgrISPPM1 is linear aggressive IS_PPM:1.
+	SpecLnAgrISPPM1 = AlgSpec{Kind: AlgISPPM, Order: 1, Mode: ModeAggressive, MaxOutstanding: 1}
+	// SpecISPPM3 is the non-aggressive 3rd-order predictor.
+	SpecISPPM3 = AlgSpec{Kind: AlgISPPM, Order: 3, Mode: ModeOneShot, MaxOutstanding: 0}
+	// SpecLnAgrISPPM3 is linear aggressive IS_PPM:3.
+	SpecLnAgrISPPM3 = AlgSpec{Kind: AlgISPPM, Order: 3, Mode: ModeAggressive, MaxOutstanding: 1}
+)
+
+// StandardAlgorithms returns the seven configurations every figure of
+// the paper sweeps, in the paper's legend order.
+func StandardAlgorithms() []AlgSpec {
+	return []AlgSpec{
+		SpecNP,
+		SpecOBA,
+		SpecLnAgrOBA,
+		SpecISPPM1,
+		SpecLnAgrISPPM1,
+		SpecISPPM3,
+		SpecLnAgrISPPM3,
+	}
+}
+
+// AggressiveAlgorithms returns the three linear aggressive
+// configurations plotted as bars in Figures 8–11 and the columns of
+// Table 2 (plus NP as their reference line).
+func AggressiveAlgorithms() []AlgSpec {
+	return []AlgSpec{SpecLnAgrOBA, SpecLnAgrISPPM1, SpecLnAgrISPPM3}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAlgSpecNames(t *testing.T) {
+	cases := []struct {
+		spec AlgSpec
+		want string
+	}{
+		{SpecNP, "NP"},
+		{SpecOBA, "OBA"},
+		{SpecLnAgrOBA, "Ln_Agr_OBA"},
+		{SpecISPPM1, "IS_PPM:1"},
+		{SpecLnAgrISPPM1, "Ln_Agr_IS_PPM:1"},
+		{SpecISPPM3, "IS_PPM:3"},
+		{SpecLnAgrISPPM3, "Ln_Agr_IS_PPM:3"},
+		{AlgSpec{Kind: AlgOBA, Mode: ModeAggressive, MaxOutstanding: 0}, "Agr_OBA"},
+		{AlgSpec{Kind: AlgISPPM, Order: 2, Mode: ModeAggressive, MaxOutstanding: 4}, "K4_Agr_IS_PPM:2"},
+		{AlgSpec{Kind: AlgKind(99)}, "unknown(99)"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStandardAlgorithmsMatchPaperLegend(t *testing.T) {
+	want := []string{"NP", "OBA", "Ln_Agr_OBA", "IS_PPM:1", "Ln_Agr_IS_PPM:1", "IS_PPM:3", "Ln_Agr_IS_PPM:3"}
+	got := StandardAlgorithms()
+	if len(got) != len(want) {
+		t.Fatalf("%d algorithms, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name() != want[i] {
+			t.Errorf("algorithm %d = %q, want %q", i, got[i].Name(), want[i])
+		}
+	}
+}
+
+func TestAggressiveAlgorithms(t *testing.T) {
+	got := AggressiveAlgorithms()
+	if len(got) != 3 {
+		t.Fatalf("%d aggressive algorithms, want 3", len(got))
+	}
+	for _, s := range got {
+		if s.Mode != ModeAggressive || s.MaxOutstanding != 1 {
+			t.Errorf("%s is not linear aggressive", s.Name())
+		}
+	}
+}
+
+func TestAlgSpecAblationNamesAndPriority(t *testing.T) {
+	s := SpecLnAgrISPPM1
+	s.MostProbableLinks = true
+	s.NoFallback = true
+	s.UserPriorityPrefetch = true
+	if got := s.Name(); got != "Ln_Agr_IS_PPM:1[prob][nofb][uprio]" {
+		t.Errorf("Name = %q", got)
+	}
+	if s.PrefetchPriority() != sim.PriorityUser {
+		t.Error("UserPriorityPrefetch not reflected in PrefetchPriority")
+	}
+	if SpecLnAgrISPPM1.PrefetchPriority() != sim.PriorityPrefetch {
+		t.Error("default prefetch priority wrong")
+	}
+	// The ablation predictor must carry the switches.
+	m, ok := s.NewPredictor().(*ISPPM)
+	if !ok {
+		t.Fatal("wrong predictor type")
+	}
+	if m.policy != MostProbableLinkPolicy || !m.noFallback {
+		t.Error("ablation switches not applied to the predictor")
+	}
+}
+
+func TestAlgSpecNewPredictor(t *testing.T) {
+	if SpecOBA.NewPredictor().Name() != "OBA" {
+		t.Error("OBA predictor wrong")
+	}
+	if SpecLnAgrISPPM3.NewPredictor().Name() != "IS_PPM:3" {
+		t.Error("IS_PPM predictor wrong")
+	}
+	if !SpecOBA.Prefetches() || SpecNP.Prefetches() {
+		t.Error("Prefetches wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPredictor on NP did not panic")
+		}
+	}()
+	SpecNP.NewPredictor()
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// BlockPPM is the original Vitter & Krishnan prediction-by-partial-
+// match baseline, at block granularity: the graph's nodes are the last
+// j *block numbers* accessed (not offset intervals), and prediction
+// follows the most-traversed link, as in their paper. The paper's §2.2
+// derives IS_PPM from it and argues two shortcomings for file
+// prefetching, both of which this implementation makes measurable:
+//
+//   - a block must have been accessed once before it can ever be
+//     predicted, so regular patterns over fresh data predict nothing
+//     (IS_PPM extrapolates intervals instead);
+//   - it predicts one block at a time, never a request size.
+//
+// It is provided as a related-work baseline for benchmarks and the
+// offline evaluator; the paper's figures do not include it.
+type BlockPPM struct {
+	order    int
+	maxNodes int
+	nodes    map[blockKey]*blockNode
+
+	started bool
+	hist    blockKey
+}
+
+// blockKey is the last j accessed block numbers, most recent last.
+type blockKey struct {
+	n int8
+	b [MaxOrder]blockdev.BlockNo
+}
+
+func (k blockKey) shift(b blockdev.BlockNo, order int) blockKey {
+	if int(k.n) < order {
+		k.b[k.n] = b
+		k.n++
+		return k
+	}
+	copy(k.b[:order-1], k.b[1:order])
+	k.b[order-1] = b
+	return k
+}
+
+func (k blockKey) full(order int) bool { return int(k.n) >= order }
+
+// blockNode counts successors of one history.
+type blockNode struct {
+	counts   map[blockdev.BlockNo]uint32
+	top      blockdev.BlockNo
+	topCount uint32
+	lastUse  sim.Time
+}
+
+// blockppmCursor is a speculative position: the history window.
+type blockppmCursor struct {
+	hist blockKey
+}
+
+// NewBlockPPM returns an order-j block-granularity PPM predictor. It
+// panics unless 1 <= order <= MaxOrder.
+func NewBlockPPM(order int) *BlockPPM {
+	if order < 1 || order > MaxOrder {
+		panic(fmt.Sprintf("core: BlockPPM order %d outside [1,%d]", order, MaxOrder))
+	}
+	return &BlockPPM{order: order, maxNodes: DefaultMaxNodes, nodes: make(map[blockKey]*blockNode)}
+}
+
+// Name identifies the algorithm, e.g. "BlockPPM:1".
+func (m *BlockPPM) Name() string { return fmt.Sprintf("BlockPPM:%d", m.order) }
+
+// Order returns the Markov order.
+func (m *BlockPPM) Order() int { return m.order }
+
+// NodeCount returns the number of graph nodes.
+func (m *BlockPPM) NodeCount() int { return len(m.nodes) }
+
+// Observe records the blocks of a real request, one by one, as the
+// original paging-oriented algorithm would see them.
+func (m *BlockPPM) Observe(r Request, now sim.Time) Cursor {
+	for b := r.Offset; b < r.End(); b++ {
+		if m.started && m.hist.full(m.order) {
+			nd := m.getOrCreate(m.hist, now)
+			nd.lastUse = now
+			nd.counts[b]++
+			if c := nd.counts[b]; c > nd.topCount {
+				nd.top = b
+				nd.topCount = c
+			}
+		}
+		m.hist = m.hist.shift(b, m.order)
+		m.started = true
+	}
+	return blockppmCursor{hist: m.hist}
+}
+
+func (m *BlockPPM) getOrCreate(k blockKey, now sim.Time) *blockNode {
+	if nd, ok := m.nodes[k]; ok {
+		return nd
+	}
+	if len(m.nodes) >= m.maxNodes {
+		m.evictOldest()
+	}
+	nd := &blockNode{counts: make(map[blockdev.BlockNo]uint32), lastUse: now}
+	m.nodes[k] = nd
+	return nd
+}
+
+func (m *BlockPPM) evictOldest() {
+	var victim blockKey
+	var at sim.Time
+	first := true
+	for k, nd := range m.nodes {
+		if first || nd.lastUse < at {
+			victim, at, first = k, nd.lastUse, false
+		}
+	}
+	if !first {
+		delete(m.nodes, victim)
+	}
+}
+
+// Predict returns the most frequent successor of the cursor's history,
+// always a single block (the original algorithm prefetches one page).
+// There is no fallback: unseen histories predict nothing — exactly the
+// cold-start weakness IS_PPM's interval model removes.
+func (m *BlockPPM) Predict(c Cursor) (Prediction, Cursor, bool) {
+	cur, ok := c.(blockppmCursor)
+	if !ok {
+		return Prediction{}, nil, false
+	}
+	if !cur.hist.full(m.order) {
+		return Prediction{}, cur, false
+	}
+	nd, found := m.nodes[cur.hist]
+	if !found || nd.topCount == 0 {
+		return Prediction{}, cur, false
+	}
+	p := Prediction{Request: Request{Offset: nd.top, Size: 1}}
+	return p, blockppmCursor{hist: cur.hist.shift(nd.top, m.order)}, true
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Mode selects how a predictor is exercised by the Driver.
+type Mode int
+
+// Driver modes.
+const (
+	// ModeOneShot is the paper's non-aggressive use: after every user
+	// request, prefetch exactly the predicted next request and stop.
+	ModeOneShot Mode = iota
+	// ModeAggressive keeps walking the prediction chain, treating each
+	// prefetched request as if the user had issued it, until the chain
+	// leaves the file or a misprediction resets it (§3.1).
+	ModeAggressive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeOneShot {
+		return "one-shot"
+	}
+	return "aggressive"
+}
+
+// Env is what a Driver needs from its host file system: cache
+// visibility and the ability to launch a low-priority block fetch.
+type Env interface {
+	// Cached reports whether the block is already in the cooperative
+	// cache (from this driver's point of view: PAFS asks the global
+	// directory, xFS each node asks about its own pool, which is what
+	// makes xFS prefetching duplicate work on shared files, §4).
+	Cached(b blockdev.BlockID) bool
+	// Prefetch launches a low-priority fetch of b. fallback reports
+	// whether the block was predicted by the cold-start OBA fallback
+	// (for the paper's fallback-fraction accounting). cancelled is
+	// polled when the disk would start the operation; done fires at
+	// completion (not called when cancelled).
+	Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(e *sim.Engine, at sim.Time))
+}
+
+// DriverConfig assembles a per-file prefetch driver.
+type DriverConfig struct {
+	// Predictor supplies predictions; the driver owns it.
+	Predictor Predictor
+	// Mode selects one-shot or aggressive operation.
+	Mode Mode
+	// MaxOutstanding bounds in-flight prefetch operations for this
+	// file. 1 is the paper's *linear* throttle (§3.2); 0 means
+	// unlimited (the uncontrolled aggressive variant, kept for the
+	// ablation benches).
+	MaxOutstanding int
+	// File is the file this driver serves.
+	File blockdev.FileID
+	// FileBlocks is the file length; predictions are clipped to
+	// [0, FileBlocks) and the aggressive chain stops beyond it.
+	FileBlocks blockdev.BlockNo
+	// Env hosts the driver.
+	Env Env
+	// MaxDrySteps bounds consecutive chain predictions that yield no
+	// uncached block before the chain pauses; it prevents a cyclic,
+	// fully cached pattern from spinning forever. Zero means the
+	// default of 64.
+	MaxDrySteps int
+}
+
+// DriverStats counts driver activity; the experiment layer aggregates
+// them into the paper's reported ratios.
+type DriverStats struct {
+	Issued          uint64 // prefetch operations launched
+	FallbackIssued  uint64 // of those, predicted by the OBA fallback
+	Completed       uint64 // prefetch operations that finished
+	Restarts        uint64 // chain resets after mispredictions
+	ChainStops      uint64 // chain reached end of file or went dry
+	PredictionSteps uint64 // Predict calls made while walking
+}
+
+// pendingBlock is one block awaiting issue from the current predicted
+// batch.
+type pendingBlock struct {
+	no       blockdev.BlockNo
+	fallback bool
+}
+
+// Driver runs one file's prefetching: it feeds user requests to the
+// predictor, maintains the speculative cursor, enforces the linear
+// outstanding limit, and restarts the chain on mispredictions.
+//
+// Liveness note: a predictor whose graph cycles inside the file (for
+// example a learned wrap-around back to block 0) keeps an aggressive
+// chain alive indefinitely when the cache keeps evicting its work —
+// only the cached-block skip and the dry-step guard pause it. The file
+// systems bound this the way real ones do: StopChain on close and the
+// environment's refusal to prefetch once the run is draining.
+type Driver struct {
+	cfg         DriverConfig
+	cursor      Cursor
+	haveCursor  bool
+	pending     []pendingBlock
+	outstanding int
+	gen         uint64
+	stopped     bool
+	stats       DriverStats
+}
+
+// NewDriver validates the configuration and returns a driver.
+func NewDriver(cfg DriverConfig) *Driver {
+	if cfg.Predictor == nil {
+		panic("core: driver needs a predictor")
+	}
+	if cfg.Env == nil {
+		panic("core: driver needs an env")
+	}
+	if cfg.MaxOutstanding < 0 {
+		panic(fmt.Sprintf("core: negative outstanding limit %d", cfg.MaxOutstanding))
+	}
+	if cfg.FileBlocks <= 0 {
+		panic(fmt.Sprintf("core: file %d has %d blocks", cfg.File, cfg.FileBlocks))
+	}
+	if cfg.MaxDrySteps == 0 {
+		cfg.MaxDrySteps = 64
+	}
+	return &Driver{cfg: cfg, stopped: true}
+}
+
+// Name describes the configured algorithm the way the paper does:
+// "OBA", "Ln_Agr_OBA", "IS_PPM:1", "Ln_Agr_IS_PPM:3", "Agr_OBA" (for
+// the unlimited variant), etc.
+func (d *Driver) Name() string {
+	base := d.cfg.Predictor.Name()
+	if d.cfg.Mode == ModeOneShot {
+		return base
+	}
+	if d.cfg.MaxOutstanding == 1 {
+		return "Ln_Agr_" + base
+	}
+	return "Agr_" + base
+}
+
+// Stats returns a snapshot of the driver counters.
+func (d *Driver) Stats() DriverStats { return d.stats }
+
+// Outstanding returns the number of in-flight prefetches for the
+// current chain generation.
+func (d *Driver) Outstanding() int { return d.outstanding }
+
+// OnUserRequest feeds a real request to the driver. satisfied reports
+// whether every requested block was already cached when the request
+// arrived — the paper's criterion for "the system prediction was
+// correct and there is no need to modify the prefetching path" (§3.1).
+func (d *Driver) OnUserRequest(r Request, now sim.Time, satisfied bool) {
+	real := d.cfg.Predictor.Observe(r, now)
+	switch d.cfg.Mode {
+	case ModeOneShot:
+		// Predict exactly the next request from the real position and
+		// queue its blocks, replacing any batch not yet issued.
+		d.pending = d.pending[:0]
+		d.cursor = real
+		d.haveCursor = true
+		pred, _, ok := d.cfg.Predictor.Predict(real)
+		d.stats.PredictionSteps++
+		if ok {
+			d.enqueue(pred)
+		}
+	case ModeAggressive:
+		if !satisfied {
+			// Misprediction: reset the chain to the real stream
+			// position and restart from the last requested block.
+			d.restartFrom(real)
+		} else if d.stopped || !d.haveCursor {
+			// Correctly predicted but the chain had stopped (end of
+			// file or dry); resume from the real position.
+			d.cursor = real
+			d.haveCursor = true
+			d.stopped = false
+		}
+		// Otherwise: leave the running chain alone ("continues
+		// bringing new blocks as if the user had not requested any").
+	}
+	d.pump()
+}
+
+// StopChain halts prefetching until the next user request: the file
+// was closed by its (last) user. Queued prefetch operations are
+// orphaned via a generation bump; the learned model is kept, so a
+// re-open resumes with everything the predictor knows.
+func (d *Driver) StopChain() {
+	d.pending = d.pending[:0]
+	d.gen++
+	d.outstanding = 0
+	d.stopped = true
+	d.haveCursor = false
+}
+
+func (d *Driver) restartFrom(real Cursor) {
+	d.cursor = real
+	d.haveCursor = true
+	d.pending = d.pending[:0]
+	d.gen++
+	d.outstanding = 0
+	d.stopped = false
+	d.stats.Restarts++
+}
+
+// enqueue clips a predicted request to the file and queues its blocks.
+func (d *Driver) enqueue(p Prediction) (added bool) {
+	start, end := p.Offset, p.End()
+	if start < 0 {
+		start = 0
+	}
+	if end > d.cfg.FileBlocks {
+		end = d.cfg.FileBlocks
+	}
+	for b := start; b < end; b++ {
+		blk := blockdev.BlockID{File: d.cfg.File, Block: b}
+		if d.cfg.Env.Cached(blk) {
+			continue
+		}
+		d.pending = append(d.pending, pendingBlock{no: b, fallback: p.Fallback})
+		added = true
+	}
+	return added
+}
+
+// inFile reports whether any part of the prediction lies inside the
+// file; a fully outside prediction ends the aggressive chain.
+func (d *Driver) inFile(p Prediction) bool {
+	return p.End() > 0 && p.Offset < d.cfg.FileBlocks
+}
+
+// pump issues pending blocks up to the outstanding limit, walking the
+// chain for more work when aggressive and the batch runs dry.
+func (d *Driver) pump() {
+	for d.cfg.MaxOutstanding == 0 || d.outstanding < d.cfg.MaxOutstanding {
+		if len(d.pending) == 0 && !d.refill() {
+			return
+		}
+		pb := d.pending[0]
+		d.pending = d.pending[1:]
+		blk := blockdev.BlockID{File: d.cfg.File, Block: pb.no}
+		if d.cfg.Env.Cached(blk) {
+			continue // raced in via a demand fetch since enqueue
+		}
+		d.issue(blk, pb.fallback)
+	}
+}
+
+// refill walks the prediction chain until it finds uncached work.
+// It returns false when there is nothing to issue now.
+func (d *Driver) refill() bool {
+	if d.cfg.Mode != ModeAggressive || d.stopped || !d.haveCursor {
+		return false
+	}
+	dry := 0
+	for {
+		pred, next, ok := d.cfg.Predictor.Predict(d.cursor)
+		d.stats.PredictionSteps++
+		if !ok || !d.inFile(pred) {
+			d.stopped = true
+			d.stats.ChainStops++
+			return false
+		}
+		d.cursor = next
+		if d.enqueue(pred) {
+			return true
+		}
+		dry++
+		if dry >= d.cfg.MaxDrySteps {
+			d.stopped = true
+			d.stats.ChainStops++
+			return false
+		}
+	}
+}
+
+// issue launches one prefetch with generation-stamped callbacks so a
+// chain restart orphans, and the disk queue drops, stale operations.
+func (d *Driver) issue(blk blockdev.BlockID, fallback bool) {
+	gen := d.gen
+	d.outstanding++
+	d.stats.Issued++
+	if fallback {
+		d.stats.FallbackIssued++
+	}
+	// Cancellation keys on the generation only: a same-generation
+	// operation always runs to completion so the outstanding count
+	// stays consistent (stale generations reset it in restartFrom).
+	d.cfg.Env.Prefetch(blk, fallback,
+		func() bool { return d.gen != gen },
+		func(_ *sim.Engine, _ sim.Time) {
+			if d.gen != gen {
+				return // belongs to an abandoned chain
+			}
+			d.outstanding--
+			d.stats.Completed++
+			d.pump()
+		})
+}

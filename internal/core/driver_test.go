@@ -1,0 +1,407 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// fakeEnv is a controllable Env: prefetches queue up and complete only
+// when the test says so, and the cache is a plain set.
+type fakeEnv struct {
+	cache     map[blockdev.BlockID]bool
+	inflight  []fakeOp
+	issued    []blockdev.BlockID
+	fallbacks []bool
+}
+
+type fakeOp struct {
+	b         blockdev.BlockID
+	cancelled func() bool
+	done      func(e *sim.Engine, at sim.Time)
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{cache: make(map[blockdev.BlockID]bool)}
+}
+
+func (f *fakeEnv) Cached(b blockdev.BlockID) bool { return f.cache[b] }
+
+func (f *fakeEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(e *sim.Engine, at sim.Time)) {
+	f.issued = append(f.issued, b)
+	f.fallbacks = append(f.fallbacks, fallback)
+	f.inflight = append(f.inflight, fakeOp{b, cancelled, done})
+}
+
+// completeOne finishes the oldest in-flight prefetch, inserting the
+// block into the cache unless the operation was cancelled.
+func (f *fakeEnv) completeOne() bool {
+	if len(f.inflight) == 0 {
+		return false
+	}
+	op := f.inflight[0]
+	f.inflight = f.inflight[1:]
+	if op.cancelled != nil && op.cancelled() {
+		return true
+	}
+	f.cache[op.b] = true
+	op.done(nil, 0)
+	return true
+}
+
+func (f *fakeEnv) completeAll() {
+	for f.completeOne() {
+	}
+}
+
+func bid(f, b int) blockdev.BlockID {
+	return blockdev.BlockID{File: blockdev.FileID(f), Block: blockdev.BlockNo(b)}
+}
+
+func newDriver(t *testing.T, pred Predictor, mode Mode, maxOut int, fileBlocks int, env Env) *Driver {
+	t.Helper()
+	return NewDriver(DriverConfig{
+		Predictor:      pred,
+		Mode:           mode,
+		MaxOutstanding: maxOut,
+		File:           1,
+		FileBlocks:     blockdev.BlockNo(fileBlocks),
+		Env:            env,
+	})
+}
+
+func TestOneShotOBAPrefetchesOneBlock(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeOneShot, 1, 1000, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 2}, 1, false)
+	if len(env.issued) != 1 || env.issued[0] != bid(1, 2) {
+		t.Fatalf("issued %v, want [1:2]", env.issued)
+	}
+	env.completeAll()
+	if len(env.issued) != 1 {
+		t.Errorf("one-shot OBA chained: issued %v", env.issued)
+	}
+}
+
+func TestOneShotISPPMPrefetchesWholePredictedRequest(t *testing.T) {
+	env := newFakeEnv()
+	m := NewISPPM(1)
+	d := newDriver(t, m, ModeOneShot, 1, 1000, env)
+	// Teach the paper pattern via the driver.
+	for i, r := range paperPattern(4) {
+		d.OnUserRequest(r, sim.Time(i+1), false)
+		env.completeAll()
+	}
+	// After the 4th request (offset 11, size 3) the prediction is
+	// (16, 2): both blocks must be prefetched, one at a time (linear).
+	got := env.issued[len(env.issued)-2:]
+	if got[0] != bid(1, 16) || got[1] != bid(1, 17) {
+		t.Errorf("last issued = %v, want [1:16 1:17]", got)
+	}
+}
+
+func TestAggressiveOBAWalksToEndOfFile(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 10, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 2}, 1, false)
+	env.completeAll()
+	// Must have prefetched blocks 2..9 and then stopped at EOF.
+	if len(env.issued) != 8 {
+		t.Fatalf("issued %d blocks, want 8 (2..9)", len(env.issued))
+	}
+	for i, b := range env.issued {
+		if b != bid(1, i+2) {
+			t.Errorf("issued[%d] = %v, want 1:%d", i, b, i+2)
+		}
+	}
+	if d.Stats().ChainStops != 1 {
+		t.Errorf("ChainStops = %d, want 1", d.Stats().ChainStops)
+	}
+}
+
+func TestLinearLimitOneOutstanding(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 100, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	if len(env.inflight) != 1 {
+		t.Fatalf("outstanding = %d, want 1 (linear)", len(env.inflight))
+	}
+	if d.Outstanding() != 1 {
+		t.Errorf("driver Outstanding = %d", d.Outstanding())
+	}
+	env.completeOne()
+	if len(env.inflight) != 1 {
+		t.Errorf("after completion outstanding = %d, want 1 (next issued)", len(env.inflight))
+	}
+}
+
+func TestUnlimitedAggressiveFloodsQueue(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 0, 50, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	// Unlimited: all 49 remaining blocks issued immediately.
+	if len(env.inflight) != 49 {
+		t.Errorf("outstanding = %d, want 49 (unlimited)", len(env.inflight))
+	}
+}
+
+func TestKOutstandingLimit(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 4, 100, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	if len(env.inflight) != 4 {
+		t.Errorf("outstanding = %d, want 4", len(env.inflight))
+	}
+}
+
+func TestAggressiveCorrectPredictionKeepsChain(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 1000, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	for i := 0; i < 5; i++ {
+		env.completeOne()
+	}
+	issuedBefore := len(env.issued)
+	restartsBefore := d.Stats().Restarts
+	// The user now reads block 1, which was already prefetched:
+	// satisfied=true, the chain must not restart.
+	d.OnUserRequest(Request{Offset: 1, Size: 1}, 2, true)
+	if d.Stats().Restarts != restartsBefore {
+		t.Error("correct prediction restarted the chain")
+	}
+	env.completeOne()
+	if len(env.issued) <= issuedBefore {
+		t.Error("chain did not keep running after a satisfied request")
+	}
+	// Sequence must continue where it was, not from block 2.
+	last := env.issued[len(env.issued)-1]
+	if last.Block <= 6 {
+		t.Errorf("chain regressed to block %d", last.Block)
+	}
+}
+
+func TestAggressiveMispredictionRestartsChain(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 1000, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	for i := 0; i < 3; i++ {
+		env.completeOne()
+	}
+	// The user jumps to block 500 (not prefetched): restart there.
+	d.OnUserRequest(Request{Offset: 500, Size: 1}, 2, false)
+	if d.Stats().Restarts != 2 { // first request also counts as unsatisfied
+		t.Errorf("Restarts = %d, want 2", d.Stats().Restarts)
+	}
+	env.completeAll()
+	// After restart the next issued block must be 501.
+	found := false
+	for _, b := range env.issued {
+		if b == bid(1, 501) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("restart did not prefetch from the new position; issued %v", env.issued)
+	}
+}
+
+func TestRestartCancelsStaleOps(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 1000, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	// One op in flight for block 1; restart before it completes.
+	d.OnUserRequest(Request{Offset: 500, Size: 1}, 2, false)
+	// The stale op must now report cancelled.
+	if !env.inflight[0].cancelled() {
+		t.Error("stale-generation op not cancelled")
+	}
+	env.completeAll()
+	if env.cache[bid(1, 1)] {
+		t.Error("cancelled op still populated the cache")
+	}
+}
+
+func TestDriverSkipsCachedBlocks(t *testing.T) {
+	env := newFakeEnv()
+	env.cache[bid(1, 2)] = true
+	env.cache[bid(1, 3)] = true
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 6, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 2}, 1, false)
+	env.completeAll()
+	// Blocks 2,3 cached: only 4,5 fetched.
+	if len(env.issued) != 2 || env.issued[0] != bid(1, 4) || env.issued[1] != bid(1, 5) {
+		t.Errorf("issued %v, want [1:4 1:5]", env.issued)
+	}
+}
+
+func TestDriverClipsPredictionsToFile(t *testing.T) {
+	env := newFakeEnv()
+	m := NewISPPM(1)
+	d := NewDriver(DriverConfig{
+		Predictor: m, Mode: ModeOneShot, MaxOutstanding: 1,
+		File: 1, FileBlocks: 20, Env: env,
+	})
+	// Teach stride 8 with size 4: prediction from offset 16 would be
+	// [24, 28) — fully outside a 20-block file.
+	reqs := []Request{{0, 4}, {8, 4}, {16, 4}}
+	for i, r := range reqs {
+		d.OnUserRequest(r, sim.Time(i+1), false)
+		env.completeAll()
+	}
+	for _, b := range env.issued {
+		if b.Block >= 20 {
+			t.Errorf("issued out-of-file block %v", b)
+		}
+	}
+}
+
+func TestAggressiveChainStopsAtEOFAndResumesOnNextRequest(t *testing.T) {
+	env := newFakeEnv()
+	d := newDriver(t, NewOBA(), ModeAggressive, 1, 4, env)
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	env.completeAll() // prefetches 1,2,3 then stops at EOF
+	if got := len(env.issued); got != 3 {
+		t.Fatalf("issued %d, want 3", got)
+	}
+	// User reads block 1 (satisfied): chain resumes from the real
+	// cursor; blocks 2,3 cached so nothing new to fetch, and it stops
+	// again without spinning.
+	d.OnUserRequest(Request{Offset: 1, Size: 1}, 2, true)
+	env.completeAll()
+	if len(env.issued) != 3 {
+		t.Errorf("resumed chain issued spurious fetches: %v", env.issued)
+	}
+}
+
+func TestDryPatternDoesNotSpin(t *testing.T) {
+	env := newFakeEnv()
+	m := NewISPPM(1)
+	d := NewDriver(DriverConfig{
+		Predictor: m, Mode: ModeAggressive, MaxOutstanding: 1,
+		File: 1, FileBlocks: 100, Env: env, MaxDrySteps: 8,
+	})
+	// Pre-train a two-block cycle 10 <-> 20 directly on the predictor
+	// so the graph (not the OBA fallback) drives the chain, and mark
+	// both blocks cached: the chain can always predict in-file blocks
+	// but never finds work.
+	for i, r := range []Request{{10, 1}, {20, 1}, {10, 1}, {20, 1}} {
+		m.Observe(r, sim.Time(i+1))
+	}
+	env.cache[bid(1, 10)] = true
+	env.cache[bid(1, 20)] = true
+	d.OnUserRequest(Request{Offset: 10, Size: 1}, 5, true)
+	if d.Stats().ChainStops == 0 {
+		t.Error("cyclic cached pattern did not trip the dry-step guard")
+	}
+	if len(env.issued) != 0 {
+		t.Errorf("dry chain issued %v", env.issued)
+	}
+}
+
+func TestFallbackAccounting(t *testing.T) {
+	env := newFakeEnv()
+	m := NewISPPM(1)
+	d := newDriver(t, m, ModeAggressive, 1, 1000, env)
+	// Only one request: everything prefetched comes from fallback.
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	for i := 0; i < 5; i++ {
+		env.completeOne()
+	}
+	st := d.Stats()
+	if st.Issued == 0 || st.FallbackIssued != st.Issued {
+		t.Errorf("fallback accounting: issued=%d fallback=%d", st.Issued, st.FallbackIssued)
+	}
+}
+
+func TestDriverNames(t *testing.T) {
+	env := newFakeEnv()
+	cases := []struct {
+		pred Predictor
+		mode Mode
+		out  int
+		want string
+	}{
+		{NewOBA(), ModeOneShot, 1, "OBA"},
+		{NewOBA(), ModeAggressive, 1, "Ln_Agr_OBA"},
+		{NewOBA(), ModeAggressive, 0, "Agr_OBA"},
+		{NewISPPM(1), ModeOneShot, 1, "IS_PPM:1"},
+		{NewISPPM(3), ModeAggressive, 1, "Ln_Agr_IS_PPM:3"},
+	}
+	for _, c := range cases {
+		d := newDriver(t, c.pred, c.mode, c.out, 10, env)
+		if d.Name() != c.want {
+			t.Errorf("Name = %q, want %q", d.Name(), c.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOneShot.String() != "one-shot" || ModeAggressive.String() != "aggressive" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestNewDriverValidation(t *testing.T) {
+	env := newFakeEnv()
+	bad := []DriverConfig{
+		{Mode: ModeOneShot, MaxOutstanding: 1, File: 1, FileBlocks: 10, Env: env},            // nil predictor
+		{Predictor: NewOBA(), Mode: ModeOneShot, MaxOutstanding: 1, File: 1, FileBlocks: 10}, // nil env
+		{Predictor: NewOBA(), MaxOutstanding: -1, File: 1, FileBlocks: 10, Env: env},
+		{Predictor: NewOBA(), MaxOutstanding: 1, File: 1, FileBlocks: 0, Env: env},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewDriver(cfg)
+		}()
+	}
+}
+
+func TestISPPMAggressiveFollowsLearnedPattern(t *testing.T) {
+	env := newFakeEnv()
+	m := NewISPPM(1)
+	d := newDriver(t, m, ModeAggressive, 1, 10000, env)
+	reqs := paperPattern(6)
+	for i, r := range reqs {
+		// Mark requested blocks cached (as a demand fetch would).
+		for _, b := range r.blocks() {
+			env.cache[bid(1, int(b))] = true
+		}
+		d.OnUserRequest(r, sim.Time(i+1), i > 3)
+	}
+	// Drain some chain work and verify it follows the +3/+5 pattern
+	// beyond the observed region.
+	for i := 0; i < 20; i++ {
+		env.completeOne()
+	}
+	want := map[blockdev.BlockID]bool{}
+	// Continue the pattern from reqs[5]=(19,3): next (24,2),(27,3),(32,2)...
+	for _, r := range []Request{{24, 2}, {27, 3}, {32, 2}} {
+		for _, b := range r.blocks() {
+			want[bid(1, int(b))] = true
+		}
+	}
+	hit := 0
+	for _, b := range env.issued {
+		if want[b] {
+			hit++
+		}
+	}
+	if hit < 5 {
+		t.Errorf("aggressive IS_PPM issued %d/%d pattern blocks; issued=%v", hit, len(want), env.issued)
+	}
+}
+
+// blocks lists the block numbers covered by the request (test helper).
+func (r Request) blocks() []blockdev.BlockNo {
+	out := make([]blockdev.BlockNo, 0, r.Size)
+	for b := r.Offset; b < r.End(); b++ {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// MaxOrder bounds the Markov order of IS_PPM predictors; the paper
+// evaluates orders 1 and 3, and the fixed bound keeps history keys
+// comparable (array-valued) and allocation-free.
+const MaxOrder = 8
+
+// DefaultMaxNodes bounds one file's pattern graph; when exceeded, the
+// least-recently-updated node is discarded. Real access patterns in
+// both workloads need far fewer nodes.
+const DefaultMaxNodes = 4096
+
+// pair is one element of the modelled access stream: the offset
+// interval from the previous request (in blocks, may be negative) and
+// the request size (in blocks).
+type pair struct {
+	interval int32
+	size     int32
+}
+
+// histKey identifies a graph node: the last `n` (interval, size) pairs
+// of the stream, most recent last. It is a value type usable as a map
+// key.
+type histKey struct {
+	n int8
+	p [MaxOrder]pair
+}
+
+// shift returns the key advanced by one more pair, dropping the oldest
+// when the window is full.
+func (k histKey) shift(pr pair, order int) histKey {
+	if int(k.n) < order {
+		k.p[k.n] = pr
+		k.n++
+		return k
+	}
+	copy(k.p[:order-1], k.p[1:order])
+	k.p[order-1] = pr
+	return k
+}
+
+// full reports whether the key holds a complete order-length history.
+func (k histKey) full(order int) bool { return int(k.n) >= order }
+
+// last returns the most recent pair; valid only when n > 0.
+func (k histKey) last() pair { return k.p[k.n-1] }
+
+// LinkPolicy selects which outgoing graph link drives a prediction.
+type LinkPolicy int
+
+// Link policies.
+const (
+	// MostRecentLinkPolicy follows the most recently traversed link —
+	// the paper's choice, which it found more accurate than counts
+	// for file access (§2.2).
+	MostRecentLinkPolicy LinkPolicy = iota
+	// MostProbableLinkPolicy follows the most traversed link — the
+	// original Vitter & Krishnan PPM heuristic, kept for the ablation
+	// benchmarks.
+	MostProbableLinkPolicy
+)
+
+// node is one vertex of the pattern graph. Links are timestamped with
+// their last traversal and counted; prediction follows the configured
+// link policy.
+type node struct {
+	links      map[histKey]sim.Time
+	counts     map[histKey]uint32
+	mru        histKey // cached argmax over links by timestamp
+	mruTime    sim.Time
+	hasMRU     bool
+	top        histKey // cached argmax over links by count
+	topCount   uint32
+	lastUpdate sim.Time
+}
+
+// ISPPM is the Interval-and-Size prediction-by-partial-match predictor
+// of order j (§2.2): a graph whose nodes are the last j
+// (offset-interval, size) pairs of a file's access stream and whose
+// most-recently-used edges predict both the position and the size of
+// the next request. Blocks never accessed before can be predicted,
+// unlike block-granularity PPM. When the graph has no node for the
+// current history (cold start, §2.2), it falls back to One-Block-Ahead
+// and flags the prediction accordingly.
+type ISPPM struct {
+	order    int
+	maxNodes int
+	policy   LinkPolicy
+	// noFallback disables the cold-start OBA rule (ablation only);
+	// Predict then reports no prediction when the graph cannot help.
+	noFallback bool
+	nodes      map[histKey]*node
+
+	started bool
+	lastReq Request
+	hist    histKey
+	// prevValid marks that hist identified an existing node at the
+	// last Observe, so the next Observe can add the connecting link.
+	prevValid bool
+	prevKey   histKey
+}
+
+// isppmCursor tracks a (real or speculative) position in the stream:
+// the history window plus the absolute position of the last request,
+// needed to materialize interval-relative predictions.
+type isppmCursor struct {
+	hist       histKey
+	lastOffset blockdev.BlockNo
+	lastSize   int32
+}
+
+// NewISPPM returns an order-j predictor with the default graph bound.
+// It panics unless 1 <= order <= MaxOrder.
+func NewISPPM(order int) *ISPPM {
+	return NewISPPMSized(order, DefaultMaxNodes)
+}
+
+// NewISPPMSized returns an order-j predictor whose pattern graph holds
+// at most maxNodes nodes.
+func NewISPPMSized(order, maxNodes int) *ISPPM {
+	if order < 1 || order > MaxOrder {
+		panic(fmt.Sprintf("core: IS_PPM order %d outside [1,%d]", order, MaxOrder))
+	}
+	if maxNodes < 1 {
+		panic("core: IS_PPM needs at least one node")
+	}
+	return &ISPPM{order: order, maxNodes: maxNodes, nodes: make(map[histKey]*node)}
+}
+
+// SetLinkPolicy switches between the paper's most-recent rule and the
+// original PPM most-probable rule (for the ablation benches).
+func (m *ISPPM) SetLinkPolicy(p LinkPolicy) { m.policy = p }
+
+// SetFallback enables or disables the cold-start OBA fallback (§2.2).
+func (m *ISPPM) SetFallback(enabled bool) { m.noFallback = !enabled }
+
+// Name identifies the algorithm with its order, e.g. "IS_PPM:3".
+func (m *ISPPM) Name() string { return fmt.Sprintf("IS_PPM:%d", m.order) }
+
+// Order returns the Markov order j.
+func (m *ISPPM) Order() int { return m.order }
+
+// NodeCount returns the number of nodes currently in the graph.
+func (m *ISPPM) NodeCount() int { return len(m.nodes) }
+
+// Observe records a real user request, growing the pattern graph as in
+// the paper's Figure 2, and returns the cursor positioned after it.
+func (m *ISPPM) Observe(r Request, now sim.Time) Cursor {
+	if !m.started {
+		// First request: no interval can be computed yet (§2.2, t1).
+		m.started = true
+		m.lastReq = r
+		m.hist = histKey{}
+		m.prevValid = false
+		return isppmCursor{hist: m.hist, lastOffset: r.Offset, lastSize: r.Size}
+	}
+	pr := pair{interval: int32(r.Offset - m.lastReq.Offset), size: r.Size}
+	m.hist = m.hist.shift(pr, m.order)
+	if m.hist.full(m.order) {
+		nd := m.getOrCreate(m.hist, now)
+		nd.lastUpdate = now
+		if m.prevValid {
+			prev := m.getOrCreate(m.prevKey, now)
+			prev.setLink(m.hist, now)
+		}
+		m.prevKey = m.hist
+		m.prevValid = true
+	}
+	m.lastReq = r
+	return isppmCursor{hist: m.hist, lastOffset: r.Offset, lastSize: r.Size}
+}
+
+func (nd *node) setLink(target histKey, now sim.Time) {
+	if nd.links == nil {
+		nd.links = make(map[histKey]sim.Time)
+		nd.counts = make(map[histKey]uint32)
+	}
+	nd.links[target] = now
+	nd.counts[target]++
+	// A refreshed or new link is by construction the most recent.
+	if !nd.hasMRU || now >= nd.mruTime {
+		nd.mru = target
+		nd.mruTime = now
+		nd.hasMRU = true
+	}
+	if c := nd.counts[target]; c > nd.topCount {
+		nd.top = target
+		nd.topCount = c
+	}
+}
+
+// successor returns the link the given policy follows.
+func (nd *node) successor(p LinkPolicy) (histKey, bool) {
+	if !nd.hasMRU {
+		return histKey{}, false
+	}
+	if p == MostProbableLinkPolicy {
+		return nd.top, true
+	}
+	return nd.mru, true
+}
+
+func (m *ISPPM) getOrCreate(k histKey, now sim.Time) *node {
+	if nd, ok := m.nodes[k]; ok {
+		return nd
+	}
+	if len(m.nodes) >= m.maxNodes {
+		m.evictOldestNode()
+	}
+	nd := &node{lastUpdate: now}
+	m.nodes[k] = nd
+	return nd
+}
+
+// evictOldestNode discards the least recently updated node. Links
+// pointing at it are left dangling: prediction only needs the target
+// key itself (its last pair), not the target node.
+func (m *ISPPM) evictOldestNode() {
+	var victim histKey
+	var victimTime sim.Time
+	first := true
+	for k, nd := range m.nodes {
+		if first || nd.lastUpdate < victimTime {
+			victim, victimTime, first = k, nd.lastUpdate, false
+		}
+	}
+	if !first {
+		delete(m.nodes, victim)
+	}
+}
+
+// Predict follows the most recently used link out of the node matching
+// the cursor's history (§2.2); when the graph cannot help, it falls
+// back to the OBA rule, marking the prediction.
+func (m *ISPPM) Predict(c Cursor) (Prediction, Cursor, bool) {
+	cur, ok := c.(isppmCursor)
+	if !ok {
+		return Prediction{}, nil, false
+	}
+	if cur.hist.full(m.order) {
+		if nd, found := m.nodes[cur.hist]; found {
+			if succ, ok := nd.successor(m.policy); ok {
+				next := succ.last()
+				pred := Prediction{Request: Request{
+					Offset: cur.lastOffset + blockdev.BlockNo(next.interval),
+					Size:   next.size,
+				}}
+				nc := isppmCursor{
+					hist:       cur.hist.shift(next, m.order),
+					lastOffset: pred.Offset,
+					lastSize:   pred.Size,
+				}
+				return pred, nc, true
+			}
+		}
+	}
+	if m.noFallback {
+		return Prediction{}, cur, false
+	}
+	// OBA fallback: one block past the end of the last request. The
+	// speculative history advances with the synthetic pair so that a
+	// later window may re-match the graph.
+	fbOffset := cur.lastOffset + blockdev.BlockNo(cur.lastSize)
+	pred := Prediction{
+		Request:  Request{Offset: fbOffset, Size: 1},
+		Fallback: true,
+	}
+	syn := pair{interval: int32(fbOffset - cur.lastOffset), size: 1}
+	nc := isppmCursor{
+		hist:       cur.hist.shift(syn, m.order),
+		lastOffset: fbOffset,
+		lastSize:   1,
+	}
+	return pred, nc, true
+}
+
+// MostRecentLink exposes, for tests and diagnostics, the MRU successor
+// of the node keyed by the last j (interval,size) pairs given. ok is
+// false when the node is absent or has no outgoing link.
+func (m *ISPPM) MostRecentLink(pairs [][2]int32) (interval, size int32, ok bool) {
+	if len(pairs) != m.order {
+		return 0, 0, false
+	}
+	var k histKey
+	for _, p := range pairs {
+		k = k.shift(pair{interval: p[0], size: p[1]}, m.order)
+	}
+	nd, found := m.nodes[k]
+	if !found || !nd.hasMRU {
+		return 0, 0, false
+	}
+	last := nd.mru.last()
+	return last.interval, last.size, true
+}

@@ -1,0 +1,62 @@
+// Package core implements the paper's contribution: the prefetch
+// predictors — One-Block-Ahead (OBA) and the Interval-and-Size
+// prediction-by-partial-match family (IS_PPM:j) — and the driver that
+// turns any predictor into a *linear aggressive* prefetcher: one that
+// keeps walking the prediction chain ahead of the application while
+// never keeping more than a fixed number of prefetch operations (one,
+// in the paper) in flight per file.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Request is one user request as seen by a predictor: the block-level
+// image of a read or write, reduced to its first block and its length
+// in blocks. The paper models the access stream of a file as the
+// sequence of (offset-interval, size) pairs derived from consecutive
+// Requests (§2.2).
+type Request struct {
+	Offset blockdev.BlockNo // first block of the request
+	Size   int32            // number of blocks
+}
+
+// End returns the first block after the request.
+func (r Request) End() blockdev.BlockNo { return r.Offset + blockdev.BlockNo(r.Size) }
+
+// String renders the request as "[off,+size]".
+func (r Request) String() string { return fmt.Sprintf("[%d,+%d]", r.Offset, r.Size) }
+
+// Prediction is a predictor's guess at the next request.
+type Prediction struct {
+	Request
+	// Fallback marks predictions produced by the cold-start OBA rule
+	// inside IS_PPM rather than by the pattern graph; the paper
+	// reports what fraction of prefetched blocks came from it (§2.2).
+	Fallback bool
+}
+
+// Cursor is an opaque snapshot of a predictor's position in its model.
+// Aggressive drivers hold a *speculative* cursor that walks ahead of
+// the real access stream ("it behaves as if the user had already
+// requested the prefetched blocks and goes for the next node in the
+// graph", §3.1) and reset it to the real cursor after a misprediction.
+type Cursor any
+
+// Predictor learns the access stream of one file and predicts the next
+// request. Implementations are single-goroutine, like the simulator.
+type Predictor interface {
+	// Name identifies the algorithm (e.g. "OBA", "IS_PPM:3").
+	Name() string
+	// Observe records a real user request, updating the model, and
+	// returns the cursor positioned after that request.
+	Observe(r Request, now sim.Time) Cursor
+	// Predict returns the predicted request following the given
+	// cursor plus the cursor advanced past the prediction. ok is false
+	// when the predictor has no basis for any guess (e.g. before the
+	// first request).
+	Predict(c Cursor) (p Prediction, next Cursor, ok bool)
+}

@@ -1,0 +1,149 @@
+package diskmodel
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestServiceTimeFormula(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	// Read: 10.5 ms + 8192B/10MB/s = 10.5 ms + 819.2 us.
+	wantRead := sim.Milliseconds(10.5) + sim.TransferTime(8192, 10)
+	if got := a.ServiceTime(OpRead); got != wantRead {
+		t.Errorf("read service = %v, want %v", got, wantRead)
+	}
+	wantWrite := sim.Milliseconds(12.5) + sim.TransferTime(8192, 10)
+	if got := a.ServiceTime(OpWrite); got != wantWrite {
+		t.Errorf("write service = %v, want %v", got, wantWrite)
+	}
+}
+
+func TestReadCompletesAfterServiceTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	var at sim.Time
+	a.Read(blockdev.BlockID{File: 1, Block: 0}, sim.PriorityUser, nil,
+		func(_ *sim.Engine, tm sim.Time) { at = tm })
+	e.Run()
+	if at != sim.Time(0).Add(a.ServiceTime(OpRead)) {
+		t.Errorf("read done at %v, want %v", at, a.ServiceTime(OpRead))
+	}
+	if a.Reads() != 1 || a.Writes() != 0 {
+		t.Error("op counters wrong")
+	}
+}
+
+func TestSameDiskSerializesDifferentDisksParallel(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	b0 := blockdev.BlockID{File: 1, Block: 0}
+	b1 := blockdev.BlockID{File: 1, Block: 1} // striped to a different disk
+	if a.DiskFor(b0) == a.DiskFor(b1) {
+		t.Fatal("test assumes adjacent blocks stripe to different disks")
+	}
+	var t0, t1, t0b sim.Time
+	a.Read(b0, sim.PriorityUser, nil, func(_ *sim.Engine, tm sim.Time) { t0 = tm })
+	a.Read(b1, sim.PriorityUser, nil, func(_ *sim.Engine, tm sim.Time) { t1 = tm })
+	a.Read(b0, sim.PriorityUser, nil, func(_ *sim.Engine, tm sim.Time) { t0b = tm })
+	e.Run()
+	if t0 != t1 {
+		t.Errorf("different disks should serve in parallel: %v vs %v", t0, t1)
+	}
+	if t0b != t0.Add(a.ServiceTime(OpRead)) {
+		t.Errorf("same disk should serialize: second done %v, want %v", t0b, t0.Add(a.ServiceTime(OpRead)))
+	}
+}
+
+func TestPrefetchYieldsToUser(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	b := blockdev.BlockID{File: 2, Block: 0}
+	var order []string
+	// Fill the disk, then queue prefetch before user.
+	a.Read(b, sim.PriorityUser, nil, nil)
+	a.Read(b, sim.PriorityPrefetch, nil, func(*sim.Engine, sim.Time) { order = append(order, "prefetch") })
+	a.Read(b, sim.PriorityUser, nil, func(*sim.Engine, sim.Time) { order = append(order, "user") })
+	e.Run()
+	if len(order) != 2 || order[0] != "user" {
+		t.Errorf("order = %v, want user before prefetch", order)
+	}
+	if a.PrefetchReads() != 1 {
+		t.Errorf("PrefetchReads = %d, want 1", a.PrefetchReads())
+	}
+}
+
+func TestCancelledPrefetchNotCounted(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	b := blockdev.BlockID{File: 3, Block: 5}
+	stale := true
+	a.Read(b, sim.PriorityUser, nil, nil) // occupy
+	a.Read(b, sim.PriorityPrefetch, func() bool { return stale }, func(*sim.Engine, sim.Time) {
+		t.Error("cancelled prefetch completed")
+	})
+	e.Run()
+	if a.Reads() != 1 {
+		t.Errorf("Reads = %d, want 1 (cancelled op must not count)", a.Reads())
+	}
+}
+
+func TestWriteCounts(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.NOW())
+	for i := 0; i < 5; i++ {
+		a.Write(blockdev.BlockID{File: 1, Block: blockdev.BlockNo(i)}, nil)
+	}
+	e.Run()
+	if a.Writes() != 5 {
+		t.Errorf("Writes = %d, want 5", a.Writes())
+	}
+	if a.Accesses() != 5 {
+		t.Errorf("Accesses = %d, want 5", a.Accesses())
+	}
+}
+
+func TestArrayShape(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	if a.Disks() != 16 {
+		t.Fatalf("Disks = %d, want 16", a.Disks())
+	}
+	for i := 0; i < a.Disks(); i++ {
+		if a.Disk(i).ID() != blockdev.DiskID(i) {
+			t.Errorf("disk %d has ID %d", i, a.Disk(i).ID())
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Error("OpKind.String wrong")
+	}
+}
+
+func TestPerDiskCounters(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	b := blockdev.BlockID{File: 9, Block: 3}
+	a.Read(b, sim.PriorityUser, nil, nil)
+	a.Write(b, nil)
+	e.Run()
+	d := a.DiskFor(b)
+	if d.Reads() != 1 || d.Writes() != 1 {
+		t.Errorf("per-disk counters = %d/%d, want 1/1", d.Reads(), d.Writes())
+	}
+}
+
+func TestUtilizationPositiveAfterWork(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := NewArray(e, machine.PM())
+	a.Read(blockdev.BlockID{File: 1, Block: 0}, sim.PriorityUser, nil, nil)
+	e.Run()
+	if u := a.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}

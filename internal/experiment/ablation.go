@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// AblationSpec is one variant of one design-choice study.
+type AblationSpec struct {
+	Study   string // e.g. "linearity"
+	Variant string // e.g. "linear1"
+	Alg     core.AlgSpec
+}
+
+// Ablations enumerates the design-choice studies DESIGN.md calls out.
+// All run as Ln_Agr_IS_PPM:1 variants on CHARISMA/PAFS at 4 MB per
+// node unless the study itself varies those parameters. The unlimited
+// variant belongs at the tiny scale only (its cache churn — the very
+// behaviour the paper's throttle exists to prevent — makes it
+// explosively expensive at larger scales).
+func Ablations() []AblationSpec {
+	base := core.SpecLnAgrISPPM1
+	var out []AblationSpec
+	add := func(study, variant string, alg core.AlgSpec) {
+		out = append(out, AblationSpec{Study: study, Variant: variant, Alg: alg})
+	}
+	add("linearity", "linear1", base)
+	k4 := base
+	k4.MaxOutstanding = 4
+	add("linearity", "window4", k4)
+	unl := base
+	unl.MaxOutstanding = 0
+	add("linearity", "unlimited", unl)
+
+	add("linkPolicy", "mostRecent", base)
+	prob := base
+	prob.MostProbableLinks = true
+	add("linkPolicy", "mostProbable", prob)
+
+	for order := 1; order <= 4; order++ {
+		o := base
+		o.Order = order
+		add("order", fmt.Sprintf("order%d", order), o)
+	}
+
+	add("priority", "lowPriority", base)
+	up := base
+	up.UserPriorityPrefetch = true
+	add("priority", "userPriority", up)
+
+	add("fallback", "withFallback", base)
+	nofb := base
+	nofb.NoFallback = true
+	add("fallback", "noFallback", nofb)
+
+	add("modelling", "intervalSize", base)
+	bp := base
+	bp.Kind = core.AlgBlockPPM
+	add("modelling", "blockPPM", bp)
+	return out
+}
+
+// RunAblations executes every ablation cell at the given scale
+// (CHARISMA on PAFS, 4 MB per node) and renders a comparison table.
+func RunAblations(s Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString("Design-choice ablations, CHARISMA on PAFS @ 4MB/node\n")
+	fmt.Fprintf(&b, "(scale %s)\n\n", s.Name)
+	fmt.Fprintf(&b, "%-12s %-14s %-28s %10s %10s %12s\n",
+		"study", "variant", "algorithm", "read(ms)", "mispred%", "disk ops")
+	lastStudy := ""
+	for _, ab := range Ablations() {
+		res, err := RunCell(s, Cell{FS: PAFS, Workload: Charisma, Alg: ab.Alg, CacheMB: 4})
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", ab.Study, ab.Variant, err)
+		}
+		if ab.Study != lastStudy && lastStudy != "" {
+			b.WriteByte('\n')
+		}
+		lastStudy = ab.Study
+		fmt.Fprintf(&b, "%-12s %-14s %-28s %10.3f %10.1f %12d\n",
+			ab.Study, ab.Variant, ab.Alg.Name(),
+			res.AvgReadMs, 100*res.MispredictionRatio, res.DiskAccesses)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fscommon"
+	"repro/internal/machine"
+	"repro/internal/pafs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xfs"
+)
+
+// FSKind selects the simulated file system.
+type FSKind int
+
+// File systems under test.
+const (
+	PAFS FSKind = iota
+	XFS
+)
+
+// String names the file system as in the paper.
+func (k FSKind) String() string {
+	if k == PAFS {
+		return "PAFS"
+	}
+	return "xFS"
+}
+
+// WorkloadKind selects the trace workload (and with it the machine).
+type WorkloadKind int
+
+// Workloads under test.
+const (
+	Charisma WorkloadKind = iota // parallel machine (PM)
+	Sprite                       // network of workstations (NOW)
+)
+
+// String names the workload as in the paper.
+func (k WorkloadKind) String() string {
+	if k == Charisma {
+		return "CHARISMA"
+	}
+	return "Sprite"
+}
+
+// Cell is one simulation run: a point on one curve of one figure.
+type Cell struct {
+	FS       FSKind
+	Workload WorkloadKind
+	Alg      core.AlgSpec
+	CacheMB  int
+	// Recirculations overrides xFS's N-chance forwarding count
+	// (0 keeps the default of 2, negative disables forwarding — the
+	// no-cooperation baseline); ignored for PAFS. Used by the
+	// cooperative-caching ablation bench.
+	Recirculations int
+}
+
+// String renders the cell compactly.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%s/%dMB", c.Workload, c.FS, c.Alg.Name(), c.CacheMB)
+}
+
+// Result holds every metric one run produces.
+type Result struct {
+	Cell Cell
+
+	// AvgReadMs is the y-axis of Figures 4–7.
+	AvgReadMs float64
+	// DiskAccesses is the y-axis of Figures 8–11.
+	DiskAccesses uint64
+	DiskReads    uint64
+	DiskWrites   uint64
+	// WritesPerBlock is the Table 2 metric.
+	WritesPerBlock float64
+
+	// Prefetch quality.
+	PrefetchIssued     uint64
+	FallbackFraction   float64
+	MispredictionRatio float64
+
+	HitRatio float64
+	Reads    uint64
+	Writes   uint64
+	SimTime  sim.Time
+}
+
+// RunCell simulates one cell under the given scale. The workload trace
+// depends only on the scale and workload kind, so every algorithm and
+// cache size is measured against the identical request stream.
+func RunCell(s Scale, c Cell) (Result, error) {
+	var (
+		tr   *workload.Trace
+		mach machine.Config
+		err  error
+	)
+	switch c.Workload {
+	case Charisma:
+		mach = s.PM
+		tr, err = workload.GenerateCharisma(s.Charisma)
+	case Sprite:
+		mach = s.NOW
+		tr, err = workload.GenerateSprite(s.Sprite)
+	default:
+		return Result{}, fmt.Errorf("experiment: unknown workload %d", c.Workload)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return RunTrace(tr, mach, c, s.WarmFraction)
+}
+
+// RunTrace simulates an explicit trace (for example one loaded from a
+// tracegen file) on the given machine under cell c's file system,
+// algorithm and cache size; c.Workload is informational only.
+func RunTrace(tr *workload.Trace, mach machine.Config, c Cell, warmFraction float64) (Result, error) {
+	if err := tr.Validate(mach.Nodes, mach.BlockSize); err != nil {
+		return Result{}, err
+	}
+	if c.CacheMB <= 0 {
+		return Result{}, fmt.Errorf("experiment: cache size %d MB", c.CacheMB)
+	}
+
+	e := sim.NewEngine(uint64(c.CacheMB)*1000003 + uint64(c.Workload)*7 + uint64(c.FS)*13 + 1)
+	cacheBlocks := mach.CacheBlocksPerNode(c.CacheMB)
+
+	var fs fscommon.FileSystem
+	switch c.FS {
+	case PAFS:
+		fs = pafs.New(e, pafs.Config{
+			Machine:            mach,
+			CacheBlocksPerNode: cacheBlocks,
+			Algorithm:          c.Alg,
+		}, tr)
+	case XFS:
+		fs = xfs.New(e, xfs.Config{
+			Machine:            mach,
+			CacheBlocksPerNode: cacheBlocks,
+			Algorithm:          c.Alg,
+			Recirculations:     c.Recirculations,
+		}, tr)
+	default:
+		return Result{}, fmt.Errorf("experiment: unknown file system %d", c.FS)
+	}
+
+	runner := fscommon.NewRunner(fs, tr, fscommon.RunnerConfig{WarmFraction: warmFraction})
+	end := runner.Run(e)
+	if !runner.Done() {
+		return Result{}, fmt.Errorf("experiment: %s did not complete", c)
+	}
+
+	coll := fs.Collector()
+	cst := fs.Cache().Stats()
+	wasted := cst.WastedPrefetches + fs.Cache().UnusedPrefetchedCopies()
+	used := cst.UsedPrefetches
+	misprediction := 0.0
+	if wasted+used > 0 {
+		misprediction = float64(wasted) / float64(wasted+used)
+	}
+	return Result{
+		Cell:               c,
+		AvgReadMs:          coll.AvgReadTime().Milliseconds(),
+		DiskAccesses:       coll.DiskAccesses(),
+		DiskReads:          coll.DiskReads(),
+		DiskWrites:         coll.DiskWrites(),
+		WritesPerBlock:     coll.WritesPerBlock(),
+		PrefetchIssued:     coll.PrefetchIssuedCount(),
+		FallbackFraction:   coll.FallbackFraction(),
+		MispredictionRatio: misprediction,
+		HitRatio:           coll.BlockHitRatio(),
+		Reads:              coll.Reads(),
+		Writes:             coll.Writes(),
+		SimTime:            end,
+	}, nil
+}

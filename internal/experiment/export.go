@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the figure as comma-separated values: a header row of
+// cache sizes, then one row per algorithm. Ready for any plotting
+// tool.
+func (f Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"algorithm"}
+	for _, mb := range f.Sizes {
+		header = append(header, fmt.Sprintf("%dMB", mb))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		row := []string{s.Alg}
+		for _, v := range s.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// figureJSON is the stable JSON shape of a figure.
+type figureJSON struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Unit    string       `json:"unit"`
+	SizesMB []int        `json:"cache_sizes_mb"`
+	Series  []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Algorithm string    `json:"algorithm"`
+	Values    []float64 `json:"values"`
+}
+
+// WriteJSON emits the figure as a JSON document.
+func (f Figure) WriteJSON(w io.Writer) error {
+	doc := figureJSON{ID: f.ID, Title: f.Title, Unit: f.Unit, SizesMB: f.Sizes}
+	for _, s := range f.Series {
+		doc.Series = append(doc.Series, seriesJSON{Algorithm: s.Alg, Values: s.Values})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeFigureJSON parses a figure previously written by WriteJSON,
+// for tools that post-process saved results.
+func DecodeFigureJSON(r io.Reader) (Figure, error) {
+	var doc figureJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return Figure{}, err
+	}
+	f := Figure{ID: doc.ID, Title: doc.Title, Unit: doc.Unit, Sizes: doc.SizesMB}
+	for _, s := range doc.Series {
+		if len(s.Values) != len(doc.SizesMB) {
+			return Figure{}, fmt.Errorf("experiment: series %q has %d values for %d sizes",
+				s.Algorithm, len(s.Values), len(doc.SizesMB))
+		}
+		f.Series = append(f.Series, Series{Alg: s.Algorithm, Values: s.Values})
+	}
+	return f, nil
+}

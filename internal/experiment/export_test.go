@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID: "fig4", Title: "t", Unit: "ms", Sizes: []int{1, 4},
+		Series: []Series{
+			{Alg: "NP", Values: []float64{2.5, 2.0}},
+			{Alg: "Ln_Agr_OBA", Values: []float64{1.25, 0.5}},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "algorithm,1MB,4MB" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "NP,2.5,2" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if lines[2] != "Ln_Agr_OBA,1.25,0.5" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sampleFigure()
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFigureJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != orig.ID || got.Title != orig.Title || got.Unit != orig.Unit {
+		t.Error("metadata lost in round trip")
+	}
+	if len(got.Series) != 2 || got.Series[0].Alg != "NP" || got.Series[1].Values[1] != 0.5 {
+		t.Errorf("series lost: %+v", got.Series)
+	}
+	if len(got.Sizes) != 2 || got.Sizes[0] != 1 {
+		t.Error("sizes lost")
+	}
+}
+
+func TestDecodeFigureJSONRejectsMismatchedSeries(t *testing.T) {
+	in := `{"id":"x","cache_sizes_mb":[1,2],"series":[{"algorithm":"NP","values":[1.0]}]}`
+	if _, err := DecodeFigureJSON(strings.NewReader(in)); err == nil {
+		t.Error("mismatched series length accepted")
+	}
+	if _, err := DecodeFigureJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

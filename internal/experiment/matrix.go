@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Matrix holds the results of one (workload, file system) sweep over
+// algorithms and cache sizes — the raw material of two figures (a
+// read-time figure and a disk-access figure) and, for CHARISMA/PAFS,
+// of Table 2 as well.
+type Matrix struct {
+	FS           FSKind
+	Workload     WorkloadKind
+	CacheSizesMB []int
+	AlgNames     []string // sweep order, the paper's legend order
+	// Results[algName][cacheMB]
+	Results map[string]map[int]Result
+}
+
+// Run sweeps algorithms × the scale's cache sizes for one (workload,
+// fs) pair, running cells in parallel across workers (0 = GOMAXPROCS).
+// Cells are independent simulations with fixed seeds, so parallelism
+// cannot change any number.
+func Run(s Scale, fs FSKind, wl WorkloadKind, algs []core.AlgSpec, workers int) (*Matrix, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &Matrix{
+		FS:           fs,
+		Workload:     wl,
+		CacheSizesMB: append([]int(nil), s.CacheSizesMB...),
+		Results:      make(map[string]map[int]Result),
+	}
+	var cells []Cell
+	for _, a := range algs {
+		m.AlgNames = append(m.AlgNames, a.Name())
+		m.Results[a.Name()] = make(map[int]Result)
+		for _, mb := range s.CacheSizesMB {
+			cells = append(cells, Cell{FS: fs, Workload: wl, Alg: a, CacheMB: mb})
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ch := make(chan Cell)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range ch {
+				res, err := RunCell(s, c)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", c, err)
+				}
+				if err == nil {
+					m.Results[c.Alg.Name()][c.CacheMB] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		ch <- c
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// Get returns the result for one algorithm at one cache size.
+func (m *Matrix) Get(algName string, cacheMB int) (Result, bool) {
+	row, ok := m.Results[algName]
+	if !ok {
+		return Result{}, false
+	}
+	r, ok := row[cacheMB]
+	return r, ok
+}
+
+// MustGet is Get that panics on absence (experiment-internal use).
+func (m *Matrix) MustGet(algName string, cacheMB int) Result {
+	r, ok := m.Get(algName, cacheMB)
+	if !ok {
+		panic(fmt.Sprintf("experiment: no result for %s @ %dMB", algName, cacheMB))
+	}
+	return r
+}

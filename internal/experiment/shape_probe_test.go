@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestShapeProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	s := SmallScale()
+	for _, alg := range core.StandardAlgorithms() {
+		for _, mb := range []int{1, 4, 16} {
+			r, err := RunCell(s, Cell{FS: PAFS, Workload: Charisma, Alg: alg, CacheMB: mb})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-16s %2dMB read=%7.3fms disk=%6d (r=%5d w=%5d) hit=%.3f pf=%5d mis=%.2f wpb=%.2f T=%6.2fs\n",
+				alg.Name(), mb, r.AvgReadMs, r.DiskAccesses, r.DiskReads, r.DiskWrites, r.HitRatio,
+				r.PrefetchIssued, r.MispredictionRatio, r.WritesPerBlock, r.SimTime.Seconds())
+		}
+	}
+}
+
+func TestShapeProbeSprite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	s := SmallScale()
+	for _, alg := range core.StandardAlgorithms() {
+		for _, mb := range []int{1, 4, 16} {
+			r, err := RunCell(s, Cell{FS: PAFS, Workload: Sprite, Alg: alg, CacheMB: mb})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-16s %2dMB read=%7.3fms disk=%6d (r=%5d w=%5d) hit=%.3f pf=%5d mis=%.2f fb=%.2f T=%6.2fs\n",
+				alg.Name(), mb, r.AvgReadMs, r.DiskAccesses, r.DiskReads, r.DiskWrites, r.HitRatio,
+				r.PrefetchIssued, r.MispredictionRatio, r.FallbackFraction, r.SimTime.Seconds())
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSpriteMisProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	s := SmallScale()
+	for _, alg := range []core.AlgSpec{core.SpecLnAgrOBA, core.SpecLnAgrISPPM1} {
+		r, err := RunCell(s, Cell{FS: PAFS, Workload: Sprite, Alg: alg, CacheMB: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-16s mis=%.3f pf=%d read=%.3f\n", alg.Name(), r.MispredictionRatio, r.PrefetchIssued, r.AvgReadMs)
+	}
+}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Suite runs matrices on demand and caches them, so the four
+// (workload, fs) sweeps regenerate all nine paper artifacts.
+type Suite struct {
+	Scale    Scale
+	Workers  int
+	Progress io.Writer // optional: per-matrix progress lines
+
+	matrices map[string]*Matrix
+}
+
+// NewSuite prepares a suite at the given scale.
+func NewSuite(s Scale, workers int) *Suite {
+	return &Suite{Scale: s, Workers: workers, matrices: make(map[string]*Matrix)}
+}
+
+func matrixKey(fs FSKind, wl WorkloadKind) string {
+	return fmt.Sprintf("%s/%s", wl, fs)
+}
+
+// Matrix returns (running if needed) the full standard-algorithm sweep
+// for one (fs, workload) pair. The standard sweep covers every figure
+// that reads from the pair.
+func (s *Suite) Matrix(fs FSKind, wl WorkloadKind) (*Matrix, error) {
+	key := matrixKey(fs, wl)
+	if m, ok := s.matrices[key]; ok {
+		return m, nil
+	}
+	if s.Progress != nil {
+		fmt.Fprintf(s.Progress, "running %s sweep (%d algorithms x %d cache sizes)...\n",
+			key, len(core.StandardAlgorithms()), len(s.Scale.CacheSizesMB))
+	}
+	m, err := Run(s.Scale, fs, wl, core.StandardAlgorithms(), s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.matrices[key] = m
+	return m, nil
+}
+
+// Figure runs whatever the artifact needs and renders it.
+func (s *Suite) Figure(id string) (Figure, error) {
+	fs, wl, err := MatrixKeyForFigure(id)
+	if err != nil {
+		return Figure{}, err
+	}
+	m, err := s.Matrix(fs, wl)
+	if err != nil {
+		return Figure{}, err
+	}
+	return BuildFigure(id, m)
+}
+
+// Claims checks the in-text quantitative claims of the paper against
+// the simulated results and renders a report (see DESIGN.md §4).
+func (s *Suite) Claims() (string, error) {
+	var b strings.Builder
+	b.WriteString("In-text claims (paper section -> measured)\n\n")
+
+	// §2.2: OBA-fallback share of prefetched blocks: <~1% CHARISMA
+	// (large files), ~25% Sprite (small files). Averaged over the
+	// prefetching algorithms that use IS_PPM.
+	chPafs, err := s.Matrix(PAFS, Charisma)
+	if err != nil {
+		return "", err
+	}
+	spPafs, err := s.Matrix(PAFS, Sprite)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  §2.2 fallback fraction, CHARISMA (paper: ~1%%): %.1f%%\n",
+		100*avgOver(chPafs, isppmAlgs(), func(r Result) float64 { return r.FallbackFraction }))
+	fmt.Fprintf(&b, "  §2.2 fallback fraction, Sprite   (paper: ~25%%): %.1f%%\n",
+		100*avgOver(spPafs, isppmAlgs(), func(r Result) float64 { return r.FallbackFraction }))
+
+	// §5.2: misprediction ratio at 4MB on Sprite/PAFS: Ln_Agr_OBA 32%
+	// vs Ln_Agr_IS_PPM 15%.
+	oba := spPafs.MustGet("Ln_Agr_OBA", 4)
+	isp := spPafs.MustGet("Ln_Agr_IS_PPM:1", 4)
+	fmt.Fprintf(&b, "  §5.2 misprediction @4MB Sprite/PAFS, Ln_Agr_OBA    (paper: 32%%): %.1f%%\n",
+		100*oba.MispredictionRatio)
+	fmt.Fprintf(&b, "  §5.2 misprediction @4MB Sprite/PAFS, Ln_Agr_IS_PPM (paper: 15%%): %.1f%%\n",
+		100*isp.MispredictionRatio)
+
+	// §5.2: xFS prefetches ~2x the blocks PAFS prefetches (CHARISMA).
+	chXfs, err := s.Matrix(XFS, Charisma)
+	if err != nil {
+		return "", err
+	}
+	var ratioSum float64
+	var n int
+	for _, alg := range []string{"Ln_Agr_OBA", "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:3"} {
+		for _, mb := range s.Scale.CacheSizesMB {
+			p := chPafs.MustGet(alg, mb).PrefetchIssued
+			x := chXfs.MustGet(alg, mb).PrefetchIssued
+			if p > 0 {
+				ratioSum += float64(x) / float64(p)
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(&b, "  §5.2 xFS/PAFS prefetched-block ratio, CHARISMA (paper: ~2x): %.2fx\n",
+			ratioSum/float64(n))
+	}
+
+	// §5.2: speed-up of the best aggressive algorithm over NP at the
+	// largest cache (paper: up to 4.6x on CHARISMA/PAFS).
+	large := s.Scale.CacheSizesMB[len(s.Scale.CacheSizesMB)-1]
+	np := chPafs.MustGet("NP", large).AvgReadMs
+	best := np
+	bestName := "NP"
+	for _, alg := range chPafs.AlgNames {
+		if v := chPafs.MustGet(alg, large).AvgReadMs; v < best {
+			best, bestName = v, alg
+		}
+	}
+	if best > 0 {
+		fmt.Fprintf(&b, "  §5.2 best speed-up over NP @%dMB CHARISMA/PAFS (paper: up to 4.6x): %.2fx (%s)\n",
+			large, np/best, bestName)
+	}
+	return b.String(), nil
+}
+
+func isppmAlgs() []string {
+	return []string{"IS_PPM:1", "Ln_Agr_IS_PPM:1", "IS_PPM:3", "Ln_Agr_IS_PPM:3"}
+}
+
+func avgOver(m *Matrix, algs []string, f func(Result) float64) float64 {
+	var sum float64
+	var n int
+	for _, a := range algs {
+		for mb, r := range m.Results[a] {
+			_ = mb
+			sum += f(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RenderAll runs everything and renders every artifact plus the claims
+// report, in paper order.
+func (s *Suite) RenderAll() (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 1: Simulation parameters (paper values)\n")
+	b.WriteString(Table1())
+	b.WriteByte('\n')
+	for _, id := range FigureIDs() {
+		fig, err := s.Figure(id)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(fig.Render())
+		b.WriteByte('\n')
+	}
+	claims, err := s.Claims()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(claims)
+	return b.String(), nil
+}
+
+// SummaryByAlg renders, for diagnostics, all scalar metrics of one
+// matrix sorted by algorithm then cache size.
+func SummaryByAlg(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s\n", m.Workload, m.FS)
+	algs := append([]string(nil), m.AlgNames...)
+	if len(algs) == 0 {
+		for a := range m.Results {
+			algs = append(algs, a)
+		}
+		sort.Strings(algs)
+	}
+	for _, a := range algs {
+		for _, mb := range m.CacheSizesMB {
+			r, ok := m.Get(a, mb)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-18s %2dMB  read=%7.3fms  disk=%8d (r=%d w=%d)  hit=%.2f  pf=%7d  fb=%.2f  mis=%.2f  T=%8.3fs\n",
+				a, mb, r.AvgReadMs, r.DiskAccesses, r.DiskReads, r.DiskWrites,
+				r.HitRatio, r.PrefetchIssued, r.FallbackFraction, r.MispredictionRatio,
+				r.SimTime.Seconds())
+		}
+	}
+	return b.String()
+}

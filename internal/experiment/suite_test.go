@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestSuiteRenderAllContainsEverything(t *testing.T) {
+	suite := NewSuite(TinyScale(), 0)
+	var progress bytes.Buffer
+	suite.Progress = &progress
+	out, err := suite.RenderAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1", "paper Fig. 4", "paper Fig. 5", "paper Fig. 6",
+		"paper Fig. 7", "paper Fig. 8", "paper Fig. 9", "paper Fig. 10",
+		"paper Fig. 11", "paper Table 2", "In-text claims",
+		"fallback fraction", "misprediction", "prefetched-block ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+	// Progress lines: one per (workload, fs) sweep.
+	if got := strings.Count(progress.String(), "running"); got != 4 {
+		t.Errorf("%d progress lines, want 4", got)
+	}
+}
+
+func TestSuiteClaimsValuesInRange(t *testing.T) {
+	suite := NewSuite(TinyScale(), 0)
+	out, err := suite.Claims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"§2.2", "§5.2", "%", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("claims missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryByAlg(t *testing.T) {
+	suite := NewSuite(TinyScale(), 0)
+	m, err := suite.Matrix(PAFS, Sprite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SummaryByAlg(m)
+	if !strings.Contains(out, "Sprite on PAFS") {
+		t.Error("summary header missing")
+	}
+	for _, alg := range []string{"NP", "Ln_Agr_IS_PPM:3"} {
+		if !strings.Contains(out, alg) {
+			t.Errorf("summary missing %s", alg)
+		}
+	}
+	if !strings.Contains(out, "read=") || !strings.Contains(out, "disk=") {
+		t.Error("summary metrics missing")
+	}
+}
+
+func TestSummaryByAlgWithoutNameOrder(t *testing.T) {
+	// A matrix assembled by hand (no AlgNames) must still render, in
+	// sorted algorithm order.
+	m := &Matrix{
+		FS: PAFS, Workload: Sprite,
+		CacheSizesMB: []int{1},
+		Results: map[string]map[int]Result{
+			"B": {1: {}},
+			"A": {1: {}},
+		},
+	}
+	out := SummaryByAlg(m)
+	if strings.Index(out, "A") > strings.Index(out, "B") {
+		t.Error("fallback ordering not sorted")
+	}
+}
+
+func TestMustGetPanicsOnMissing(t *testing.T) {
+	m := &Matrix{Results: map[string]map[int]Result{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic")
+		}
+	}()
+	m.MustGet("NP", 1)
+}
+
+func TestRunTraceRejectsMismatchedMachine(t *testing.T) {
+	s := TinyScale()
+	tr, err := runTraceFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := s.NOW
+	mach.Nodes = 1 // trace uses more nodes
+	cell := Cell{FS: PAFS, Workload: Sprite, Alg: core.SpecNP, CacheMB: 1}
+	if _, err := RunTrace(tr, mach, cell, 0); err == nil {
+		t.Error("trace on too-small machine accepted")
+	}
+}
+
+func TestRunTraceMatchesRunCell(t *testing.T) {
+	s := TinyScale()
+	tr, err := runTraceFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{FS: PAFS, Workload: Sprite, Alg: core.SpecLnAgrOBA, CacheMB: 4}
+	direct, err := RunCell(s, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTrace, err := RunTrace(tr, s.NOW, cell, s.WarmFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != viaTrace {
+		t.Error("RunTrace with the generated trace differs from RunCell")
+	}
+}
+
+func runTraceFor(s Scale) (*workload.Trace, error) {
+	return workload.GenerateSprite(s.Sprite)
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestWpbProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, period := range []float64{8, 12, 16, 24} {
+		s := SmallScale()
+		s.Charisma.Phases = 8
+		s.Charisma.WritePhaseEvery = 4
+		s.Charisma.WriteRunLength = 2
+		s.PM.WritebackPeriod = sim.Seconds(period)
+		for _, alg := range []core.AlgSpec{core.SpecNP, core.SpecLnAgrOBA, core.SpecLnAgrISPPM1} {
+			r, err := RunCell(s, Cell{FS: PAFS, Workload: Charisma, Alg: alg, CacheMB: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("period=%2.0fs %-16s wpb=%.3f writes=%6d T=%5.1fs read=%6.2fms\n",
+				period, alg.Name(), r.WritesPerBlock, r.DiskWrites, r.SimTime.Seconds(), r.AvgReadMs)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestXfsProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	s := SmallScale()
+	for _, alg := range []core.AlgSpec{core.SpecNP, core.SpecLnAgrOBA, core.SpecLnAgrISPPM1, core.SpecISPPM1} {
+		for _, mb := range []int{1, 4, 16} {
+			r, err := RunCell(s, Cell{FS: XFS, Workload: Charisma, Alg: alg, CacheMB: mb})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("xFS %-16s %2dMB read=%7.3fms disk=%6d hit=%.3f pf=%6d mis=%.2f T=%6.1fs\n",
+				alg.Name(), mb, r.AvgReadMs, r.DiskAccesses, r.HitRatio, r.PrefetchIssued, r.MispredictionRatio, r.SimTime.Seconds())
+		}
+	}
+}
+
+func TestFullScaleCellCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	s := FullScale()
+	start := time.Now()
+	r, err := RunCell(s, Cell{FS: PAFS, Workload: Charisma, Alg: core.SpecLnAgrISPPM1, CacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full-scale cell: wall=%v read=%.2fms disk=%d reads=%d\n", time.Since(start), r.AvgReadMs, r.DiskAccesses, r.Reads)
+}

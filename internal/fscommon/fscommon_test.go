@@ -1,0 +1,198 @@
+package fscommon_test
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/fscommon"
+	"repro/internal/machine"
+	"repro/internal/pafs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xfs"
+)
+
+func smallMachine() machine.Config {
+	cfg := machine.PM()
+	cfg.Nodes = 4
+	cfg.Disks = 2
+	cfg.WritebackPeriod = sim.Seconds(1)
+	return cfg
+}
+
+// seqTrace builds a trace of two processes sequentially scanning their
+// own file.
+func seqTrace(blocksPerFile int, steps int) *workload.Trace {
+	tr := &workload.Trace{
+		Name: "seq",
+		FileBlocks: map[blockdev.FileID]blockdev.BlockNo{
+			0: blockdev.BlockNo(blocksPerFile),
+			1: blockdev.BlockNo(blocksPerFile),
+		},
+	}
+	for p := 0; p < 2; p++ {
+		proc := workload.Process{Node: blockdev.NodeID(p)}
+		for i := 0; i < steps; i++ {
+			proc.Steps = append(proc.Steps, workload.Step{
+				Think:  sim.Milliseconds(1),
+				Kind:   workload.OpRead,
+				File:   blockdev.FileID(p),
+				Offset: int64(i%blocksPerFile) * 8192,
+				Size:   8192,
+			})
+		}
+		tr.Procs = append(tr.Procs, proc)
+	}
+	return tr
+}
+
+func TestRunnerCompletesTrace(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(32, 50)
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 64,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	r := fscommon.NewRunner(fs, tr, fscommon.RunnerConfig{})
+	r.Run(e)
+	if !r.Done() {
+		t.Fatal("runner did not complete the trace")
+	}
+	if r.CompletedSteps() != tr.TotalSteps() {
+		t.Errorf("completed %d steps, want %d", r.CompletedSteps(), tr.TotalSteps())
+	}
+	if got := fs.Collector().Reads(); got != uint64(tr.TotalSteps()) {
+		t.Errorf("collector saw %d reads, want %d", got, tr.TotalSteps())
+	}
+}
+
+func TestRunnerWarmupGatesMeasurement(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(32, 50)
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 64,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	r := fscommon.NewRunner(fs, tr, fscommon.RunnerConfig{WarmFraction: 0.5})
+	r.Run(e)
+	if !r.Done() {
+		t.Fatal("runner did not complete")
+	}
+	total := uint64(tr.TotalSteps())
+	got := fs.Collector().Reads()
+	if got >= total || got == 0 {
+		t.Errorf("measured %d of %d reads; warm-up gating broken", got, total)
+	}
+}
+
+func TestRunnerClosedLoopOrdering(t *testing.T) {
+	// With a closed loop, a process's steps complete strictly in
+	// order; hits later in the trace require the earlier fetch.
+	e := sim.NewEngine(1)
+	tr := seqTrace(8, 24) // wraps the 8-block file 3 times
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 64,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	r := fscommon.NewRunner(fs, tr, fscommon.RunnerConfig{})
+	r.Run(e)
+	// 8 distinct blocks per file: only the first pass misses.
+	if got := fs.Collector().DiskDemandReads(); got != 16 {
+		t.Errorf("demand reads = %d, want 16 (8 per file)", got)
+	}
+}
+
+func TestRunnerMaxSimTimeBounds(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(32, 5000)
+	fs := xfs.New(e, xfs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 64,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	r := fscommon.NewRunner(fs, tr, fscommon.RunnerConfig{MaxSimTime: sim.Time(sim.Milliseconds(50))})
+	end := r.Run(e)
+	if r.Done() {
+		t.Error("runner claimed completion despite the time bound")
+	}
+	if end > sim.Time(sim.Seconds(1)) {
+		t.Errorf("simulation ran to %v despite 50ms bound", end)
+	}
+}
+
+func TestRunnerRejectsBadWarmFraction(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(4, 4)
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 8,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	for _, f := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("warm fraction %v accepted", f)
+				}
+			}()
+			fscommon.NewRunner(fs, tr, fscommon.RunnerConfig{WarmFraction: f})
+		}()
+	}
+}
+
+func TestBaseHostOfInRange(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(4, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 8,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	for b := 0; b < 16; b++ {
+		n := fs.HostOf(blockdev.BlockID{File: 0, Block: blockdev.BlockNo(b)})
+		if int(n) < 0 || int(n) >= fs.Cfg.Nodes {
+			t.Errorf("HostOf block %d = node %d out of range", b, n)
+		}
+	}
+}
+
+func TestBaseFileBlocksPanicsOnUnknownFile(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(4, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 8,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown file did not panic")
+		}
+	}()
+	fs.FileBlocks(999)
+}
+
+func TestFinalFlushDrainsDirtyState(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(8, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 16,
+		Algorithm:          core.SpecNP,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.Write(0, blockdev.Span{File: 0, Start: 0, Count: 3}, func(sim.Time) {})
+	e.Run()
+	fs.FinalFlush()
+	e.Run()
+	if got := fs.Collector().DiskWrites(); got != 3 {
+		t.Errorf("disk writes = %d, want 3 after final flush", got)
+	}
+	if len(fs.Cache().DirtyBlocks()) != 0 {
+		t.Error("dirty state survived FinalFlush")
+	}
+}

@@ -1,0 +1,134 @@
+package fscommon
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunnerConfig controls trace replay.
+type RunnerConfig struct {
+	// WarmFraction is the share of total requests completed before the
+	// measurement window opens (the paper warms the cache with the
+	// first hours of each trace). 0 measures everything.
+	WarmFraction float64
+	// MaxSimTime aborts a runaway simulation; zero means no limit.
+	MaxSimTime sim.Time
+}
+
+// Runner replays a trace against a file system: every process is a
+// closed loop (think, issue, wait) so I/O speedups shorten the run.
+type Runner struct {
+	fs    FileSystem
+	trace *workload.Trace
+	cfg   RunnerConfig
+
+	totalSteps     int
+	completedSteps int
+	warmThreshold  int
+	finishedProcs  int
+	aborted        bool
+}
+
+// NewRunner prepares a replay. It panics on an invalid warm fraction.
+func NewRunner(fs FileSystem, tr *workload.Trace, cfg RunnerConfig) *Runner {
+	if cfg.WarmFraction < 0 || cfg.WarmFraction >= 1 {
+		panic(fmt.Sprintf("fscommon: warm fraction %v outside [0,1)", cfg.WarmFraction))
+	}
+	total := tr.TotalSteps()
+	r := &Runner{
+		fs:            fs,
+		trace:         tr,
+		cfg:           cfg,
+		totalSteps:    total,
+		warmThreshold: int(cfg.WarmFraction * float64(total)),
+	}
+	return r
+}
+
+// Run replays the whole trace to completion on the engine and returns
+// the final simulated time. The file system's collector starts
+// measuring once the warm threshold is crossed (immediately if 0).
+func (r *Runner) Run(e *sim.Engine) sim.Time {
+	r.fs.Start()
+	if r.warmThreshold == 0 {
+		r.fs.Collector().StartMeasurement()
+	}
+	for i := range r.trace.Procs {
+		p := &r.trace.Procs[i]
+		r.scheduleStep(e, p, 0)
+	}
+	stop := func() bool { return r.Done() }
+	if r.cfg.MaxSimTime > 0 {
+		end := r.cfg.MaxSimTime
+		stop = func() bool { return r.Done() || e.Now() > end }
+	}
+	e.RunUntil(stop)
+	// The trace is finished (or the bound hit): stop issuing new
+	// steps, end the write-back daemon, and drain whatever is still in
+	// flight — trailing demand fetches, prefetch chains walking to end
+	// of file, queued flushes.
+	r.aborted = true
+	r.fs.StopBackground()
+	return e.Run()
+}
+
+// Done reports whether every process completed its steps.
+func (r *Runner) Done() bool { return r.finishedProcs == len(r.trace.Procs) }
+
+// CompletedSteps returns how many requests have finished.
+func (r *Runner) CompletedSteps() int { return r.completedSteps }
+
+func (r *Runner) scheduleStep(e *sim.Engine, p *workload.Process, idx int) {
+	if r.aborted {
+		return
+	}
+	if idx >= len(p.Steps) {
+		r.finishedProcs++
+		return
+	}
+	step := p.Steps[idx]
+	e.After(step.Think, func(e *sim.Engine) {
+		issue := e.Now()
+		complete := func(at sim.Time) {
+			latency := at.Sub(issue)
+			coll := r.fs.Collector()
+			switch step.Kind {
+			case workload.OpRead:
+				coll.ReadDone(latency)
+			case workload.OpWrite:
+				coll.WriteDone(latency)
+			}
+			r.completedSteps++
+			if r.completedSteps == r.warmThreshold {
+				coll.StartMeasurement()
+			}
+			r.scheduleStep(e, p, idx+1)
+		}
+		switch step.Kind {
+		case workload.OpRead:
+			r.fs.Read(p.Node, blockSpan(r.fs, step), complete)
+		case workload.OpWrite:
+			r.fs.Write(p.Node, blockSpan(r.fs, step), complete)
+		case workload.OpClose:
+			r.fs.Close(p.Node, step.File, complete)
+		}
+	})
+}
+
+// spanner lets Runner convert steps without knowing the concrete FS;
+// both file systems satisfy it through their embedded Base.
+type spanner interface {
+	SpanOf(workload.Step) blockdev.Span
+}
+
+// blockSpan converts a step via the FS's Base.
+func blockSpan(fs FileSystem, step workload.Step) blockdev.Span {
+	s, ok := fs.(spanner)
+	if !ok {
+		panic("fscommon: file system does not expose SpanOf")
+	}
+	return s.SpanOf(step)
+}

@@ -1,0 +1,148 @@
+package fscommon_test
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/pafs"
+	"repro/internal/sim"
+	"repro/internal/xfs"
+)
+
+func TestWritebackSmearedAcrossPeriod(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := smallMachine()
+	cfg.WritebackPeriod = sim.Seconds(10)
+	tr := seqTrace(64, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine: cfg, CacheBlocksPerNode: 256, Algorithm: core.SpecNP,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.Start()
+	// Dirty 16 blocks at t=0.
+	fs.Write(0, blockdev.Span{File: 0, Start: 0, Count: 16}, func(sim.Time) {})
+	// At the first tick (t=10s) the flushes must be spread across
+	// [10s, 20s), not all issued at the tick.
+	e.RunUntil(func() bool { return e.Now() > sim.Time(sim.Seconds(10.5)) })
+	early := fs.Collector().DiskWrites()
+	if early == 16 {
+		t.Error("all flushes issued in a burst at the tick")
+	}
+	e.RunUntil(func() bool { return e.Now() > sim.Time(sim.Seconds(21)) })
+	if got := fs.Collector().DiskWrites(); got != 16 {
+		t.Errorf("flushes after a full period = %d, want 16", got)
+	}
+}
+
+func TestStopBackgroundStopsDaemonAndMeasurement(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := smallMachine()
+	tr := seqTrace(16, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine: cfg, CacheBlocksPerNode: 64, Algorithm: core.SpecNP,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.Start()
+	if fs.Stopped() {
+		t.Error("Stopped before StopBackground")
+	}
+	fs.Write(0, blockdev.Span{File: 0, Start: 0, Count: 2}, func(sim.Time) {})
+	fs.StopBackground()
+	if !fs.Stopped() {
+		t.Error("Stopped false after StopBackground")
+	}
+	if fs.Collector().Measuring() {
+		t.Error("collector still measuring after StopBackground")
+	}
+	// Draining must terminate even though dirty blocks remain.
+	if !e.RunLimit(100000) {
+		t.Error("event queue did not drain after StopBackground")
+	}
+	if fs.Collector().DiskWrites() != 0 {
+		t.Error("stopped daemon still flushed")
+	}
+}
+
+func TestStoppedFSIgnoresPrefetch(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(64, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine: smallMachine(), CacheBlocksPerNode: 256, Algorithm: core.SpecLnAgrOBA,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.StopBackground()
+	fs.Read(0, blockdev.Span{File: 0, Start: 0, Count: 1}, func(sim.Time) {})
+	e.Run()
+	// The demand read happens; the chain must not start.
+	if got := fs.Collector().PrefetchIssuedCount(); got != 0 {
+		t.Errorf("stopped FS issued %d prefetches", got)
+	}
+}
+
+func TestStoppedXFSIgnoresPrefetch(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(64, 1)
+	fs := xfs.New(e, xfs.Config{
+		Machine: smallMachine(), CacheBlocksPerNode: 256, Algorithm: core.SpecLnAgrOBA,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.StopBackground()
+	fs.Read(0, blockdev.Span{File: 0, Start: 0, Count: 1}, func(sim.Time) {})
+	e.Run()
+	if got := fs.Collector().PrefetchIssuedCount(); got != 0 {
+		t.Errorf("stopped xFS issued %d prefetches", got)
+	}
+}
+
+func TestCloseStopsChainPAFS(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(512, 1)
+	fs := pafs.New(e, pafs.Config{
+		Machine: smallMachine(), CacheBlocksPerNode: 1024, Algorithm: core.SpecLnAgrOBA,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.Read(0, blockdev.Span{File: 0, Start: 0, Count: 1}, func(sim.Time) {})
+	// Let a few prefetches through, then close: the chain must stop
+	// well before the end of the 512-block file.
+	e.RunUntil(func() bool { return fs.Collector().DiskPrefetchReads() >= 3 })
+	closed := false
+	fs.Close(0, 0, func(sim.Time) { closed = true })
+	e.Run()
+	if !closed {
+		t.Fatal("close never completed")
+	}
+	if got := fs.Collector().DiskPrefetchReads(); got > 20 {
+		t.Errorf("%d prefetch reads after close; chain did not stop", got)
+	}
+	// A new request resumes prefetching.
+	before := fs.Collector().DiskPrefetchReads()
+	fs.Read(0, blockdev.Span{File: 0, Start: 100, Count: 1}, func(sim.Time) {})
+	e.RunUntil(func() bool { return fs.Collector().DiskPrefetchReads() > before+2 })
+	if fs.Collector().DiskPrefetchReads() <= before {
+		t.Error("chain did not resume after reopen")
+	}
+	fs.StopBackground()
+	e.Run()
+}
+
+func TestCloseStopsOnlyThatNodeXFS(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := seqTrace(512, 1)
+	fs := xfs.New(e, xfs.Config{
+		Machine: smallMachine(), CacheBlocksPerNode: 1024, Algorithm: core.SpecLnAgrOBA,
+	}, tr)
+	fs.Collector().StartMeasurement()
+	fs.Read(0, blockdev.Span{File: 0, Start: 0, Count: 1}, func(sim.Time) {})
+	fs.Read(1, blockdev.Span{File: 0, Start: 0, Count: 1}, func(sim.Time) {})
+	e.RunUntil(func() bool { return fs.Collector().DiskPrefetchReads() >= 6 })
+	// Node 0 closes; node 1's chain keeps walking.
+	fs.Close(0, 0, func(sim.Time) {})
+	before := fs.Collector().PrefetchIssuedCount()
+	e.RunUntil(func() bool { return fs.Collector().PrefetchIssuedCount() > before+5 })
+	if fs.Collector().PrefetchIssuedCount() <= before {
+		t.Error("closing one node's file stopped every chain")
+	}
+	fs.StopBackground()
+	e.Run()
+}

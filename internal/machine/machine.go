@@ -1,0 +1,137 @@
+// Package machine holds the simulated-architecture parameter sets of
+// the paper's Table 1: the parallel machine (PM) used for the CHARISMA
+// workload and the network of workstations (NOW) used for the Sprite
+// workload.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Config is one column of the paper's Table 1 plus the derived
+// write-back period used by the cooperative caches' fault-tolerance
+// daemon (§5.3 explains blocks are "periodically sent to the disk").
+type Config struct {
+	Name string // "PM" or "NOW"
+
+	Nodes     int   // machine size
+	BlockSize int64 // cache buffer & disk block size, bytes
+
+	MemoryBandwidth  float64 // MB/s, for local memory copies
+	NetworkBandwidth float64 // MB/s, across the interconnect
+
+	LocalPortStartup  sim.Duration // message startup, same node
+	RemotePortStartup sim.Duration // message startup, across network
+	LocalCopyStartup  sim.Duration // memory-copy startup, same node
+	RemoteCopyStartup sim.Duration // memory-copy startup, remote
+
+	Disks         int          // number of disks in the machine
+	DiskBandwidth float64      // MB/s
+	DiskReadSeek  sim.Duration // per read operation
+	DiskWriteSeek sim.Duration // per write operation
+
+	// WritebackPeriod is how often the cache daemon flushes dirty
+	// blocks to disk for fault tolerance. Not in Table 1; the classic
+	// Unix/Sprite 30-second sync policy is used.
+	WritebackPeriod sim.Duration
+}
+
+// PM returns the parallel-machine column of Table 1 (the architecture
+// the CHARISMA workload runs on).
+func PM() Config {
+	return Config{
+		Name:              "PM",
+		Nodes:             128,
+		BlockSize:         8 * 1024,
+		MemoryBandwidth:   500,
+		NetworkBandwidth:  200,
+		LocalPortStartup:  sim.Microseconds(2),
+		RemotePortStartup: sim.Microseconds(10),
+		LocalCopyStartup:  sim.Microseconds(1),
+		RemoteCopyStartup: sim.Microseconds(5),
+		Disks:             16,
+		DiskBandwidth:     10,
+		DiskReadSeek:      sim.Milliseconds(10.5),
+		DiskWriteSeek:     sim.Milliseconds(12.5),
+		WritebackPeriod:   sim.Seconds(30),
+	}
+}
+
+// NOW returns the network-of-workstations column of Table 1 (the
+// architecture the Sprite workload runs on), modelled after the NOW
+// used by Dahlin et al.
+func NOW() Config {
+	return Config{
+		Name:              "NOW",
+		Nodes:             50,
+		BlockSize:         8 * 1024,
+		MemoryBandwidth:   40,
+		NetworkBandwidth:  19.4,
+		LocalPortStartup:  sim.Microseconds(50),
+		RemotePortStartup: sim.Microseconds(100),
+		LocalCopyStartup:  sim.Microseconds(25),
+		RemoteCopyStartup: sim.Microseconds(50),
+		Disks:             8,
+		DiskBandwidth:     10,
+		DiskReadSeek:      sim.Milliseconds(10.5),
+		DiskWriteSeek:     sim.Milliseconds(12.5),
+		WritebackPeriod:   sim.Seconds(30),
+	}
+}
+
+// CacheBlocksPerNode converts a per-node cache size in megabytes (the
+// x-axis of every figure) to a block count under this configuration.
+func (c Config) CacheBlocksPerNode(megabytes int) int {
+	return int(int64(megabytes) * 1024 * 1024 / c.BlockSize)
+}
+
+// Validate reports a configuration error, if any. All experiments call
+// it before constructing a simulation.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("machine %s: nodes = %d", c.Name, c.Nodes)
+	case c.Disks <= 0:
+		return fmt.Errorf("machine %s: disks = %d", c.Name, c.Disks)
+	case c.BlockSize <= 0:
+		return fmt.Errorf("machine %s: block size = %d", c.Name, c.BlockSize)
+	case c.MemoryBandwidth <= 0 || c.NetworkBandwidth <= 0 || c.DiskBandwidth <= 0:
+		return fmt.Errorf("machine %s: non-positive bandwidth", c.Name)
+	case c.LocalPortStartup < 0 || c.RemotePortStartup < 0 ||
+		c.LocalCopyStartup < 0 || c.RemoteCopyStartup < 0:
+		return fmt.Errorf("machine %s: negative startup", c.Name)
+	case c.DiskReadSeek < 0 || c.DiskWriteSeek < 0:
+		return fmt.Errorf("machine %s: negative seek", c.Name)
+	case c.WritebackPeriod <= 0:
+		return fmt.Errorf("machine %s: write-back period = %v", c.Name, c.WritebackPeriod)
+	}
+	return nil
+}
+
+// Table1 renders both configurations side by side in the layout of the
+// paper's Table 1; `lapbench -exp table1` prints it.
+func Table1() string {
+	pm, now := PM(), NOW()
+	var b strings.Builder
+	row := func(label, pmVal, nowVal string) {
+		fmt.Fprintf(&b, "%-28s %14s %14s\n", label, pmVal, nowVal)
+	}
+	row("", "PM", "NOW")
+	row("Nodes", fmt.Sprint(pm.Nodes), fmt.Sprint(now.Nodes))
+	row("Buffer Size", "8 KB", "8 KB")
+	row("Memory Bandwidth", fmt.Sprintf("%g MB/s", pm.MemoryBandwidth), fmt.Sprintf("%g MB/s", now.MemoryBandwidth))
+	row("Network Bandwidth", fmt.Sprintf("%g MB/s", pm.NetworkBandwidth), fmt.Sprintf("%g MB/s", now.NetworkBandwidth))
+	row("Local-Port Startup", fmt.Sprintf("%g us", pm.LocalPortStartup.Microseconds()), fmt.Sprintf("%g us", now.LocalPortStartup.Microseconds()))
+	row("Remote-Port Startup", fmt.Sprintf("%g us", pm.RemotePortStartup.Microseconds()), fmt.Sprintf("%g us", now.RemotePortStartup.Microseconds()))
+	row("Local Memory copy Startup", fmt.Sprintf("%g us", pm.LocalCopyStartup.Microseconds()), fmt.Sprintf("%g us", now.LocalCopyStartup.Microseconds()))
+	row("Remote Memory copy Startup", fmt.Sprintf("%g us", pm.RemoteCopyStartup.Microseconds()), fmt.Sprintf("%g us", now.RemoteCopyStartup.Microseconds()))
+	row("Number of Disks", fmt.Sprint(pm.Disks), fmt.Sprint(now.Disks))
+	row("Disk-Block Size", "8 KB", "8 KB")
+	row("Disk Bandwidth", fmt.Sprintf("%g MB/s", pm.DiskBandwidth), fmt.Sprintf("%g MB/s", now.DiskBandwidth))
+	row("Disk Read Seek", fmt.Sprintf("%g ms", pm.DiskReadSeek.Milliseconds()), fmt.Sprintf("%g ms", now.DiskReadSeek.Milliseconds()))
+	row("Disk Write Seek", fmt.Sprintf("%g ms", pm.DiskWriteSeek.Milliseconds()), fmt.Sprintf("%g ms", now.DiskWriteSeek.Milliseconds()))
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPMMatchesTable1(t *testing.T) {
+	c := PM()
+	if c.Nodes != 128 {
+		t.Errorf("PM nodes = %d, want 128", c.Nodes)
+	}
+	if c.BlockSize != 8192 {
+		t.Errorf("PM block size = %d, want 8192", c.BlockSize)
+	}
+	if c.MemoryBandwidth != 500 || c.NetworkBandwidth != 200 {
+		t.Error("PM bandwidths wrong")
+	}
+	if c.LocalPortStartup != sim.Microseconds(2) || c.RemotePortStartup != sim.Microseconds(10) {
+		t.Error("PM port startups wrong")
+	}
+	if c.LocalCopyStartup != sim.Microseconds(1) || c.RemoteCopyStartup != sim.Microseconds(5) {
+		t.Error("PM copy startups wrong")
+	}
+	if c.Disks != 16 || c.DiskBandwidth != 10 {
+		t.Error("PM disk params wrong")
+	}
+	if c.DiskReadSeek != sim.Milliseconds(10.5) || c.DiskWriteSeek != sim.Milliseconds(12.5) {
+		t.Error("PM seeks wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("PM invalid: %v", err)
+	}
+}
+
+func TestNOWMatchesTable1(t *testing.T) {
+	c := NOW()
+	if c.Nodes != 50 || c.Disks != 8 {
+		t.Errorf("NOW nodes/disks = %d/%d, want 50/8", c.Nodes, c.Disks)
+	}
+	if c.MemoryBandwidth != 40 || c.NetworkBandwidth != 19.4 {
+		t.Error("NOW bandwidths wrong")
+	}
+	if c.LocalPortStartup != sim.Microseconds(50) || c.RemotePortStartup != sim.Microseconds(100) {
+		t.Error("NOW port startups wrong")
+	}
+	if c.LocalCopyStartup != sim.Microseconds(25) || c.RemoteCopyStartup != sim.Microseconds(50) {
+		t.Error("NOW copy startups wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("NOW invalid: %v", err)
+	}
+}
+
+func TestCacheBlocksPerNode(t *testing.T) {
+	c := PM()
+	// 1 MB / 8 KB = 128 blocks; 16 MB = 2048 blocks.
+	if got := c.CacheBlocksPerNode(1); got != 128 {
+		t.Errorf("1 MB = %d blocks, want 128", got)
+	}
+	if got := c.CacheBlocksPerNode(16); got != 2048 {
+		t.Errorf("16 MB = %d blocks, want 2048", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Disks = 0 },
+		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.MemoryBandwidth = 0 },
+		func(c *Config) { c.NetworkBandwidth = -1 },
+		func(c *Config) { c.DiskBandwidth = 0 },
+		func(c *Config) { c.LocalPortStartup = -1 },
+		func(c *Config) { c.RemotePortStartup = -1 },
+		func(c *Config) { c.LocalCopyStartup = -1 },
+		func(c *Config) { c.RemoteCopyStartup = -1 },
+		func(c *Config) { c.DiskReadSeek = -1 },
+		func(c *Config) { c.DiskWriteSeek = -1 },
+		func(c *Config) { c.WritebackPeriod = 0 },
+	}
+	for i, mut := range mutations {
+		c := PM()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"PM", "NOW", "128", "50", "10.5 ms", "12.5 ms", "19.4 MB/s", "200 MB/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package netmodel implements the paper's communication model
+// (§5.1): every message costs a constant startup (different for
+// intra-node and cross-network communication) plus a data-transfer
+// time proportional to the message size and the interconnect
+// bandwidth. Cross-network transfers contend for the sending node's
+// network port, which is a serial resource; intra-node copies contend
+// only for the memory bus, modelled as uncontended (memory bandwidth
+// is far above any per-node demand in these workloads).
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Network models the machine interconnect.
+type Network struct {
+	cfg    machine.Config
+	engine *sim.Engine
+	ports  []*sim.Resource
+
+	msgsLocal  uint64
+	msgsRemote uint64
+	bytesMoved uint64
+}
+
+// New builds the interconnect for the given machine configuration.
+func New(e *sim.Engine, cfg machine.Config) *Network {
+	n := &Network{cfg: cfg, engine: e, ports: make([]*sim.Resource, cfg.Nodes)}
+	for i := range n.ports {
+		n.ports[i] = sim.NewResource(e, fmt.Sprintf("port%d", i))
+	}
+	return n
+}
+
+// LocalCost returns the time to move size bytes within one node: port
+// startup + copy startup + size over the memory bandwidth.
+func (n *Network) LocalCost(size int64) sim.Duration {
+	return n.cfg.LocalPortStartup + n.cfg.LocalCopyStartup +
+		sim.TransferTime(size, n.cfg.MemoryBandwidth)
+}
+
+// RemoteCost returns the uncontended time to move size bytes between
+// two nodes: remote startups + size over the network bandwidth.
+func (n *Network) RemoteCost(size int64) sim.Duration {
+	return n.cfg.RemotePortStartup + n.cfg.RemoteCopyStartup +
+		sim.TransferTime(size, n.cfg.NetworkBandwidth)
+}
+
+// Send delivers a message of size bytes from node from to node to and
+// invokes done at arrival time. Intra-node messages bypass the network
+// port; cross-network messages serialize on the sender's port for the
+// transfer duration, so a node pumping many blocks queues behind
+// itself.
+func (n *Network) Send(from, to blockdev.NodeID, size int64, done func(e *sim.Engine, at sim.Time)) {
+	if int(from) < 0 || int(from) >= len(n.ports) || int(to) < 0 || int(to) >= len(n.ports) {
+		panic(fmt.Sprintf("netmodel: send %d -> %d outside machine of %d nodes", from, to, len(n.ports)))
+	}
+	n.bytesMoved += uint64(size)
+	if from == to {
+		n.msgsLocal++
+		n.engine.After(n.LocalCost(size), func(e *sim.Engine) { done(e, e.Now()) })
+		return
+	}
+	n.msgsRemote++
+	n.ports[from].Submit(&sim.Request{
+		Service:  n.RemoteCost(size),
+		Priority: sim.PriorityUser,
+		Done:     done,
+	})
+}
+
+// MessagesLocal returns the count of intra-node messages delivered.
+func (n *Network) MessagesLocal() uint64 { return n.msgsLocal }
+
+// MessagesRemote returns the count of cross-network messages delivered.
+func (n *Network) MessagesRemote() uint64 { return n.msgsRemote }
+
+// BytesMoved returns the total payload bytes moved, local and remote.
+func (n *Network) BytesMoved() uint64 { return n.bytesMoved }
+
+// ControlMessageSize is the size charged for request/response control
+// messages (RPC headers) as opposed to block payloads.
+const ControlMessageSize int64 = 128

@@ -1,0 +1,104 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestLocalCostFormula(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.PM())
+	// PM: 2us + 1us + 8192B/500MB/s = 3us + 16.384us = 19.384us.
+	got := n.LocalCost(8192)
+	want := sim.Microseconds(2) + sim.Microseconds(1) + sim.TransferTime(8192, 500)
+	if got != want {
+		t.Errorf("LocalCost(8192) = %v, want %v", got, want)
+	}
+}
+
+func TestRemoteCostFormula(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.NOW())
+	// NOW: 100us + 50us + 8192B/19.4MB/s.
+	got := n.RemoteCost(8192)
+	want := sim.Microseconds(100) + sim.Microseconds(50) + sim.TransferTime(8192, 19.4)
+	if got != want {
+		t.Errorf("RemoteCost(8192) = %v, want %v", got, want)
+	}
+}
+
+func TestRemoteSlowerThanLocal(t *testing.T) {
+	e := sim.NewEngine(1)
+	for _, cfg := range []machine.Config{machine.PM(), machine.NOW()} {
+		n := New(e, cfg)
+		if n.RemoteCost(8192) <= n.LocalCost(8192) {
+			t.Errorf("%s: remote transfer not slower than local", cfg.Name)
+		}
+	}
+}
+
+func TestSendLocalArrivesAtLocalCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.PM())
+	var at sim.Time
+	n.Send(3, 3, 8192, func(_ *sim.Engine, t sim.Time) { at = t })
+	e.Run()
+	if at != sim.Time(0).Add(n.LocalCost(8192)) {
+		t.Errorf("local send arrived at %v, want %v", at, n.LocalCost(8192))
+	}
+	if n.MessagesLocal() != 1 || n.MessagesRemote() != 0 {
+		t.Error("message counters wrong")
+	}
+}
+
+func TestSendRemoteSerializesOnSenderPort(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.PM())
+	var first, second sim.Time
+	n.Send(0, 1, 8192, func(_ *sim.Engine, t sim.Time) { first = t })
+	n.Send(0, 2, 8192, func(_ *sim.Engine, t sim.Time) { second = t })
+	e.Run()
+	cost := n.RemoteCost(8192)
+	if first != sim.Time(0).Add(cost) {
+		t.Errorf("first remote arrived at %v, want %v", first, cost)
+	}
+	if second != sim.Time(0).Add(2*cost) {
+		t.Errorf("second remote arrived at %v, want %v (port serialization)", second, 2*cost)
+	}
+}
+
+func TestSendDifferentSendersRunInParallel(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.PM())
+	var a, b sim.Time
+	n.Send(0, 2, 8192, func(_ *sim.Engine, t sim.Time) { a = t })
+	n.Send(1, 2, 8192, func(_ *sim.Engine, t sim.Time) { b = t })
+	e.Run()
+	if a != b {
+		t.Errorf("independent senders serialized: %v vs %v", a, b)
+	}
+}
+
+func TestSendPanicsOnBadNode(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.NOW())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node did not panic")
+		}
+	}()
+	n.Send(0, 100, 1, func(*sim.Engine, sim.Time) {})
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, machine.PM())
+	n.Send(0, 0, 100, func(*sim.Engine, sim.Time) {})
+	n.Send(0, 1, 200, func(*sim.Engine, sim.Time) {})
+	e.Run()
+	if n.BytesMoved() != 300 {
+		t.Errorf("BytesMoved = %d, want 300", n.BytesMoved())
+	}
+}

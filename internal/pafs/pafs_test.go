@@ -1,0 +1,280 @@
+package pafs
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// smallMachine is a PM-flavoured machine shrunk for unit tests.
+func smallMachine() machine.Config {
+	cfg := machine.PM()
+	cfg.Nodes = 4
+	cfg.Disks = 2
+	return cfg
+}
+
+// oneFileTrace declares a single file of n blocks with no steps (the
+// tests drive the FS directly).
+func oneFileTrace(n int) *workload.Trace {
+	return &workload.Trace{
+		Name:       "test",
+		FileBlocks: map[blockdev.FileID]blockdev.BlockNo{0: blockdev.BlockNo(n)},
+		Procs:      []workload.Process{{Node: 0}},
+	}
+}
+
+func newFS(alg core.AlgSpec, cacheBlocks int, fileBlocks int) (*sim.Engine, *FS) {
+	e := sim.NewEngine(1)
+	fs := New(e, Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: cacheBlocks,
+		Algorithm:          alg,
+	}, oneFileTrace(fileBlocks))
+	fs.Collector().StartMeasurement()
+	return e, fs
+}
+
+func span(f, start, count int) blockdev.Span {
+	return blockdev.Span{File: blockdev.FileID(f), Start: blockdev.BlockNo(start), Count: int32(count)}
+}
+
+func TestReadMissGoesToDisk(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 64, 100)
+	var at sim.Time
+	fs.Read(0, span(0, 0, 1), func(tm sim.Time) { at = tm })
+	e.Run()
+	if fs.Collector().DiskDemandReads() != 1 {
+		t.Fatalf("demand reads = %d, want 1", fs.Collector().DiskDemandReads())
+	}
+	// A miss must cost at least the disk service time.
+	if at < sim.Time(0).Add(sim.Milliseconds(10.5)) {
+		t.Errorf("miss completed at %v, faster than a disk seek", at)
+	}
+	if !fs.Cache().Contains(blockdev.BlockID{File: 0, Block: 0}) {
+		t.Error("fetched block not cached")
+	}
+}
+
+func TestReadHitAvoidsDisk(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 64, 100)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	reads := fs.Collector().DiskDemandReads()
+	var hitAt, start sim.Time
+	start = e.Now()
+	fs.Read(1, span(0, 0, 1), func(tm sim.Time) { hitAt = tm })
+	e.Run()
+	if fs.Collector().DiskDemandReads() != reads {
+		t.Error("hit went to disk")
+	}
+	lat := hitAt.Sub(start)
+	if lat >= sim.Milliseconds(10) {
+		t.Errorf("hit latency %v, should be well under a disk access", lat)
+	}
+	if lat <= 0 {
+		t.Error("hit has no cost at all")
+	}
+}
+
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 64, 100)
+	done := 0
+	fs.Read(0, span(0, 5, 1), func(sim.Time) { done++ })
+	fs.Read(1, span(0, 5, 1), func(sim.Time) { done++ })
+	e.Run()
+	if done != 2 {
+		t.Fatalf("completed %d reads, want 2", done)
+	}
+	if got := fs.Collector().DiskDemandReads(); got != 1 {
+		t.Errorf("demand reads = %d, want 1 (coalesced)", got)
+	}
+}
+
+func TestWriteDirtiesCacheWithoutDiskRead(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 64, 100)
+	fs.Write(0, span(0, 0, 4), func(sim.Time) {})
+	e.Run()
+	if fs.Collector().DiskReads() != 0 {
+		t.Error("full-block write triggered a disk read")
+	}
+	if len(fs.Cache().DirtyBlocks()) != 4 {
+		t.Errorf("dirty blocks = %d, want 4", len(fs.Cache().DirtyBlocks()))
+	}
+}
+
+func TestWritebackDaemonFlushesDirtyBlocks(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := smallMachine()
+	cfg.WritebackPeriod = sim.Seconds(1)
+	fs := New(e, Config{Machine: cfg, CacheBlocksPerNode: 64, Algorithm: core.SpecNP}, oneFileTrace(100))
+	fs.Collector().StartMeasurement()
+	fs.Start()
+	fs.Write(0, span(0, 0, 2), func(sim.Time) {})
+	// Run past one write-back period; the daemon reschedules forever,
+	// so bound the event count instead of draining.
+	e.RunUntil(func() bool { return e.Now() > sim.Time(sim.Seconds(1.5)) })
+	if got := fs.Collector().DiskWrites(); got != 2 {
+		t.Errorf("disk writes = %d, want 2 (periodic flush)", got)
+	}
+	if len(fs.Cache().DirtyBlocks()) != 0 {
+		t.Error("blocks still dirty after flush")
+	}
+}
+
+func TestRewriteAcrossPeriodsWritesTwice(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := smallMachine()
+	cfg.WritebackPeriod = sim.Seconds(1)
+	fs := New(e, Config{Machine: cfg, CacheBlocksPerNode: 64, Algorithm: core.SpecNP}, oneFileTrace(100))
+	fs.Collector().StartMeasurement()
+	fs.Start()
+	fs.Write(0, span(0, 0, 1), func(sim.Time) {})
+	e.At(sim.Time(sim.Seconds(1.2)), func(*sim.Engine) {
+		fs.Write(0, span(0, 0, 1), func(sim.Time) {})
+	})
+	e.RunUntil(func() bool { return e.Now() > sim.Time(sim.Seconds(2.5)) })
+	if got := fs.Collector().WritesPerBlock(); got != 2 {
+		t.Errorf("writes per block = %v, want 2 (the Table 2 mechanism)", got)
+	}
+}
+
+func TestLnAgrOBAPrefetchesSequentially(t *testing.T) {
+	e, fs := newFS(core.SpecLnAgrOBA, 64, 20)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	// The chain must have walked to the end of the 20-block file.
+	if got := fs.Collector().DiskPrefetchReads(); got != 19 {
+		t.Errorf("prefetch reads = %d, want 19", got)
+	}
+	for b := 0; b < 20; b++ {
+		if !fs.Cache().Contains(blockdev.BlockID{File: 0, Block: blockdev.BlockNo(b)}) {
+			t.Errorf("block %d not cached after aggressive walk", b)
+		}
+	}
+}
+
+func TestLinearInvariantOneOutstandingPerFile(t *testing.T) {
+	// With a single file and Ln_Agr, at no instant may two prefetch
+	// operations be queued or in service across all disks.
+	e, fs := newFS(core.SpecLnAgrOBA, 64, 50)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	violated := false
+	var watch func(*sim.Engine)
+	watch = func(e *sim.Engine) {
+		inFlight := 0
+		for _, drv := range fs.Drivers() {
+			if drv.Outstanding() > 1 {
+				violated = true
+			}
+			inFlight += drv.Outstanding()
+		}
+		if inFlight > 1 {
+			violated = true
+		}
+		if e.Pending() > 0 {
+			e.After(sim.Milliseconds(1), watch)
+		}
+	}
+	e.After(0, watch)
+	e.RunUntil(func() bool { return e.Now() > sim.Time(sim.Seconds(5)) })
+	if violated {
+		t.Error("linear invariant violated: >1 outstanding prefetch for one file")
+	}
+}
+
+func TestPrefetchImprovesSequentialReadLatency(t *testing.T) {
+	run := func(alg core.AlgSpec) sim.Duration {
+		e, fs := newFS(alg, 256, 400)
+		var issue sim.Time
+		var total sim.Duration
+		var reads int
+		var next func(b int)
+		next = func(b int) {
+			if b >= 300 {
+				return
+			}
+			issue = e.Now()
+			fs.Read(0, span(0, b, 1), func(at sim.Time) {
+				total += at.Sub(issue)
+				reads++
+				// Think a little, then read the next block.
+				e.After(sim.Milliseconds(2), func(*sim.Engine) { next(b + 1) })
+			})
+		}
+		next(0)
+		e.Run()
+		return total / sim.Duration(reads)
+	}
+	np := run(core.SpecNP)
+	agr := run(core.SpecLnAgrOBA)
+	if agr >= np {
+		t.Errorf("Ln_Agr_OBA avg read %v not better than NP %v on sequential scan", agr, np)
+	}
+	if np < sim.Milliseconds(5) {
+		t.Errorf("NP sequential scan %v suspiciously fast (every block should miss)", np)
+	}
+}
+
+func TestMispredictRestartsFromNewPosition(t *testing.T) {
+	e, fs := newFS(core.SpecLnAgrOBA, 32, 1000)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	// Let the chain prefetch a handful of blocks.
+	e.RunUntil(func() bool { return fs.Collector().DiskPrefetchReads() >= 5 })
+	// Jump far away: a misprediction.
+	fs.Read(0, span(0, 500, 1), func(sim.Time) {})
+	e.RunUntil(func() bool { return fs.Collector().DiskPrefetchReads() >= 12 })
+	if !fs.Cache().Contains(blockdev.BlockID{File: 0, Block: 501}) {
+		t.Error("chain did not restart at the new position")
+	}
+}
+
+func TestServerForIsStable(t *testing.T) {
+	_, fs := newFS(core.SpecNP, 16, 10)
+	a := fs.ServerFor(3)
+	if fs.ServerFor(3) != a {
+		t.Error("server assignment unstable")
+	}
+	if int(a) < 0 || int(a) >= fs.Cfg.Nodes {
+		t.Errorf("server %d out of range", a)
+	}
+}
+
+func TestNameAndStart(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 16, 10)
+	if fs.Name() != "PAFS" {
+		t.Error("name wrong")
+	}
+	fs.Start()
+	// The daemon reschedules forever; just step a few events.
+	e.RunLimit(4)
+}
+
+func TestNPHasNoDrivers(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 16, 10)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	if len(fs.Drivers()) != 0 {
+		t.Error("NP created prefetch drivers")
+	}
+	if fs.Collector().PrefetchIssuedCount() != 0 {
+		t.Error("NP issued prefetches")
+	}
+}
+
+func TestFallbackFractionAccounted(t *testing.T) {
+	// IS_PPM on a single cold request: all prefetches are fallback.
+	e, fs := newFS(core.SpecLnAgrISPPM1, 64, 10)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	if fs.Collector().PrefetchIssuedCount() == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if got := fs.Collector().FallbackFraction(); got != 1.0 {
+		t.Errorf("fallback fraction = %v, want 1.0 (cold file)", got)
+	}
+}

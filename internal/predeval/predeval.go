@@ -1,0 +1,215 @@
+// Package predeval evaluates prefetch predictors offline: it replays
+// the request streams a file server (or an xFS node) would observe and
+// scores each predictor's one-step-ahead predictions against the
+// stream itself, with no cache or disk in the loop. It separates the
+// question "how well does the predictor model the access pattern?"
+// from the system-level effects the full simulation measures.
+package predeval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// StreamMode selects whose point of view the streams reconstruct.
+type StreamMode int
+
+// Stream modes.
+const (
+	// PerFile merges every process's requests to a file into one
+	// stream, ordered by approximate issue time — what a PAFS server
+	// sees (§4).
+	PerFile StreamMode = iota
+	// PerNodeFile keeps one stream per (node, file) — what an xFS
+	// node's local prefetcher sees.
+	PerNodeFile
+)
+
+// String names the mode.
+func (m StreamMode) String() string {
+	if m == PerFile {
+		return "per-file"
+	}
+	return "per-node-file"
+}
+
+// event is one request with its approximate issue time (cumulative
+// think time of its process; service times are unknown offline, which
+// is exactly the approximation this package trades for speed).
+type event struct {
+	at   sim.Time
+	seq  int
+	node blockdev.NodeID
+	req  core.Request
+}
+
+// Result scores one predictor over every stream of a trace.
+type Result struct {
+	Predictor string
+	Mode      StreamMode
+	Streams   int
+	// Requests is the number of scored requests (every request after
+	// the first of its stream).
+	Requests int
+	// ExactHits counts predictions matching the next request exactly
+	// (offset and size).
+	ExactHits int
+	// CoveredBlocks and TotalBlocks measure partial credit: how many
+	// of the next request's blocks fell inside the predicted span.
+	CoveredBlocks int64
+	TotalBlocks   int64
+	// Fallbacks counts predictions that came from IS_PPM's OBA rule.
+	Fallbacks int
+	// NoPrediction counts requests the predictor declined to predict.
+	NoPrediction int
+}
+
+// ExactRatio returns the exact-match accuracy.
+func (r Result) ExactRatio() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.ExactHits) / float64(r.Requests)
+}
+
+// CoverageRatio returns the block-level accuracy.
+func (r Result) CoverageRatio() float64 {
+	if r.TotalBlocks == 0 {
+		return 0
+	}
+	return float64(r.CoveredBlocks) / float64(r.TotalBlocks)
+}
+
+// FallbackRatio returns the share of scored predictions that used the
+// cold-start fallback.
+func (r Result) FallbackRatio() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Fallbacks) / float64(r.Requests)
+}
+
+// String renders the result as one report line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %-14s streams=%4d reqs=%6d exact=%5.1f%% cover=%5.1f%% fallback=%4.1f%%",
+		r.Predictor, r.Mode, r.Streams, r.Requests,
+		100*r.ExactRatio(), 100*r.CoverageRatio(), 100*r.FallbackRatio())
+}
+
+// streams reconstructs the request streams of a trace under the given
+// mode, each sorted by approximate issue time (stable on ties).
+func streams(tr *workload.Trace, mode StreamMode, blockSize int64) map[string][]event {
+	out := make(map[string][]event)
+	seq := 0
+	for pi := range tr.Procs {
+		p := &tr.Procs[pi]
+		var clock sim.Time
+		for _, s := range p.Steps {
+			clock = clock.Add(s.Think)
+			if s.Kind == workload.OpClose {
+				continue
+			}
+			span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, blockSize)
+			var key string
+			if mode == PerFile {
+				key = fmt.Sprintf("f%d", s.File)
+			} else {
+				key = fmt.Sprintf("n%d/f%d", p.Node, s.File)
+			}
+			out[key] = append(out[key], event{
+				at:   clock,
+				seq:  seq,
+				node: p.Node,
+				req:  core.Request{Offset: span.Start, Size: span.Count},
+			})
+			seq++
+		}
+	}
+	for _, evs := range out {
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].at != evs[j].at {
+				return evs[i].at < evs[j].at
+			}
+			return evs[i].seq < evs[j].seq
+		})
+	}
+	return out
+}
+
+// Evaluate scores one predictor family over a trace. mkPred builds a
+// fresh predictor per stream (per file or per node-file, matching how
+// the file systems keep prefetch state).
+func Evaluate(tr *workload.Trace, mode StreamMode, blockSize int64, name string, mkPred func() core.Predictor) Result {
+	res := Result{Predictor: name, Mode: mode}
+	strs := streams(tr, mode, blockSize)
+	// Deterministic iteration order.
+	keys := make([]string, 0, len(strs))
+	for k := range strs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		evs := strs[k]
+		res.Streams++
+		pred := mkPred()
+		cursor := pred.Observe(evs[0].req, evs[0].at)
+		for i := 1; i < len(evs); i++ {
+			next := evs[i].req
+			res.Requests++
+			res.TotalBlocks += int64(next.Size)
+			p, _, ok := pred.Predict(cursor)
+			if !ok {
+				res.NoPrediction++
+			} else {
+				if p.Fallback {
+					res.Fallbacks++
+				}
+				if p.Request == next {
+					res.ExactHits++
+				}
+				res.CoveredBlocks += overlap(p.Request, next)
+			}
+			cursor = pred.Observe(next, evs[i].at)
+		}
+	}
+	return res
+}
+
+// overlap returns how many of want's blocks lie inside got's span.
+func overlap(got, want core.Request) int64 {
+	lo := want.Offset
+	if got.Offset > lo {
+		lo = got.Offset
+	}
+	hi := want.End()
+	if got.End() < hi {
+		hi = got.End()
+	}
+	if hi <= lo {
+		return 0
+	}
+	return int64(hi - lo)
+}
+
+// EvaluateStandard scores OBA and IS_PPM:1..3 over the trace in the
+// given mode — the comparison cmd/predict prints.
+func EvaluateStandard(tr *workload.Trace, mode StreamMode, blockSize int64) []Result {
+	out := []Result{
+		Evaluate(tr, mode, blockSize, "OBA", func() core.Predictor { return core.NewOBA() }),
+	}
+	for order := 1; order <= 3; order++ {
+		order := order
+		out = append(out, Evaluate(tr, mode, blockSize,
+			fmt.Sprintf("IS_PPM:%d", order),
+			func() core.Predictor { return core.NewISPPM(order) }))
+	}
+	// The original block-granularity PPM, for the §2.2 comparison.
+	out = append(out, Evaluate(tr, mode, blockSize, "BlockPPM:1",
+		func() core.Predictor { return core.NewBlockPPM(1) }))
+	return out
+}

@@ -1,0 +1,162 @@
+package predeval
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// stridedTrace builds one process issuing a perfectly regular strided
+// stream: offset k*stride, one block each, n requests.
+func stridedTrace(stride, n int) *workload.Trace {
+	const bs = 8192
+	tr := &workload.Trace{
+		Name:       "strided",
+		FileBlocks: map[blockdev.FileID]blockdev.BlockNo{0: blockdev.BlockNo(stride*n + 1)},
+	}
+	proc := workload.Process{Node: 0}
+	for k := 0; k < n; k++ {
+		proc.Steps = append(proc.Steps, workload.Step{
+			Think:  sim.Milliseconds(1),
+			Kind:   workload.OpRead,
+			File:   0,
+			Offset: int64(k*stride) * bs,
+			Size:   bs,
+		})
+	}
+	tr.Procs = append(tr.Procs, proc)
+	return tr
+}
+
+func TestISPPMPerfectOnStride(t *testing.T) {
+	tr := stridedTrace(4, 50)
+	r := Evaluate(tr, PerFile, 8192, "IS_PPM:1", func() core.Predictor { return core.NewISPPM(1) })
+	if r.Requests != 49 || r.Streams != 1 {
+		t.Fatalf("requests=%d streams=%d", r.Requests, r.Streams)
+	}
+	// The first two predictions are fallbacks (cold graph); the rest
+	// must be exact.
+	if r.ExactHits < 45 {
+		t.Errorf("exact hits = %d/49; stride should be learned", r.ExactHits)
+	}
+	if r.FallbackRatio() > 0.1 {
+		t.Errorf("fallback ratio %.2f too high", r.FallbackRatio())
+	}
+}
+
+func TestOBAFailsOnStride(t *testing.T) {
+	tr := stridedTrace(4, 50)
+	r := Evaluate(tr, PerFile, 8192, "OBA", func() core.Predictor { return core.NewOBA() })
+	if r.ExactHits != 0 {
+		t.Errorf("OBA got %d exact hits on a stride-4 stream", r.ExactHits)
+	}
+	if r.CoverageRatio() != 0 {
+		t.Errorf("OBA coverage %.2f on disjoint stride", r.CoverageRatio())
+	}
+}
+
+func TestOBAPerfectOnSequential(t *testing.T) {
+	tr := stridedTrace(1, 50)
+	r := Evaluate(tr, PerFile, 8192, "OBA", func() core.Predictor { return core.NewOBA() })
+	if r.ExactRatio() != 1.0 {
+		t.Errorf("OBA exact ratio %.2f on sequential stream, want 1.0", r.ExactRatio())
+	}
+}
+
+func TestModesSplitStreams(t *testing.T) {
+	// Two nodes interleaving on one file: per-file = 1 stream,
+	// per-node-file = 2 streams.
+	const bs = 8192
+	tr := &workload.Trace{
+		Name:       "x",
+		FileBlocks: map[blockdev.FileID]blockdev.BlockNo{0: 100},
+	}
+	for n := 0; n < 2; n++ {
+		proc := workload.Process{Node: blockdev.NodeID(n)}
+		for k := 0; k < 10; k++ {
+			proc.Steps = append(proc.Steps, workload.Step{
+				Think: sim.Milliseconds(1), Kind: workload.OpRead,
+				File: 0, Offset: int64((2*k + n)) * bs, Size: bs,
+			})
+		}
+		tr.Procs = append(tr.Procs, proc)
+	}
+	pf := Evaluate(tr, PerFile, bs, "OBA", func() core.Predictor { return core.NewOBA() })
+	pnf := Evaluate(tr, PerNodeFile, bs, "OBA", func() core.Predictor { return core.NewOBA() })
+	if pf.Streams != 1 || pnf.Streams != 2 {
+		t.Errorf("streams = %d/%d, want 1/2", pf.Streams, pnf.Streams)
+	}
+	// The merged stream is sequential (0,1,2,3,…) — OBA aces it; the
+	// per-node streams are stride-2 — OBA fails.
+	if pf.ExactRatio() < 0.9 {
+		t.Errorf("merged OBA accuracy %.2f, want ~1", pf.ExactRatio())
+	}
+	if pnf.ExactRatio() != 0 {
+		t.Errorf("per-node OBA accuracy %.2f, want 0", pnf.ExactRatio())
+	}
+}
+
+func TestClosesAreIgnored(t *testing.T) {
+	tr := stridedTrace(1, 10)
+	tr.Procs[0].Steps = append(tr.Procs[0].Steps, workload.Step{
+		Kind: workload.OpClose, File: 0,
+	})
+	r := Evaluate(tr, PerFile, 8192, "OBA", func() core.Predictor { return core.NewOBA() })
+	if r.Requests != 9 {
+		t.Errorf("close step was scored: requests=%d", r.Requests)
+	}
+}
+
+func TestEvaluateStandardShape(t *testing.T) {
+	tr := stridedTrace(3, 30)
+	results := EvaluateStandard(tr, PerFile, 8192)
+	if len(results) != 5 {
+		t.Fatalf("%d results, want 5", len(results))
+	}
+	if results[0].Predictor != "OBA" || results[1].Predictor != "IS_PPM:1" || results[4].Predictor != "BlockPPM:1" {
+		t.Error("result order wrong")
+	}
+	if results[1].ExactRatio() <= results[0].ExactRatio() {
+		t.Error("IS_PPM should beat OBA on a strided stream")
+	}
+	// Fresh strided data: block-PPM cannot predict it at all (§2.2).
+	if results[4].ExactRatio() != 0 {
+		t.Errorf("BlockPPM exact ratio %.2f on fresh strided data, want 0", results[4].ExactRatio())
+	}
+	if results[0].String() == "" {
+		t.Error("empty report line")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	cases := []struct {
+		got, want core.Request
+		n         int64
+	}{
+		{core.Request{Offset: 0, Size: 4}, core.Request{Offset: 0, Size: 4}, 4},
+		{core.Request{Offset: 0, Size: 4}, core.Request{Offset: 2, Size: 4}, 2},
+		{core.Request{Offset: 10, Size: 2}, core.Request{Offset: 0, Size: 4}, 0},
+		{core.Request{Offset: 0, Size: 8}, core.Request{Offset: 2, Size: 2}, 2},
+	}
+	for _, c := range cases {
+		if got := overlap(c.got, c.want); got != c.n {
+			t.Errorf("overlap(%v,%v) = %d, want %d", c.got, c.want, got, c.n)
+		}
+	}
+}
+
+func TestEmptyResultRatios(t *testing.T) {
+	var r Result
+	if r.ExactRatio() != 0 || r.CoverageRatio() != 0 || r.FallbackRatio() != 0 {
+		t.Error("empty result ratios should be 0")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if PerFile.String() != "per-file" || PerNodeFile.String() != "per-node-file" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func buildTiny(t *testing.T) *Report {
+	t.Helper()
+	suite := experiment.NewSuite(experiment.TinyScale(), 0)
+	r, err := Build(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBuildProducesAllChecks(t *testing.T) {
+	r := buildTiny(t)
+	want := []string{
+		"fig4-prefetching-helps", "fig4-groups", "fig4-speedup",
+		"fig4-small-cache-crossover", "fig4-order-insensitive",
+		"fig5-flooding", "fig6-aggressive-wins", "fig7-xfs-tracks-pafs",
+		"fig8-pafs-traffic", "fig9-xfs-traffic", "fig10-11-sprite-traffic",
+		"table2-writes-per-block", "claim-misprediction",
+		"claim-fallback", "claim-xfs-volume",
+	}
+	got := make(map[string]Check)
+	for _, c := range r.Checks {
+		got[c.ID] = c
+	}
+	for _, id := range want {
+		c, ok := got[id]
+		if !ok {
+			t.Errorf("missing check %s", id)
+			continue
+		}
+		if c.Paper == "" || c.Measured == "" {
+			t.Errorf("check %s incomplete: %+v", id, c)
+		}
+		switch c.Verdict {
+		case Match, Partial, Differ:
+		default:
+			t.Errorf("check %s has verdict %q", id, c.Verdict)
+		}
+	}
+	if len(r.Checks) != len(want) {
+		t.Errorf("%d checks, want %d", len(r.Checks), len(want))
+	}
+}
+
+func TestBuildPopulatesAllFigures(t *testing.T) {
+	r := buildTiny(t)
+	for _, id := range experiment.FigureIDs() {
+		if _, ok := r.Figures[id]; !ok {
+			t.Errorf("missing figure %s", id)
+		}
+	}
+}
+
+func TestRenderStructure(t *testing.T) {
+	out := buildTiny(t).Render()
+	for _, want := range []string{
+		"# EXPERIMENTS", "## Verdict summary", "## Paper Table 2",
+		"## Measured figures", "| check | paper says | measured | verdict |",
+		"fig4-speedup", "11.7", // a paper Table 2 value
+		"paper Fig. 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPaperTable2Embeds(t *testing.T) {
+	if len(PaperTable2) != 4 {
+		t.Fatalf("%d Table 2 rows, want 4", len(PaperTable2))
+	}
+	// Spot-check the published values.
+	if PaperTable2["NP"][4] != 11.7 || PaperTable2["Ln_Agr_IS_PPM:3"][0] != 4.0 {
+		t.Error("Table 2 values wrong")
+	}
+	if PaperTable2Sizes != [5]int{1, 2, 4, 8, 16} {
+		t.Error("Table 2 sizes wrong")
+	}
+}

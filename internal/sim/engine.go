@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is the callback invoked when an event fires. It receives the
+// engine so that it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback. seq breaks ties between events
+// scheduled for the same instant: events fire in the order they were
+// scheduled, which keeps the simulation deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   Handler
+	dead bool // cancelled
+	idx  int  // heap index, maintained by eventQueue
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventQueue is a binary min-heap ordered by (time, sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation core. The zero value is not
+// usable; construct one with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *RNG
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose
+// random stream is derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random-number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired returns the number of events executed so far, useful for
+// progress accounting and runaway detection in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is
+// a programming error and panics, because it would silently corrupt
+// causality.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil handler")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current time. A negative delay
+// panics.
+func (e *Engine) After(d Duration, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or already cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Run executes events in time order until the queue is empty and
+// returns the final clock value.
+func (e *Engine) Run() Time {
+	return e.RunUntil(func() bool { return false })
+}
+
+// RunLimit executes at most maxEvents events, returning true if the
+// queue drained before the limit was reached. It guards tests against
+// accidental infinite event loops.
+func (e *Engine) RunLimit(maxEvents uint64) bool {
+	start := e.fired
+	e.RunUntil(func() bool { return e.fired-start >= maxEvents })
+	return len(e.queue) == 0
+}
+
+// RunUntil executes events in time order until the queue drains or
+// stop returns true (checked before each event). It returns the clock.
+func (e *Engine) RunUntil(stop func() bool) Time {
+	if e.running {
+		panic("sim: Run called reentrantly from an event handler")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		if stop() {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e)
+	}
+	return e.now
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Duration{50, 10, 30, 20, 40} {
+		d := d
+		e.After(d, func(e *Engine) { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of submission order: %v", order)
+		}
+	}
+}
+
+func TestEngineClockAdvancesMonotonically(t *testing.T) {
+	e := NewEngine(7)
+	last := Time(-1)
+	var depth int
+	var spawn func(*Engine)
+	spawn = func(e *Engine) {
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %v after %v", e.Now(), last)
+		}
+		last = e.Now()
+		if depth < 100 {
+			depth++
+			e.After(Duration(e.RNG().Intn(50)), spawn)
+		}
+	}
+	e.After(0, spawn)
+	e.Run()
+	if e.Fired() != 101 {
+		t.Fatalf("fired %d events, want 101", e.Fired())
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(100, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	e.After(1, nil)
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func(*Engine) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	id := e.After(10, func(*Engine) { fired = true })
+	e.Cancel(id)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling twice, or cancelling a fired event, must be harmless.
+	e.Cancel(id)
+	id2 := e.After(5, func(*Engine) {})
+	e.Run()
+	e.Cancel(id2)
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine(1)
+	var tick func(*Engine)
+	tick = func(e *Engine) { e.After(1, tick) } // unbounded chain
+	e.After(0, tick)
+	if e.RunLimit(1000) {
+		t.Error("RunLimit reported drained queue for an infinite chain")
+	}
+	if e.Fired() != 1000 {
+		t.Errorf("fired %d, want 1000", e.Fired())
+	}
+}
+
+func TestEngineReentrantRunPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(1, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed uint64) []Time {
+		e := NewEngine(seed)
+		var times []Time
+		var spawn func(*Engine)
+		n := 0
+		spawn = func(e *Engine) {
+			times = append(times, e.Now())
+			if n < 200 {
+				n++
+				e.After(Duration(e.RNG().Intn(1000)+1), spawn)
+			}
+		}
+		e.After(0, spawn)
+		e.Run()
+		return times
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 8 KB at 10 MB/s = 8192/1e7 s = 819.2 us.
+	got := TransferTime(8192, 10)
+	want := Duration(819200)
+	if got != want {
+		t.Errorf("TransferTime(8192, 10) = %v, want %v", got, want)
+	}
+	if TransferTime(0, 10) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+}
+
+func TestTransferTimePanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth did not panic")
+		}
+	}()
+	TransferTime(1, 0)
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(0).Add(Milliseconds(1.5))
+	if tm != Time(1_500_000) {
+		t.Errorf("1.5 ms = %d ns, want 1500000", tm)
+	}
+	if tm.Sub(Time(500_000)) != Duration(1_000_000) {
+		t.Error("Sub wrong")
+	}
+	if !Time(1).Before(Time(2)) || !Time(2).After(Time(1)) {
+		t.Error("Before/After wrong")
+	}
+	if Milliseconds(1).Milliseconds() != 1 {
+		t.Error("Milliseconds round trip failed")
+	}
+	if Seconds(2).Seconds() != 2 {
+		t.Error("Seconds round trip failed")
+	}
+	if Microseconds(3).Microseconds() != 3 {
+		t.Error("Microseconds round trip failed")
+	}
+}
+
+// Property: for any batch of events with arbitrary non-negative delays,
+// the engine fires them all in non-decreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(99)
+		var fired []Time
+		for _, d := range delays {
+			e.After(Duration(d), func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

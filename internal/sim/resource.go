@@ -1,0 +1,178 @@
+package sim
+
+import "container/heap"
+
+// Priority orders requests contending for a Resource. Lower numeric
+// values are served first. The paper gives prefetch I/O strictly lower
+// priority than user I/O ("Prefetching a block will never be done if
+// other operations are waiting to be done on the same disk").
+type Priority int
+
+// The two priority levels used by the file systems.
+const (
+	PriorityUser     Priority = 0 // user-requested reads and writes
+	PriorityPrefetch Priority = 1 // speculative prefetch reads
+)
+
+// Request is one unit of work queued on a Resource.
+type Request struct {
+	// Service is how long the resource is busy processing the request.
+	Service Duration
+	// Priority selects the queue class; within a class requests are
+	// FCFS by enqueue time.
+	Priority Priority
+	// Done is invoked when service completes, with the completion time.
+	Done func(e *Engine, at Time)
+	// Cancelled, if it returns true at dispatch time, causes the
+	// request to be dropped without service. Aggressive prefetchers use
+	// this to abandon stale prefetches still sitting in disk queues.
+	Cancelled func() bool
+
+	seq     uint64
+	idx     int
+	startCB func(e *Engine, at Time)
+}
+
+// reqQueue is a min-heap over (priority, seq): strict priority with
+// FCFS inside each class.
+type reqQueue []*Request
+
+func (q reqQueue) Len() int { return len(q) }
+func (q reqQueue) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority < q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q reqQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *reqQueue) Push(x any) {
+	r := x.(*Request)
+	r.idx = len(*q)
+	*q = append(*q, r)
+}
+func (q *reqQueue) Pop() any {
+	old := *q
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	r.idx = -1
+	*q = old[:n-1]
+	return r
+}
+
+// Resource models a device that serves one request at a time:
+// a disk arm, a network port, a server CPU. Service is non-preemptive:
+// a low-priority request already in service runs to completion even if
+// a high-priority request arrives.
+type Resource struct {
+	name    string
+	engine  *Engine
+	queue   reqQueue
+	seq     uint64
+	busy    bool
+	busyEnd Time
+
+	// accounting
+	served    uint64
+	perClass  map[Priority]uint64
+	busyTime  Duration
+	waitTime  Duration
+	enqueueAt map[*Request]Time
+	dropped   uint64
+}
+
+// NewResource creates an idle resource attached to the engine.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{
+		name:      name,
+		engine:    e,
+		perClass:  make(map[Priority]uint64),
+		enqueueAt: make(map[*Request]Time),
+	}
+}
+
+// Name returns the label given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// QueueLen returns the number of requests waiting (not in service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Busy reports whether a request is currently in service.
+func (r *Resource) Busy() bool { return r.busy }
+
+// Served returns the number of requests completed.
+func (r *Resource) Served() uint64 { return r.served }
+
+// ServedClass returns the number of completed requests of class p.
+func (r *Resource) ServedClass(p Priority) uint64 { return r.perClass[p] }
+
+// Dropped returns the number of requests abandoned via Cancelled.
+func (r *Resource) Dropped() uint64 { return r.dropped }
+
+// BusyTime returns the cumulative time the resource spent serving.
+func (r *Resource) BusyTime() Duration { return r.busyTime }
+
+// WaitTime returns the cumulative time requests spent queued before
+// service began.
+func (r *Resource) WaitTime() Duration { return r.waitTime }
+
+// Utilization returns busy time as a fraction of the elapsed clock.
+func (r *Resource) Utilization() float64 {
+	now := r.engine.Now()
+	if now == 0 {
+		return 0
+	}
+	return r.busyTime.Seconds() / now.Seconds()
+}
+
+// Submit enqueues req for service. The request's Done callback fires
+// at completion; submission order is remembered for FCFS within a
+// priority class.
+func (r *Resource) Submit(req *Request) {
+	if req.Service < 0 {
+		panic("sim: negative service time")
+	}
+	req.seq = r.seq
+	r.seq++
+	r.enqueueAt[req] = r.engine.Now()
+	heap.Push(&r.queue, req)
+	r.dispatch()
+}
+
+// dispatch starts the next request if the resource is idle.
+func (r *Resource) dispatch() {
+	if r.busy {
+		return
+	}
+	for len(r.queue) > 0 {
+		req := heap.Pop(&r.queue).(*Request)
+		enq := r.enqueueAt[req]
+		delete(r.enqueueAt, req)
+		if req.Cancelled != nil && req.Cancelled() {
+			r.dropped++
+			continue
+		}
+		now := r.engine.Now()
+		r.waitTime += now.Sub(enq)
+		r.busy = true
+		r.busyEnd = now.Add(req.Service)
+		r.busyTime += req.Service
+		if req.startCB != nil {
+			req.startCB(r.engine, now)
+		}
+		r.engine.At(r.busyEnd, func(e *Engine) {
+			r.busy = false
+			r.served++
+			r.perClass[req.Priority]++
+			if req.Done != nil {
+				req.Done(e, e.Now())
+			}
+			r.dispatch()
+		})
+		return
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats collects the metrics the paper reports: average read
+// time (Figures 4–7), disk accesses (Figures 8–11), per-block disk
+// write counts (Table 2), and the prefetch-quality ratios quoted in
+// the text (misprediction ratio, OBA-fallback fraction).
+//
+// A collector is gated: nothing is recorded until StartMeasurement is
+// called, mirroring the paper's use of the first hours of each trace
+// to warm the cache before measuring.
+package stats
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Collector accumulates one simulation run's metrics.
+type Collector struct {
+	measuring bool
+
+	reads         uint64
+	readLatency   sim.Duration
+	writes        uint64
+	writeLatency  sim.Duration
+	readBlocks    uint64
+	readBlocksHit uint64
+
+	diskReads         uint64
+	diskDemandReads   uint64
+	diskPrefetchReads uint64
+	diskWrites        uint64
+	blockWriteCounts  map[blockdev.BlockID]uint64
+
+	prefetchIssued   uint64
+	prefetchFallback uint64
+}
+
+// New returns an idle collector.
+func New() *Collector {
+	return &Collector{blockWriteCounts: make(map[blockdev.BlockID]uint64)}
+}
+
+// StartMeasurement opens the measurement window; counters are zero
+// before it.
+func (c *Collector) StartMeasurement() { c.measuring = true }
+
+// StopMeasurement closes the window: trailing activity (drained
+// prefetch chains, final flushes) is not recorded, mirroring the
+// paper's fixed measurement interval inside a longer trace.
+func (c *Collector) StopMeasurement() { c.measuring = false }
+
+// Measuring reports whether the window is open.
+func (c *Collector) Measuring() bool { return c.measuring }
+
+// ReadDone records a completed user read request and its latency.
+func (c *Collector) ReadDone(latency sim.Duration) {
+	if !c.measuring {
+		return
+	}
+	c.reads++
+	c.readLatency += latency
+}
+
+// WriteDone records a completed user write request and its latency.
+func (c *Collector) WriteDone(latency sim.Duration) {
+	if !c.measuring {
+		return
+	}
+	c.writes++
+	c.writeLatency += latency
+}
+
+// ReadBlocks records how many blocks a read request covered and how
+// many of them were already cached on arrival (hit accounting).
+func (c *Collector) ReadBlocks(total, hit int) {
+	if !c.measuring {
+		return
+	}
+	c.readBlocks += uint64(total)
+	c.readBlocksHit += uint64(hit)
+}
+
+// DiskRead records one disk block read; prefetch marks speculative
+// reads.
+func (c *Collector) DiskRead(prefetch bool) {
+	if !c.measuring {
+		return
+	}
+	c.diskReads++
+	if prefetch {
+		c.diskPrefetchReads++
+	} else {
+		c.diskDemandReads++
+	}
+}
+
+// DiskWrite records one disk block write of block b.
+func (c *Collector) DiskWrite(b blockdev.BlockID) {
+	if !c.measuring {
+		return
+	}
+	c.diskWrites++
+	c.blockWriteCounts[b]++
+}
+
+// PrefetchIssued records one launched prefetch operation; fallback
+// marks OBA-fallback predictions inside IS_PPM.
+func (c *Collector) PrefetchIssued(fallback bool) {
+	if !c.measuring {
+		return
+	}
+	c.prefetchIssued++
+	if fallback {
+		c.prefetchFallback++
+	}
+}
+
+// Reads returns the completed user read count.
+func (c *Collector) Reads() uint64 { return c.reads }
+
+// Writes returns the completed user write count.
+func (c *Collector) Writes() uint64 { return c.writes }
+
+// AvgReadTime returns the mean user read latency — the y-axis of
+// Figures 4–7.
+func (c *Collector) AvgReadTime() sim.Duration {
+	if c.reads == 0 {
+		return 0
+	}
+	return c.readLatency / sim.Duration(c.reads)
+}
+
+// AvgWriteTime returns the mean user write latency.
+func (c *Collector) AvgWriteTime() sim.Duration {
+	if c.writes == 0 {
+		return 0
+	}
+	return c.writeLatency / sim.Duration(c.writes)
+}
+
+// DiskReads returns total disk block reads in the window.
+func (c *Collector) DiskReads() uint64 { return c.diskReads }
+
+// DiskDemandReads returns demand (non-prefetch) disk reads.
+func (c *Collector) DiskDemandReads() uint64 { return c.diskDemandReads }
+
+// DiskPrefetchReads returns prefetch disk reads.
+func (c *Collector) DiskPrefetchReads() uint64 { return c.diskPrefetchReads }
+
+// DiskWrites returns total disk block writes in the window.
+func (c *Collector) DiskWrites() uint64 { return c.diskWrites }
+
+// DiskAccesses returns reads plus writes — the y-axis of Figures 8–11.
+func (c *Collector) DiskAccesses() uint64 { return c.diskReads + c.diskWrites }
+
+// WritesPerBlock returns the mean number of times a distinct block was
+// written to disk — the paper's Table 2 metric.
+func (c *Collector) WritesPerBlock() float64 {
+	if len(c.blockWriteCounts) == 0 {
+		return 0
+	}
+	return float64(c.diskWrites) / float64(len(c.blockWriteCounts))
+}
+
+// DistinctBlocksWritten returns the number of distinct blocks written.
+func (c *Collector) DistinctBlocksWritten() int { return len(c.blockWriteCounts) }
+
+// PrefetchIssuedCount returns the number of prefetch operations
+// launched in the window.
+func (c *Collector) PrefetchIssuedCount() uint64 { return c.prefetchIssued }
+
+// FallbackFraction returns the share of prefetches predicted by the
+// OBA fallback (§2.2: <1% on CHARISMA, ~25% on Sprite).
+func (c *Collector) FallbackFraction() float64 {
+	if c.prefetchIssued == 0 {
+		return 0
+	}
+	return float64(c.prefetchFallback) / float64(c.prefetchIssued)
+}
+
+// BlockHitRatio returns the fraction of requested blocks found cached
+// on arrival.
+func (c *Collector) BlockHitRatio() float64 {
+	if c.readBlocks == 0 {
+		return 0
+	}
+	return float64(c.readBlocksHit) / float64(c.readBlocks)
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+func TestCollectorGatesOnMeasurement(t *testing.T) {
+	c := New()
+	c.ReadDone(sim.Milliseconds(5))
+	c.WriteDone(sim.Milliseconds(5))
+	c.DiskRead(false)
+	c.DiskWrite(blockdev.BlockID{File: 1})
+	c.PrefetchIssued(false)
+	c.ReadBlocks(4, 2)
+	if c.Reads() != 0 || c.Writes() != 0 || c.DiskAccesses() != 0 ||
+		c.PrefetchIssuedCount() != 0 || c.BlockHitRatio() != 0 {
+		t.Error("collector recorded before StartMeasurement")
+	}
+	if c.Measuring() {
+		t.Error("Measuring true before start")
+	}
+	c.StartMeasurement()
+	if !c.Measuring() {
+		t.Error("Measuring false after start")
+	}
+	c.ReadDone(sim.Milliseconds(5))
+	if c.Reads() != 1 {
+		t.Error("collector ignored post-start event")
+	}
+}
+
+func TestAvgReadTime(t *testing.T) {
+	c := New()
+	c.StartMeasurement()
+	c.ReadDone(sim.Milliseconds(2))
+	c.ReadDone(sim.Milliseconds(4))
+	if got := c.AvgReadTime(); got != sim.Milliseconds(3) {
+		t.Errorf("AvgReadTime = %v, want 3ms", got)
+	}
+	if New().AvgReadTime() != 0 {
+		t.Error("empty collector should report 0")
+	}
+}
+
+func TestAvgWriteTime(t *testing.T) {
+	c := New()
+	c.StartMeasurement()
+	c.WriteDone(sim.Milliseconds(10))
+	if c.AvgWriteTime() != sim.Milliseconds(10) || c.Writes() != 1 {
+		t.Error("write accounting wrong")
+	}
+	if New().AvgWriteTime() != 0 {
+		t.Error("empty collector should report 0")
+	}
+}
+
+func TestDiskCounters(t *testing.T) {
+	c := New()
+	c.StartMeasurement()
+	c.DiskRead(false)
+	c.DiskRead(true)
+	c.DiskRead(true)
+	c.DiskWrite(blockdev.BlockID{File: 1, Block: 0})
+	if c.DiskReads() != 3 || c.DiskDemandReads() != 1 || c.DiskPrefetchReads() != 2 {
+		t.Error("read split wrong")
+	}
+	if c.DiskWrites() != 1 || c.DiskAccesses() != 4 {
+		t.Error("totals wrong")
+	}
+}
+
+func TestWritesPerBlock(t *testing.T) {
+	c := New()
+	c.StartMeasurement()
+	a := blockdev.BlockID{File: 1, Block: 0}
+	b := blockdev.BlockID{File: 1, Block: 1}
+	for i := 0; i < 3; i++ {
+		c.DiskWrite(a)
+	}
+	c.DiskWrite(b)
+	// 4 writes over 2 distinct blocks = 2.0.
+	if got := c.WritesPerBlock(); got != 2.0 {
+		t.Errorf("WritesPerBlock = %v, want 2.0", got)
+	}
+	if c.DistinctBlocksWritten() != 2 {
+		t.Errorf("DistinctBlocksWritten = %d", c.DistinctBlocksWritten())
+	}
+	if New().WritesPerBlock() != 0 {
+		t.Error("empty collector should report 0")
+	}
+}
+
+func TestFallbackFraction(t *testing.T) {
+	c := New()
+	c.StartMeasurement()
+	for i := 0; i < 3; i++ {
+		c.PrefetchIssued(false)
+	}
+	c.PrefetchIssued(true)
+	if got := c.FallbackFraction(); got != 0.25 {
+		t.Errorf("FallbackFraction = %v, want 0.25", got)
+	}
+	if New().FallbackFraction() != 0 {
+		t.Error("empty collector should report 0")
+	}
+}
+
+func TestBlockHitRatio(t *testing.T) {
+	c := New()
+	c.StartMeasurement()
+	c.ReadBlocks(8, 6)
+	c.ReadBlocks(2, 0)
+	if got := c.BlockHitRatio(); got != 0.6 {
+		t.Errorf("BlockHitRatio = %v, want 0.6", got)
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/blockdev"
+)
+
+// Analysis summarizes a trace's characteristics — the properties the
+// published CHARISMA and Sprite characterizations report and the
+// synthetic generators are calibrated against. cmd/tracegen prints it;
+// tests assert the generators hit their targets.
+type Analysis struct {
+	Name string
+
+	Processes int
+	Files     int
+	UsedFiles int
+
+	Reads  int
+	Writes int
+	Closes int
+
+	// Request-size distribution in blocks.
+	SizeBlocksP50 int
+	SizeBlocksP90 int
+	SizeBlocksMax int
+	// LargeRequestByteShare is the fraction of bytes moved by requests
+	// of at least 8 blocks (CHARISMA: small requests dominate counts,
+	// large requests dominate bytes).
+	LargeRequestByteShare float64
+
+	// SequentialFraction is the share of successive same-file requests
+	// by one process that continue exactly where the previous ended.
+	SequentialFraction float64
+
+	// FileBlocksP50 and FileBlocksMax characterize file sizes.
+	FileBlocksP50 int
+	FileBlocksMax int
+
+	// SharedFileFraction is the share of used files touched by more
+	// than one node.
+	SharedFileFraction float64
+
+	// FootprintBlocks is the total declared data volume.
+	FootprintBlocks int64
+}
+
+// Analyze computes the summary for a trace under the given block size.
+func Analyze(tr *Trace, blockSize int64) Analysis {
+	a := Analysis{
+		Name:            tr.Name,
+		Processes:       len(tr.Procs),
+		Files:           len(tr.FileBlocks),
+		FootprintBlocks: tr.DistinctBlocks(),
+	}
+	var sizes []int
+	var totalBytes, largeBytes int64
+	users := make(map[blockdev.FileID]map[blockdev.NodeID]bool)
+	seq, seqTotal := 0, 0
+	for pi := range tr.Procs {
+		p := &tr.Procs[pi]
+		lastEnd := make(map[blockdev.FileID]int64)
+		for _, s := range p.Steps {
+			switch s.Kind {
+			case OpClose:
+				a.Closes++
+				continue
+			case OpRead:
+				a.Reads++
+			case OpWrite:
+				a.Writes++
+			}
+			span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, blockSize)
+			sizes = append(sizes, int(span.Count))
+			totalBytes += s.Size
+			if span.Count >= 8 {
+				largeBytes += s.Size
+			}
+			if users[s.File] == nil {
+				users[s.File] = make(map[blockdev.NodeID]bool)
+			}
+			users[s.File][p.Node] = true
+			if end, ok := lastEnd[s.File]; ok {
+				seqTotal++
+				if s.Offset == end {
+					seq++
+				}
+			}
+			lastEnd[s.File] = s.Offset + s.Size
+		}
+	}
+	if len(sizes) > 0 {
+		sort.Ints(sizes)
+		a.SizeBlocksP50 = sizes[len(sizes)/2]
+		a.SizeBlocksP90 = sizes[len(sizes)*9/10]
+		a.SizeBlocksMax = sizes[len(sizes)-1]
+	}
+	if totalBytes > 0 {
+		a.LargeRequestByteShare = float64(largeBytes) / float64(totalBytes)
+	}
+	if seqTotal > 0 {
+		a.SequentialFraction = float64(seq) / float64(seqTotal)
+	}
+	fileSizes := make([]int, 0, len(tr.FileBlocks))
+	for _, b := range tr.FileBlocks {
+		fileSizes = append(fileSizes, int(b))
+	}
+	sort.Ints(fileSizes)
+	if len(fileSizes) > 0 {
+		a.FileBlocksP50 = fileSizes[len(fileSizes)/2]
+		a.FileBlocksMax = fileSizes[len(fileSizes)-1]
+	}
+	a.UsedFiles = len(users)
+	shared := 0
+	for _, u := range users {
+		if len(u) > 1 {
+			shared++
+		}
+	}
+	if a.UsedFiles > 0 {
+		a.SharedFileFraction = float64(shared) / float64(a.UsedFiles)
+	}
+	return a
+}
+
+// Render formats the analysis as an aligned text block.
+func (a Analysis) Render() string {
+	var b strings.Builder
+	row := func(label, val string) { fmt.Fprintf(&b, "%-26s %s\n", label, val) }
+	row("trace", a.Name)
+	row("processes", fmt.Sprint(a.Processes))
+	row("files (declared/used)", fmt.Sprintf("%d / %d", a.Files, a.UsedFiles))
+	row("footprint", fmt.Sprintf("%d blocks (%.1f MB at 8KB)", a.FootprintBlocks, float64(a.FootprintBlocks)*8192/1e6))
+	row("steps (r/w/close)", fmt.Sprintf("%d / %d / %d", a.Reads, a.Writes, a.Closes))
+	row("request blocks p50/p90/max", fmt.Sprintf("%d / %d / %d", a.SizeBlocksP50, a.SizeBlocksP90, a.SizeBlocksMax))
+	row("large-request byte share", fmt.Sprintf("%.0f%%", 100*a.LargeRequestByteShare))
+	row("sequential successor rate", fmt.Sprintf("%.0f%%", 100*a.SequentialFraction))
+	row("file blocks p50/max", fmt.Sprintf("%d / %d", a.FileBlocksP50, a.FileBlocksMax))
+	row("files shared across nodes", fmt.Sprintf("%.0f%%", 100*a.SharedFileFraction))
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func TestAnalyzeCharismaFidelity(t *testing.T) {
+	// The analyzer must confirm the published CHARISMA characteristics
+	// the generator targets.
+	p := DefaultCharismaParams()
+	tr, err := GenerateCharisma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(tr, p.BlockSize)
+	if a.SizeBlocksP50 > 2 {
+		t.Errorf("median request %d blocks; CHARISMA requests are mostly small", a.SizeBlocksP50)
+	}
+	if a.LargeRequestByteShare < 0.15 {
+		t.Errorf("large requests move %.0f%% of bytes; CHARISMA bytes concentrate in large requests", 100*a.LargeRequestByteShare)
+	}
+	if a.SharedFileFraction < 0.3 {
+		t.Errorf("only %.0f%% of files shared; CHARISMA jobs share their files", 100*a.SharedFileFraction)
+	}
+	if a.FileBlocksP50 < 100 {
+		t.Errorf("median file %d blocks; CHARISMA files are large", a.FileBlocksP50)
+	}
+	if a.Closes == 0 {
+		t.Error("no closes in the trace")
+	}
+}
+
+func TestAnalyzeSpriteFidelity(t *testing.T) {
+	p := DefaultSpriteParams()
+	tr, err := GenerateSprite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(tr, p.BlockSize)
+	if a.FileBlocksP50 > 10 {
+		t.Errorf("median file %d blocks; Sprite files are small", a.FileBlocksP50)
+	}
+	if a.SequentialFraction < 0.5 {
+		t.Errorf("sequential successor rate %.0f%%; Sprite access is mostly sequential", 100*a.SequentialFraction)
+	}
+	if a.SharedFileFraction > 0.25 {
+		t.Errorf("%.0f%% of files shared; Sprite shares little", 100*a.SharedFileFraction)
+	}
+	if a.SizeBlocksMax != 1 {
+		t.Errorf("Sprite request of %d blocks; sessions use single-block requests", a.SizeBlocksMax)
+	}
+}
+
+func TestAnalyzeSmallHandMadeTrace(t *testing.T) {
+	const bs = 8192
+	tr := &Trace{
+		Name: "hand",
+		FileBlocks: map[blockdev.FileID]blockdev.BlockNo{
+			0: 8, 1: 4,
+		},
+		Procs: []Process{
+			{Node: 0, Steps: []Step{
+				{Kind: OpRead, File: 0, Offset: 0, Size: 2 * bs},
+				{Kind: OpRead, File: 0, Offset: 2 * bs, Size: 2 * bs}, // sequential successor
+				{Kind: OpRead, File: 0, Offset: 6 * bs, Size: bs},     // jump
+				{Kind: OpWrite, File: 1, Offset: 0, Size: bs},
+				{Kind: OpClose, File: 1},
+			}},
+			{Node: 1, Steps: []Step{
+				{Kind: OpRead, File: 0, Offset: 0, Size: bs},
+			}},
+		},
+	}
+	a := Analyze(tr, bs)
+	if a.Reads != 4 || a.Writes != 1 || a.Closes != 1 {
+		t.Errorf("counts r/w/c = %d/%d/%d", a.Reads, a.Writes, a.Closes)
+	}
+	if a.UsedFiles != 2 || a.Files != 2 {
+		t.Errorf("files = %d/%d", a.Files, a.UsedFiles)
+	}
+	// File 0 used by nodes 0 and 1: half the used files are shared.
+	if a.SharedFileFraction != 0.5 {
+		t.Errorf("shared fraction %.2f, want 0.5", a.SharedFileFraction)
+	}
+	// One of two same-file successors was sequential.
+	if a.SequentialFraction != 0.5 {
+		t.Errorf("sequential fraction %.2f, want 0.5", a.SequentialFraction)
+	}
+	if a.FootprintBlocks != 12 {
+		t.Errorf("footprint %d, want 12", a.FootprintBlocks)
+	}
+	out := a.Render()
+	for _, want := range []string{"hand", "processes", "footprint", "sequential successor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

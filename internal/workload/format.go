@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// The trace text format, one record per line:
+//
+//	trace <name>
+//	file <id> <blocks>
+//	proc <node>
+//	step <think-ns> <r|w> <file> <offset> <size>
+//
+// "step" lines belong to the most recent "proc". The format exists so
+// cmd/tracegen can materialize workloads for inspection and so
+// experiments can be replayed from files.
+
+// Encode writes the trace in text form.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace %s\n", t.Name)
+	ids := make([]blockdev.FileID, 0, len(t.FileBlocks))
+	for id := range t.FileBlocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(bw, "file %d %d\n", id, t.FileBlocks[id])
+	}
+	for i := range t.Procs {
+		p := &t.Procs[i]
+		fmt.Fprintf(bw, "proc %d\n", p.Node)
+		for _, s := range p.Steps {
+			k := "r"
+			switch s.Kind {
+			case OpWrite:
+				k = "w"
+			case OpClose:
+				k = "c"
+			}
+			fmt.Fprintf(bw, "step %d %s %d %d %d\n", int64(s.Think), k, s.File, s.Offset, s.Size)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a trace in the text form produced by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	t := &Trace{FileBlocks: make(map[blockdev.FileID]blockdev.BlockNo)}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "trace":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed trace header", line)
+			}
+			t.Name = fields[1]
+		case "file":
+			var id, blocks int64
+			if n, err := fmt.Sscanf(text, "file %d %d", &id, &blocks); n != 2 || err != nil {
+				return nil, fmt.Errorf("line %d: malformed file record", line)
+			}
+			t.FileBlocks[blockdev.FileID(id)] = blockdev.BlockNo(blocks)
+		case "proc":
+			var node int64
+			if n, err := fmt.Sscanf(text, "proc %d", &node); n != 1 || err != nil {
+				return nil, fmt.Errorf("line %d: malformed proc record", line)
+			}
+			t.Procs = append(t.Procs, Process{Node: blockdev.NodeID(node)})
+		case "step":
+			if len(t.Procs) == 0 {
+				return nil, fmt.Errorf("line %d: step before any proc", line)
+			}
+			var think, file, off, size int64
+			var kind string
+			if n, err := fmt.Sscanf(text, "step %d %s %d %d %d", &think, &kind, &file, &off, &size); n != 5 || err != nil {
+				return nil, fmt.Errorf("line %d: malformed step record", line)
+			}
+			k := OpRead
+			switch kind {
+			case "r":
+			case "w":
+				k = OpWrite
+			case "c":
+				k = OpClose
+			default:
+				return nil, fmt.Errorf("line %d: unknown op kind %q", line, kind)
+			}
+			p := &t.Procs[len(t.Procs)-1]
+			p.Steps = append(p.Steps, Step{
+				Think:  sim.Duration(think),
+				Kind:   k,
+				File:   blockdev.FileID(file),
+				Offset: off,
+				Size:   size,
+			})
+		default:
+			return nil, fmt.Errorf("line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.Name == "" {
+		return nil, fmt.Errorf("trace has no header")
+	}
+	return t, nil
+}

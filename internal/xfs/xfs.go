@@ -1,0 +1,250 @@
+// Package xfs simulates the Berkeley serverless file system (Anderson
+// et al.) at the level of detail the paper exercises: every node
+// caches locally and makes its own decisions, managers locate blocks
+// machine-wide, and replacement follows the N-chance forwarding of
+// Dahlin et al. Prefetching is therefore *per node*: each node keeps
+// its own predictor per file and limits only its own outstanding
+// prefetches, so several nodes may prefetch the same file in parallel
+// — the paper's "not really linear" implementation whose extra
+// prefetch volume floods small caches (§4, §5.2).
+package xfs
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/fscommon"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config assembles an xFS instance.
+type Config struct {
+	Machine            machine.Config
+	CacheBlocksPerNode int
+	Algorithm          core.AlgSpec
+	// Recirculations is the N of N-chance forwarding: 0 means the
+	// default of 2, negative disables forwarding entirely (plain
+	// local LRU, the no-cooperation baseline).
+	Recirculations int
+}
+
+// driverKey identifies a per-node, per-file prefetch driver.
+type driverKey struct {
+	node blockdev.NodeID
+	file blockdev.FileID
+}
+
+// FS is one simulated xFS instance.
+type FS struct {
+	fscommon.Base
+	alg     core.AlgSpec
+	drivers map[driverKey]*core.Driver
+}
+
+// New builds an xFS over the given machine for the given trace.
+func New(e *sim.Engine, cfg Config, tr *workload.Trace) *FS {
+	recirc := cfg.Recirculations
+	if recirc == 0 {
+		recirc = 2
+	} else if recirc < 0 {
+		recirc = 0
+	}
+	return &FS{
+		Base: *fscommon.NewBase(e, cfg.Machine, cfg.CacheBlocksPerNode,
+			cachesim.NChance{Recirculations: recirc}, tr),
+		alg:     cfg.Algorithm,
+		drivers: make(map[driverKey]*core.Driver),
+	}
+}
+
+// Name identifies the file system.
+func (fs *FS) Name() string { return "xFS" }
+
+// Start launches the write-back daemon.
+func (fs *FS) Start() { fs.StartWriteback() }
+
+// ManagerFor returns the node managing file f's location metadata.
+func (fs *FS) ManagerFor(f blockdev.FileID) blockdev.NodeID {
+	return blockdev.NodeID(uint32(f) * 2654435761 % uint32(fs.Cfg.Nodes))
+}
+
+// xfsEnv adapts the FS for one node's per-file driver. The locality
+// difference from PAFS is deliberate: a node considers only its *own*
+// pool, so a block prefetched by a neighbour is prefetched again here
+// (a copy, fetched over the network when possible, from disk when
+// not).
+type xfsEnv struct {
+	fs   *FS
+	node blockdev.NodeID
+}
+
+func (e xfsEnv) Cached(b blockdev.BlockID) bool {
+	return e.fs.Cch.ContainsOn(e.node, b)
+}
+
+func (e xfsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(eng *sim.Engine, at sim.Time)) {
+	fs := e.fs
+	if fs.Stopped() {
+		// Draining after the trace: never calling done stalls the
+		// chain, which is exactly what lets the run end.
+		return
+	}
+	fs.Coll.PrefetchIssued(fallback)
+	// Prefetches go straight to disk: the prefetch decision is local
+	// and bypasses the manager, so a block sitting in a peer's cache
+	// is fetched again anyway — the duplicated work (and the extra
+	// disk traffic of Figure 9) that makes xFS's per-node prefetching
+	// "not really linear" (§4, §5.2).
+	fs.Disks.Read(b, fs.alg.PrefetchPriority(), cancelled, func(eng *sim.Engine, at sim.Time) {
+		fs.Coll.DiskRead(true)
+		_, victims := fs.Cch.Insert(e.node, b, cachesim.InsertOptions{Prefetched: true})
+		fs.FlushVictims(victims)
+		done(eng, at)
+	})
+}
+
+// driverFor lazily creates the per-(node,file) driver; nil when NP.
+func (fs *FS) driverFor(node blockdev.NodeID, f blockdev.FileID) *core.Driver {
+	if !fs.alg.Prefetches() {
+		return nil
+	}
+	k := driverKey{node, f}
+	if d, ok := fs.drivers[k]; ok {
+		return d
+	}
+	d := core.NewDriver(core.DriverConfig{
+		Predictor:      fs.alg.NewPredictor(),
+		Mode:           fs.alg.Mode,
+		MaxOutstanding: fs.alg.MaxOutstanding,
+		File:           f,
+		FileBlocks:     fs.FileBlocks(f),
+		Env:            xfsEnv{fs: fs, node: node},
+	})
+	fs.drivers[k] = d
+	return d
+}
+
+// DriverCount returns how many (node, file) drivers exist (test and
+// diagnostic hook: shared files should spawn several).
+func (fs *FS) DriverCount() int { return len(fs.drivers) }
+
+// Read serves a user read with xFS's local-first path: local pool,
+// then the manager redirects to a remote holder or to disk. The data
+// lands in the client's local pool (possibly evicting via N-chance).
+func (fs *FS) Read(client blockdev.NodeID, span blockdev.Span, done func(at sim.Time)) {
+	blocks := span.Blocks()
+	localHits := 0
+	for _, b := range blocks {
+		if fs.Cch.ContainsOn(client, b) {
+			localHits++
+		}
+	}
+	satisfied := localHits == len(blocks)
+	fs.Coll.ReadBlocks(len(blocks), localHits)
+
+	remaining := len(blocks)
+	var last sim.Time
+	finishOne := func(_ *sim.Engine, at sim.Time) {
+		if at > last {
+			last = at
+		}
+		remaining--
+		if remaining == 0 {
+			done(last)
+		}
+	}
+	for _, b := range blocks {
+		blk := b
+		if fs.Cch.ContainsOn(client, blk) {
+			fs.Cch.Touch(client, blk)
+			// Local copy: a memory copy into the application buffer.
+			fs.Engine.After(fs.Net.LocalCost(fs.Cfg.BlockSize), func(e *sim.Engine) {
+				finishOne(e, e.Now())
+			})
+			continue
+		}
+		manager := fs.ManagerFor(blk.File)
+		fs.Net.Send(client, manager, netmodel.ControlMessageSize, func(e *sim.Engine, _ sim.Time) {
+			fs.resolveMiss(client, blk, finishOne)
+		})
+	}
+	if d := fs.driverFor(client, span.File); d != nil {
+		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, fs.Engine.Now(), satisfied)
+	}
+}
+
+// resolveMiss runs at the manager: redirect to a caching node, or go
+// to disk. Either way the block becomes a local copy at the client.
+func (fs *FS) resolveMiss(client blockdev.NodeID, blk blockdev.BlockID, finishOne func(e *sim.Engine, at sim.Time)) {
+	if hs := fs.Cch.Holders(blk); len(hs) > 0 {
+		src := hs[0]
+		fs.Cch.Touch(src, blk)
+		fs.Net.Send(src, client, fs.Cfg.BlockSize, func(e *sim.Engine, at sim.Time) {
+			_, victims := fs.Cch.Insert(client, blk, cachesim.InsertOptions{})
+			fs.FlushVictims(victims)
+			finishOne(e, at)
+		})
+		return
+	}
+	fs.DemandFetch(blk, client, func(e *sim.Engine, _ sim.Time) {
+		// Data travels from the disk's host node to the client.
+		fs.Net.Send(fs.HostOf(blk), client, fs.Cfg.BlockSize, finishOne)
+	})
+}
+
+// Close stops this node's prefetch chain for the file — a purely
+// local decision, like everything else in xFS. Other nodes' chains on
+// the same file keep running.
+func (fs *FS) Close(client blockdev.NodeID, file blockdev.FileID, done func(at sim.Time)) {
+	fs.Engine.After(fs.Net.LocalCost(netmodel.ControlMessageSize), func(e *sim.Engine) {
+		if d, ok := fs.drivers[driverKey{client, file}]; ok {
+			d.StopChain()
+		}
+		done(e.Now())
+	})
+}
+
+// Write absorbs a user write into the client's local pool, creating or
+// dirtying local copies; stale remote copies are invalidated, which is
+// xFS's write-ownership behaviour reduced to what the simulation
+// needs.
+func (fs *FS) Write(client blockdev.NodeID, span blockdev.Span, done func(at sim.Time)) {
+	blocks := span.Blocks()
+	localHits := 0
+	for _, b := range blocks {
+		if fs.Cch.ContainsOn(client, b) {
+			localHits++
+		}
+	}
+	satisfied := localHits == len(blocks)
+
+	remaining := len(blocks)
+	var last sim.Time
+	finishOne := func(_ *sim.Engine, at sim.Time) {
+		if at > last {
+			last = at
+		}
+		remaining--
+		if remaining == 0 {
+			done(last)
+		}
+	}
+	for _, b := range blocks {
+		blk := b
+		if !fs.Cch.ContainsOn(client, blk) && fs.Cch.Contains(blk) {
+			// Invalidate remote copies; ownership moves here.
+			fs.Cch.Drop(blk)
+		}
+		_, victims := fs.Cch.Insert(client, blk, cachesim.InsertOptions{Dirty: true})
+		fs.FlushVictims(victims)
+		fs.Engine.After(fs.Net.LocalCost(fs.Cfg.BlockSize), func(e *sim.Engine) {
+			finishOne(e, e.Now())
+		})
+	}
+	if d := fs.driverFor(client, span.File); d != nil {
+		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, fs.Engine.Now(), satisfied)
+	}
+}

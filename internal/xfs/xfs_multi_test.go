@@ -1,0 +1,95 @@
+package xfs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestPartialLocalHitFetchesOnlyMisses(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 32, 100)
+	fs.Read(0, span(0, 0, 2), func(sim.Time) {})
+	e.Run()
+	before := fs.Collector().DiskDemandReads()
+	fs.Read(0, span(0, 0, 4), func(sim.Time) {})
+	e.Run()
+	if got := fs.Collector().DiskDemandReads() - before; got != 2 {
+		t.Errorf("partial local hit fetched %d blocks, want 2", got)
+	}
+}
+
+func TestManagerRedirectCountsNetworkMessages(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 32, 100)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	before := fs.Net.MessagesRemote() + fs.Net.MessagesLocal()
+	// Remote hit path: client 3 -> manager -> holder 0 -> client 3.
+	fs.Read(3, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	delta := fs.Net.MessagesRemote() + fs.Net.MessagesLocal() - before
+	if delta < 2 {
+		t.Errorf("remote hit produced %d messages, want at least control + data", delta)
+	}
+}
+
+func TestLocalWriteFollowedByLocalRead(t *testing.T) {
+	e, fs := newFS(core.SpecNP, 32, 100)
+	fs.Write(2, span(0, 5, 2), func(sim.Time) {})
+	e.Run()
+	reads := fs.Collector().DiskReads()
+	start := e.Now()
+	var end sim.Time
+	fs.Read(2, span(0, 5, 2), func(at sim.Time) { end = at })
+	e.Run()
+	if fs.Collector().DiskReads() != reads {
+		t.Error("read of locally written blocks went to disk")
+	}
+	if end.Sub(start) > sim.Milliseconds(2) {
+		t.Errorf("local read took %v, want sub-millisecond", end.Sub(start))
+	}
+}
+
+func TestNoForwardingConfigDropsSinglets(t *testing.T) {
+	e := sim.NewEngine(1)
+	fs := New(e, Config{
+		Machine:            smallMachine(),
+		CacheBlocksPerNode: 1,
+		Algorithm:          core.SpecNP,
+		Recirculations:     -1, // plain local LRU
+	}, oneFileTrace(100))
+	fs.Collector().StartMeasurement()
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	fs.Read(0, span(0, 1, 1), func(sim.Time) {})
+	e.Run()
+	if fs.Cache().Stats().Forwards != 0 {
+		t.Error("forwarding happened despite Recirculations=-1")
+	}
+}
+
+func TestSatisfiedIsLocalNotGlobal(t *testing.T) {
+	// A block cached on another node is NOT "already prefetched" from
+	// this node's point of view: the per-node driver restarts its
+	// chain, which is exactly the xFS duplicated-work behaviour.
+	e, fs := newFS(core.SpecLnAgrOBA, 64, 50)
+	fs.Read(0, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	// Node 1 reads block 0 (remote hit): unsatisfied locally, so its
+	// own driver starts a chain of its own.
+	fs.Read(1, span(0, 0, 1), func(sim.Time) {})
+	e.Run()
+	if fs.DriverCount() != 2 {
+		t.Fatalf("driver count = %d, want 2", fs.DriverCount())
+	}
+	// Node 1's local pool must have gained its own copies.
+	count := 0
+	for b := 0; b < 50; b++ {
+		if fs.Cache().ContainsOn(1, span(0, b, 1).Blocks()[0]) {
+			count++
+		}
+	}
+	if count < 10 {
+		t.Errorf("node 1 holds only %d local copies; its chain did not run", count)
+	}
+}
