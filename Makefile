@@ -1,0 +1,36 @@
+# Development targets. `make check` is the full gate: vet, build,
+# the whole test suite under the race detector, and a short run of
+# every fuzz target over its seed corpus.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz bench report
+
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run each fuzz target briefly; the seed corpus alone is covered by
+# plain `go test`, this also explores mutations for FUZZTIME.
+fuzz:
+	$(GO) test ./internal/workload/ -run FuzzDecode -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Print the full-scale paper-vs-measured record. EXPERIMENTS.md keeps
+# a hand-written preamble (the header comment and the Methodology
+# section); splice this output in after it when refreshing.
+report:
+	$(GO) run ./cmd/lapbench -scale full -exp report

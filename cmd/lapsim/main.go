@@ -5,13 +5,22 @@
 // Usage:
 //
 //	lapsim [-fs pafs|xfs] [-workload charisma|sprite] [-alg NAME] [-cache MB] [-scale full|small|tiny]
+//	       [-metrics] [-trace-out FILE]
 //
 // Algorithm names are the paper's: NP, OBA, Ln_Agr_OBA, IS_PPM:1,
 // Ln_Agr_IS_PPM:1, IS_PPM:3, Ln_Agr_IS_PPM:3 (plus Agr_OBA and
 // Agr_IS_PPM:j for the unthrottled variants used in ablations).
+//
+// -metrics switches the output from the human-readable dump to one
+// JSONL record holding every metric, including the observability
+// counters (prefetch timeliness, linearity high-water, resource
+// utilization). -trace-out streams every simulator event and resource
+// transition to FILE as JSONL; tracing is passive, so the metrics are
+// identical with and without it.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +28,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// tracerOrNil avoids handing a typed-nil *JSONLTracer to the engine as
+// a non-nil sim.Tracer interface.
+func tracerOrNil(t *experiment.JSONLTracer) sim.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t
+}
 
 func main() {
 	fsName := flag.String("fs", "pafs", "file system: pafs or xfs")
@@ -29,6 +48,8 @@ func main() {
 	cacheMB := flag.Int("cache", 4, "per-node cache size in MB")
 	scaleName := flag.String("scale", "small", "experiment scale: full, small, tiny")
 	traceFile := flag.String("trace", "", "replay this tracegen file instead of generating the workload (uses the scale's machine for the chosen workload)")
+	metrics := flag.Bool("metrics", false, "emit the full result as one JSONL record instead of the human-readable dump")
+	traceOut := flag.String("trace-out", "", "write the simulator event trace to this file as JSONL")
 	flag.Parse()
 
 	var fs experiment.FSKind
@@ -66,6 +87,19 @@ func main() {
 	}
 
 	cell := experiment.Cell{FS: fs, Workload: wl, Alg: alg, CacheMB: *cacheMB}
+
+	var tracer *experiment.JSONLTracer
+	var traceW *bufio.Writer
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fail("%v", ferr)
+		}
+		defer f.Close()
+		traceW = bufio.NewWriter(f)
+		tracer = experiment.NewJSONLTracer(traceW)
+	}
+
 	var (
 		r   experiment.Result
 		err error
@@ -84,12 +118,28 @@ func main() {
 		if wl == experiment.Sprite {
 			mach = scale.NOW
 		}
-		r, err = experiment.RunTrace(tr, mach, cell, scale.WarmFraction)
+		r, err = experiment.RunTraceObserved(tr, mach, cell, scale.WarmFraction, tracerOrNil(tracer))
 	} else {
-		r, err = experiment.RunCell(scale, cell)
+		r, err = experiment.RunCellObserved(scale, cell, tracerOrNil(tracer))
 	}
 	if err != nil {
 		fail("%v", err)
+	}
+	if tracer != nil {
+		if terr := tracer.Err(); terr != nil {
+			fail("trace-out: %v", terr)
+		}
+		if terr := traceW.Flush(); terr != nil {
+			fail("trace-out: %v", terr)
+		}
+		fmt.Fprintf(os.Stderr, "lapsim: wrote %d trace records to %s\n", tracer.Records(), *traceOut)
+	}
+
+	if *metrics {
+		if err := experiment.WriteResultJSONL(os.Stdout, r); err != nil {
+			fail("%v", err)
+		}
+		return
 	}
 	fmt.Printf("cell                 %s (scale %s)\n", cell, scale.Name)
 	fmt.Printf("avg read time        %.3f ms\n", r.AvgReadMs)
@@ -100,6 +150,13 @@ func main() {
 	fmt.Printf("prefetches issued    %d\n", r.PrefetchIssued)
 	fmt.Printf("fallback fraction    %.3f\n", r.FallbackFraction)
 	fmt.Printf("misprediction ratio  %.3f\n", r.MispredictionRatio)
+	fmt.Printf("prefetch timeliness  timely %d, late %d, wasted %d, unused at end %d\n",
+		r.PrefetchTimely, r.PrefetchLate, r.PrefetchWasted, r.PrefetchUnusedAtEnd)
+	fmt.Printf("max outstanding/file %d\n", r.MaxFilePrefetchHW)
+	fmt.Printf("disk utilization     %.3f (prefetch share %.3f, max queue %d)\n",
+		r.DiskUtilization, r.DiskPrefetchShare, r.DiskMaxQueue)
+	fmt.Printf("net utilization      %.4f (max port queue %d)\n", r.NetUtilization, r.NetMaxQueue)
+	fmt.Printf("events fired         %d\n", r.EventsFired)
 	fmt.Printf("simulated time       %.3f s\n", r.SimTime.Seconds())
 }
 

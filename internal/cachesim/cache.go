@@ -143,6 +143,11 @@ type Cache struct {
 	stats     Stats
 	dirty     map[blockdev.BlockID]bool // blocks with a dirty copy
 	scanStart int                       // rotating start for free-buffer scans
+
+	// OnPrefetchUsed, if set, fires when a user request first touches a
+	// prefetched copy — the moment a prefetch is known to have been
+	// timely. Observation only: the hook must not mutate the cache.
+	OnPrefetchUsed func(b blockdev.BlockID)
 }
 
 type nodeState struct {
@@ -298,6 +303,9 @@ func (c *Cache) touchCopy(cp *Copy) {
 	if cp.Prefetched {
 		cp.Prefetched = false
 		c.stats.UsedPrefetches++
+		if c.OnPrefetchUsed != nil {
+			c.OnPrefetchUsed(cp.Block)
+		}
 	}
 }
 

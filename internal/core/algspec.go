@@ -78,6 +78,24 @@ func (s AlgSpec) Name() string {
 	return name
 }
 
+// Validate checks that the configuration is runnable, so a sweep can
+// reject a bad specification up front instead of panicking mid-cell.
+func (s AlgSpec) Validate() error {
+	switch s.Kind {
+	case AlgNone, AlgOBA:
+	case AlgISPPM, AlgBlockPPM:
+		if s.Order < 1 {
+			return fmt.Errorf("core: %s needs order >= 1, got %d", s.Name(), s.Order)
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm kind %d", int(s.Kind))
+	}
+	if s.MaxOutstanding < 0 {
+		return fmt.Errorf("core: %s has negative outstanding limit %d", s.Name(), s.MaxOutstanding)
+	}
+	return nil
+}
+
 // PrefetchPriority returns the disk priority class for this
 // configuration's prefetch operations.
 func (s AlgSpec) PrefetchPriority() sim.Priority {

@@ -45,6 +45,16 @@ type Env interface {
 	Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(e *sim.Engine, at sim.Time))
 }
 
+// OutstandingObserver is notified whenever a driver's logical count of
+// in-flight prefetches changes. The file systems aggregate the deltas
+// per file: under PAFS one driver owns a file machine-wide, so the
+// aggregate can never exceed the linear limit; under xFS every node
+// runs its own driver and the aggregate exposes how far the per-node
+// implementation strays from truly linear prefetching (§4).
+type OutstandingObserver interface {
+	OutstandingChanged(f blockdev.FileID, delta int)
+}
+
 // DriverConfig assembles a per-file prefetch driver.
 type DriverConfig struct {
 	// Predictor supplies predictions; the driver owns it.
@@ -68,6 +78,10 @@ type DriverConfig struct {
 	// fully cached pattern from spinning forever. Zero means the
 	// default of 64.
 	MaxDrySteps int
+	// Observer, if non-nil, receives every change of the driver's
+	// logical outstanding-prefetch count (issue +1, completion -1, and
+	// the reset to zero when a chain restarts or stops).
+	Observer OutstandingObserver
 }
 
 // DriverStats counts driver activity; the experiment layer aggregates
@@ -79,6 +93,10 @@ type DriverStats struct {
 	Restarts        uint64 // chain resets after mispredictions
 	ChainStops      uint64 // chain reached end of file or went dry
 	PredictionSteps uint64 // Predict calls made while walking
+	// HighWater is the most prefetches this driver ever had in flight
+	// at once; ≤ MaxOutstanding by construction, so it verifies the
+	// linear throttle directly.
+	HighWater int
 }
 
 // pendingBlock is one block awaiting issue from the current predicted
@@ -193,7 +211,7 @@ func (d *Driver) OnUserRequest(r Request, now sim.Time, satisfied bool) {
 func (d *Driver) StopChain() {
 	d.pending = d.pending[:0]
 	d.gen++
-	d.outstanding = 0
+	d.changeOutstanding(-d.outstanding)
 	d.stopped = true
 	d.haveCursor = false
 }
@@ -203,9 +221,24 @@ func (d *Driver) restartFrom(real Cursor) {
 	d.haveCursor = true
 	d.pending = d.pending[:0]
 	d.gen++
-	d.outstanding = 0
+	d.changeOutstanding(-d.outstanding)
 	d.stopped = false
 	d.stats.Restarts++
+}
+
+// changeOutstanding adjusts the logical in-flight count, maintains the
+// high-water mark, and notifies the observer.
+func (d *Driver) changeOutstanding(delta int) {
+	if delta == 0 {
+		return
+	}
+	d.outstanding += delta
+	if d.outstanding > d.stats.HighWater {
+		d.stats.HighWater = d.outstanding
+	}
+	if d.cfg.Observer != nil {
+		d.cfg.Observer.OutstandingChanged(d.cfg.File, delta)
+	}
 }
 
 // enqueue clips a predicted request to the file and queues its blocks.
@@ -283,7 +316,7 @@ func (d *Driver) refill() bool {
 // chain restart orphans, and the disk queue drops, stale operations.
 func (d *Driver) issue(blk blockdev.BlockID, fallback bool) {
 	gen := d.gen
-	d.outstanding++
+	d.changeOutstanding(1)
 	d.stats.Issued++
 	if fallback {
 		d.stats.FallbackIssued++
@@ -297,7 +330,7 @@ func (d *Driver) issue(blk blockdev.BlockID, fallback bool) {
 			if d.gen != gen {
 				return // belongs to an abandoned chain
 			}
-			d.outstanding--
+			d.changeOutstanding(-1)
 			d.stats.Completed++
 			d.pump()
 		})

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+// recordingObserver logs every outstanding delta the driver reports.
+type recordingObserver struct {
+	deltas []int
+	files  []blockdev.FileID
+	net    int
+}
+
+func (o *recordingObserver) OutstandingChanged(f blockdev.FileID, delta int) {
+	o.deltas = append(o.deltas, delta)
+	o.files = append(o.files, f)
+	o.net += delta
+	if o.net < 0 {
+		panic("observer saw negative outstanding")
+	}
+}
+
+func TestDriverReportsOutstandingToObserver(t *testing.T) {
+	env := newFakeEnv()
+	obs := &recordingObserver{}
+	d := NewDriver(DriverConfig{
+		Predictor:      NewOBA(),
+		Mode:           ModeAggressive,
+		MaxOutstanding: 1,
+		File:           1,
+		FileBlocks:     10,
+		Env:            env,
+		Observer:       obs,
+	})
+	d.OnUserRequest(Request{Offset: 0, Size: 2}, 1, false)
+	env.completeAll()
+
+	if obs.net != 0 {
+		t.Errorf("net outstanding after drain = %d, want 0", obs.net)
+	}
+	if len(obs.deltas) == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	// With MaxOutstanding=1 the running sum may never exceed 1 — the
+	// linear throttle as the observer sees it.
+	run, peak := 0, 0
+	for i, dl := range obs.deltas {
+		run += dl
+		if run > peak {
+			peak = run
+		}
+		if obs.files[i] != 1 {
+			t.Errorf("delta %d attributed to file %d, want 1", i, obs.files[i])
+		}
+	}
+	if peak != 1 {
+		t.Errorf("observed outstanding peak = %d, want 1", peak)
+	}
+	if d.Stats().HighWater != 1 {
+		t.Errorf("driver high-water = %d, want 1", d.Stats().HighWater)
+	}
+}
+
+func TestDriverStopChainReleasesOutstanding(t *testing.T) {
+	env := newFakeEnv()
+	obs := &recordingObserver{}
+	d := NewDriver(DriverConfig{
+		Predictor:      NewOBA(),
+		Mode:           ModeAggressive,
+		MaxOutstanding: 1,
+		File:           2,
+		FileBlocks:     10,
+		Env:            env,
+		Observer:       obs,
+	})
+	d.OnUserRequest(Request{Offset: 0, Size: 2}, 1, false)
+	if obs.net != 1 {
+		t.Fatalf("outstanding before stop = %d, want 1 (prefetch in flight)", obs.net)
+	}
+	// Close the file while the prefetch is still in flight: the driver
+	// must hand the outstanding count back immediately, not wait for a
+	// completion that will be discarded.
+	d.StopChain()
+	if obs.net != 0 {
+		t.Errorf("outstanding after StopChain = %d, want 0", obs.net)
+	}
+	// The orphaned completion must not double-release.
+	env.completeAll()
+	if obs.net != 0 {
+		t.Errorf("outstanding after orphan completion = %d, want 0", obs.net)
+	}
+}

@@ -179,6 +179,34 @@ func (a *Array) Utilization() float64 {
 	return u / float64(len(a.disks))
 }
 
+// PrefetchBusyFraction returns the share of total disk busy time spent
+// serving prefetch-priority operations — how much of the arms' work
+// was speculative.
+func (a *Array) PrefetchBusyFraction() float64 {
+	var busy, pf sim.Duration
+	for _, d := range a.disks {
+		busy += d.res.BusyTime()
+		pf += d.res.BusyTimeClass(sim.PriorityPrefetch)
+	}
+	if busy == 0 {
+		return 0
+	}
+	return float64(pf) / float64(busy)
+}
+
+// MaxQueueLenAll returns the deepest waiting queue observed on any
+// disk over the run — the congestion high-water mark behind the
+// paper's "never queue prefetches behind demand traffic" argument.
+func (a *Array) MaxQueueLenAll() int {
+	max := 0
+	for _, d := range a.disks {
+		if q := d.res.MaxQueueLen(); q > max {
+			max = q
+		}
+	}
+	return max
+}
+
 // ID returns the disk's identifier.
 func (d *Disk) ID() blockdev.DiskID { return d.id }
 

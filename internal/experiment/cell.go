@@ -82,6 +82,34 @@ type Result struct {
 	FallbackFraction   float64
 	MispredictionRatio float64
 
+	// Prefetch timeliness (see stats.Collector): Timely prefetches were
+	// used from the cache, Late ones lost the race to demand traffic,
+	// Wasted ones were evicted unused inside the measurement window;
+	// UnusedAtEnd counts speculative copies still untouched when the
+	// run drained.
+	PrefetchTimely      uint64
+	PrefetchLate        uint64
+	PrefetchWasted      uint64
+	PrefetchUnusedAtEnd uint64
+
+	// MaxFilePrefetchHW is the largest number of prefetches ever
+	// simultaneously in flight for any single file, machine-wide. 1 on
+	// a truly linear run (PAFS); >1 exposes xFS's per-node chains
+	// overlapping on shared files.
+	MaxFilePrefetchHW int
+
+	// Resource utilization over the whole run (warm-up and drain
+	// included), plus queue-depth high-water marks.
+	DiskUtilization   float64
+	DiskPrefetchShare float64 // share of disk busy time at prefetch priority
+	DiskMaxQueue      int
+	NetUtilization    float64
+	NetMaxQueue       int
+
+	// EventsFired counts simulator events executed — a determinism
+	// fingerprint of the whole run.
+	EventsFired uint64
+
 	HitRatio float64
 	Reads    uint64
 	Writes   uint64
@@ -92,6 +120,11 @@ type Result struct {
 // depends only on the scale and workload kind, so every algorithm and
 // cache size is measured against the identical request stream.
 func RunCell(s Scale, c Cell) (Result, error) {
+	return RunCellObserved(s, c, nil)
+}
+
+// RunCellObserved is RunCell with an optional sim.Tracer attached.
+func RunCellObserved(s Scale, c Cell, tracer sim.Tracer) (Result, error) {
 	var (
 		tr   *workload.Trace
 		mach machine.Config
@@ -110,21 +143,34 @@ func RunCell(s Scale, c Cell) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return RunTrace(tr, mach, c, s.WarmFraction)
+	return RunTraceObserved(tr, mach, c, s.WarmFraction, tracer)
 }
 
 // RunTrace simulates an explicit trace (for example one loaded from a
 // tracegen file) on the given machine under cell c's file system,
 // algorithm and cache size; c.Workload is informational only.
 func RunTrace(tr *workload.Trace, mach machine.Config, c Cell, warmFraction float64) (Result, error) {
+	return RunTraceObserved(tr, mach, c, warmFraction, nil)
+}
+
+// RunTraceObserved is RunTrace with an optional sim.Tracer attached to
+// the engine for the whole run. Tracing is observation only, so every
+// number in the Result is identical with and without it.
+func RunTraceObserved(tr *workload.Trace, mach machine.Config, c Cell, warmFraction float64, tracer sim.Tracer) (Result, error) {
 	if err := tr.Validate(mach.Nodes, mach.BlockSize); err != nil {
 		return Result{}, err
 	}
 	if c.CacheMB <= 0 {
 		return Result{}, fmt.Errorf("experiment: cache size %d MB", c.CacheMB)
 	}
+	if err := c.Alg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("experiment: bad algorithm: %w", err)
+	}
 
 	e := sim.NewEngine(uint64(c.CacheMB)*1000003 + uint64(c.Workload)*7 + uint64(c.FS)*13 + 1)
+	if tracer != nil {
+		e.SetTracer(tracer)
+	}
 	cacheBlocks := mach.CacheBlocksPerNode(c.CacheMB)
 
 	var fs fscommon.FileSystem
@@ -160,6 +206,7 @@ func RunTrace(tr *workload.Trace, mach machine.Config, c Cell, warmFraction floa
 	if wasted+used > 0 {
 		misprediction = float64(wasted) / float64(wasted+used)
 	}
+	base := fs.(interface{ BaseRef() *fscommon.Base }).BaseRef()
 	return Result{
 		Cell:               c,
 		AvgReadMs:          coll.AvgReadTime().Milliseconds(),
@@ -170,9 +217,23 @@ func RunTrace(tr *workload.Trace, mach machine.Config, c Cell, warmFraction floa
 		PrefetchIssued:     coll.PrefetchIssuedCount(),
 		FallbackFraction:   coll.FallbackFraction(),
 		MispredictionRatio: misprediction,
-		HitRatio:           coll.BlockHitRatio(),
-		Reads:              coll.Reads(),
-		Writes:             coll.Writes(),
-		SimTime:            end,
+
+		PrefetchTimely:      coll.PrefetchTimelyCount(),
+		PrefetchLate:        coll.PrefetchLateCount(),
+		PrefetchWasted:      coll.PrefetchWastedCount(),
+		PrefetchUnusedAtEnd: fs.Cache().UnusedPrefetchedCopies(),
+		MaxFilePrefetchHW:   base.Ledger.MaxHighWater(),
+
+		DiskUtilization:   base.Disks.Utilization(),
+		DiskPrefetchShare: base.Disks.PrefetchBusyFraction(),
+		DiskMaxQueue:      base.Disks.MaxQueueLenAll(),
+		NetUtilization:    base.Net.Utilization(),
+		NetMaxQueue:       base.Net.MaxPortQueueLen(),
+		EventsFired:       e.Fired(),
+
+		HitRatio: coll.BlockHitRatio(),
+		Reads:    coll.Reads(),
+		Writes:   coll.Writes(),
+		SimTime:  end,
 	}, nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/sim"
 )
 
 // WriteCSV emits the figure as comma-separated values: a header row of
@@ -57,6 +59,143 @@ func (f Figure) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
+
+// resultJSON is the stable JSON shape of one cell's Result, emitted as
+// one JSONL record by lapsim -metrics and WriteResultJSONL.
+type resultJSON struct {
+	FS       string `json:"fs"`
+	Workload string `json:"workload"`
+	Alg      string `json:"algorithm"`
+	CacheMB  int    `json:"cache_mb"`
+
+	AvgReadMs      float64 `json:"avg_read_ms"`
+	DiskAccesses   uint64  `json:"disk_accesses"`
+	DiskReads      uint64  `json:"disk_reads"`
+	DiskWrites     uint64  `json:"disk_writes"`
+	WritesPerBlock float64 `json:"writes_per_block"`
+
+	PrefetchIssued     uint64  `json:"prefetch_issued"`
+	FallbackFraction   float64 `json:"fallback_fraction"`
+	MispredictionRatio float64 `json:"misprediction_ratio"`
+
+	PrefetchTimely      uint64 `json:"prefetch_timely"`
+	PrefetchLate        uint64 `json:"prefetch_late"`
+	PrefetchWasted      uint64 `json:"prefetch_wasted"`
+	PrefetchUnusedAtEnd uint64 `json:"prefetch_unused_at_end"`
+	MaxFilePrefetchHW   int    `json:"max_file_prefetch_outstanding"`
+
+	DiskUtilization   float64 `json:"disk_utilization"`
+	DiskPrefetchShare float64 `json:"disk_prefetch_share"`
+	DiskMaxQueue      int     `json:"disk_max_queue"`
+	NetUtilization    float64 `json:"net_utilization"`
+	NetMaxQueue       int     `json:"net_max_queue"`
+	EventsFired       uint64  `json:"events_fired"`
+
+	HitRatio  float64 `json:"hit_ratio"`
+	Reads     uint64  `json:"reads"`
+	Writes    uint64  `json:"writes"`
+	SimTimeNs int64   `json:"sim_time_ns"`
+}
+
+func toResultJSON(r Result) resultJSON {
+	return resultJSON{
+		FS:       r.Cell.FS.String(),
+		Workload: r.Cell.Workload.String(),
+		Alg:      r.Cell.Alg.Name(),
+		CacheMB:  r.Cell.CacheMB,
+
+		AvgReadMs:      r.AvgReadMs,
+		DiskAccesses:   r.DiskAccesses,
+		DiskReads:      r.DiskReads,
+		DiskWrites:     r.DiskWrites,
+		WritesPerBlock: r.WritesPerBlock,
+
+		PrefetchIssued:     r.PrefetchIssued,
+		FallbackFraction:   r.FallbackFraction,
+		MispredictionRatio: r.MispredictionRatio,
+
+		PrefetchTimely:      r.PrefetchTimely,
+		PrefetchLate:        r.PrefetchLate,
+		PrefetchWasted:      r.PrefetchWasted,
+		PrefetchUnusedAtEnd: r.PrefetchUnusedAtEnd,
+		MaxFilePrefetchHW:   r.MaxFilePrefetchHW,
+
+		DiskUtilization:   r.DiskUtilization,
+		DiskPrefetchShare: r.DiskPrefetchShare,
+		DiskMaxQueue:      r.DiskMaxQueue,
+		NetUtilization:    r.NetUtilization,
+		NetMaxQueue:       r.NetMaxQueue,
+		EventsFired:       r.EventsFired,
+
+		HitRatio:  r.HitRatio,
+		Reads:     r.Reads,
+		Writes:    r.Writes,
+		SimTimeNs: int64(r.SimTime),
+	}
+}
+
+// WriteResultJSONL emits one compact JSON object per result, one per
+// line, for downstream analysis tools.
+func WriteResultJSONL(w io.Writer, results ...Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		if err := enc.Encode(toResultJSON(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceRecordJSON is the stable JSON shape of one sim.TraceRecord.
+type traceRecordJSON struct {
+	AtNs      int64  `json:"at_ns"`
+	Kind      string `json:"kind"`
+	Resource  string `json:"resource,omitempty"`
+	Priority  int    `json:"prio,omitempty"`
+	WaitNs    int64  `json:"wait_ns,omitempty"`
+	ServiceNs int64  `json:"service_ns,omitempty"`
+	QueueLen  int    `json:"qlen,omitempty"`
+	Seq       uint64 `json:"seq,omitempty"`
+}
+
+// JSONLTracer is a sim.Tracer that streams every record as one JSON
+// line (the lapsim -trace-out format). Encoding errors are sticky and
+// surfaced by Err, because Record sits on the simulator's hot path and
+// cannot return one.
+type JSONLTracer struct {
+	enc *json.Encoder
+	err error
+	n   uint64
+}
+
+// NewJSONLTracer wraps w; the caller owns buffering and closing.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{enc: json.NewEncoder(w)}
+}
+
+// Record implements sim.Tracer.
+func (t *JSONLTracer) Record(rec sim.TraceRecord) {
+	if t.err != nil {
+		return
+	}
+	t.n++
+	t.err = t.enc.Encode(traceRecordJSON{
+		AtNs:      int64(rec.At),
+		Kind:      rec.Kind.String(),
+		Resource:  rec.Resource,
+		Priority:  int(rec.Priority),
+		WaitNs:    int64(rec.Wait),
+		ServiceNs: int64(rec.Service),
+		QueueLen:  rec.QueueLen,
+		Seq:       rec.Seq,
+	})
+}
+
+// Records returns how many records were written.
+func (t *JSONLTracer) Records() uint64 { return t.n }
+
+// Err returns the first write error, if any.
+func (t *JSONLTracer) Err() error { return t.err }
 
 // DecodeFigureJSON parses a figure previously written by WriteJSON,
 // for tools that post-process saved results.

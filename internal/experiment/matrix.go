@@ -48,13 +48,21 @@ func Run(s Scale, fs FSKind, wl WorkloadKind, algs []core.AlgSpec, workers int) 
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
 	ch := make(chan Cell)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for c := range ch {
-				res, err := RunCell(s, c)
+				if failed() {
+					continue // drain without simulating
+				}
+				res, err := runCell(s, c)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("%s: %w", c, err)
@@ -66,7 +74,13 @@ func Run(s Scale, fs FSKind, wl WorkloadKind, algs []core.AlgSpec, workers int) 
 			}
 		}()
 	}
+	// Stop feeding as soon as any cell fails: a sweep that cannot
+	// complete should not burn minutes simulating the rest. Cells
+	// already dispatched still finish.
 	for _, c := range cells {
+		if failed() {
+			break
+		}
 		ch <- c
 	}
 	close(ch)
@@ -76,6 +90,10 @@ func Run(s Scale, fs FSKind, wl WorkloadKind, algs []core.AlgSpec, workers int) 
 	}
 	return m, nil
 }
+
+// runCell is RunCell behind an indirection so tests can count how many
+// cells a sweep actually dispatched.
+var runCell = RunCell
 
 // Get returns the result for one algorithm at one cache size.
 func (m *Matrix) Get(algName string, cacheMB int) (Result, bool) {

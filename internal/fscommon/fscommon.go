@@ -53,10 +53,19 @@ type Base struct {
 	// Files maps every file to its size in blocks (from the trace).
 	Files map[blockdev.FileID]blockdev.BlockNo
 
+	// Ledger aggregates per-file outstanding-prefetch counts across
+	// every driver (see PrefetchLedger); both file systems register it
+	// as their drivers' observer.
+	Ledger *PrefetchLedger
+
 	// inflight coalesces concurrent demand fetches of one block.
 	inflight map[blockdev.BlockID][]func(e *sim.Engine, at sim.Time)
 	// inflightFor remembers which node the eventual insert targets.
 	inflightFor map[blockdev.BlockID]blockdev.NodeID
+	// pfInflight counts prefetch disk operations in flight per block
+	// (xFS nodes can prefetch the same block concurrently), for the
+	// late-prefetch classification.
+	pfInflight map[blockdev.BlockID]int
 	// wbStop ends the write-back daemon so the event queue can drain
 	// once the trace completes.
 	wbStop bool
@@ -74,17 +83,25 @@ func NewBase(e *sim.Engine, cfg machine.Config, cacheBlocksPerNode int,
 	for id, b := range tr.FileBlocks {
 		files[id] = b
 	}
-	return &Base{
+	b := &Base{
 		Engine:      e,
 		Cfg:         cfg,
 		Net:         netmodel.New(e, cfg),
 		Disks:       diskmodel.NewArray(e, cfg),
 		Cch:         cachesim.New(e, cfg.Nodes, cacheBlocksPerNode, policy),
 		Coll:        stats.New(),
+		Ledger:      NewPrefetchLedger(),
 		Files:       files,
 		inflight:    make(map[blockdev.BlockID][]func(e *sim.Engine, at sim.Time)),
 		inflightFor: make(map[blockdev.BlockID]blockdev.NodeID),
+		pfInflight:  make(map[blockdev.BlockID]int),
 	}
+	// A prefetched copy touched by a user request was a timely
+	// prefetch. Capture the collector (a shared pointer) rather than b:
+	// the file systems embed a copy of Base.
+	coll := b.Coll
+	b.Cch.OnPrefetchUsed = func(blockdev.BlockID) { coll.PrefetchTimely() }
+	return b
 }
 
 // Collector returns the metrics sink.
@@ -124,6 +141,11 @@ func (b *Base) DemandFetch(blk blockdev.BlockID, node blockdev.NodeID, done func
 	}
 	b.inflight[blk] = []func(e *sim.Engine, at sim.Time){done}
 	b.inflightFor[blk] = node
+	if b.PrefetchInFlight(blk) {
+		// The predictor was right but the prefetch lost the race: demand
+		// traffic now duplicates the read at user priority.
+		b.Coll.PrefetchLate()
+	}
 	b.Disks.Read(blk, sim.PriorityUser, nil, func(e *sim.Engine, at sim.Time) {
 		b.Coll.DiskRead(false)
 		target := b.inflightFor[blk]
@@ -144,9 +166,13 @@ func (b *Base) DemandFetchInFlight(blk blockdev.BlockID) bool {
 	return ok
 }
 
-// FlushVictims writes evicted dirty blocks back to disk.
+// FlushVictims writes evicted dirty blocks back to disk and accounts
+// speculative copies evicted unused as wasted prefetches.
 func (b *Base) FlushVictims(victims []cachesim.Victim) {
 	for _, v := range victims {
+		if v.WasUnusedPrefetch {
+			b.Coll.PrefetchWasted()
+		}
 		if !v.Dirty {
 			continue
 		}

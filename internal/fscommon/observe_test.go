@@ -1,0 +1,106 @@
+package fscommon
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func TestPrefetchLedgerHighWater(t *testing.T) {
+	l := NewPrefetchLedger()
+	f1, f2 := blockdev.FileID(1), blockdev.FileID(2)
+
+	// Two drivers overlap on f1 (the xFS shared-file case), one driver
+	// stays linear on f2.
+	l.OutstandingChanged(f1, 1)
+	l.OutstandingChanged(f1, 1)
+	l.OutstandingChanged(f1, -1)
+	l.OutstandingChanged(f2, 1)
+	l.OutstandingChanged(f2, -1)
+	l.OutstandingChanged(f2, 1)
+	l.OutstandingChanged(f2, -1)
+
+	if got := l.FileHighWater(f1); got != 2 {
+		t.Errorf("f1 high-water = %d, want 2", got)
+	}
+	if got := l.FileHighWater(f2); got != 1 {
+		t.Errorf("f2 high-water = %d, want 1", got)
+	}
+	if got := l.MaxHighWater(); got != 2 {
+		t.Errorf("max high-water = %d, want 2", got)
+	}
+	hw := l.HighWaters()
+	if hw[f1] != 2 || hw[f2] != 1 {
+		t.Errorf("HighWaters = %v", hw)
+	}
+	// The copy must be detached from the ledger.
+	hw[f1] = 99
+	if l.FileHighWater(f1) != 2 {
+		t.Error("HighWaters returned the internal map")
+	}
+	// High-water marks survive the outstanding count dropping to zero.
+	l.OutstandingChanged(f1, -1)
+	if l.MaxHighWater() != 2 || l.FileHighWater(f1) != 2 {
+		t.Error("high-water forgot its peak")
+	}
+}
+
+func TestPrefetchLedgerPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative outstanding count")
+		}
+	}()
+	NewPrefetchLedger().OutstandingChanged(1, -1)
+}
+
+func TestPrefetchInflightWindow(t *testing.T) {
+	b := &Base{pfInflight: make(map[blockdev.BlockID]int)}
+	blk := blockdev.BlockID{File: 1, Block: 7}
+	if b.PrefetchInFlight(blk) {
+		t.Error("in flight before begin")
+	}
+	b.PrefetchBegin(blk)
+	if !b.PrefetchInFlight(blk) {
+		t.Error("not in flight after begin")
+	}
+	b.PrefetchEnd(blk)
+	if b.PrefetchInFlight(blk) {
+		t.Error("still in flight after end")
+	}
+	if len(b.pfInflight) != 0 {
+		t.Error("completed entry not removed")
+	}
+}
+
+func TestWrapPrefetchCancelClosesWindow(t *testing.T) {
+	b := &Base{pfInflight: make(map[blockdev.BlockID]int)}
+	blk := blockdev.BlockID{File: 3, Block: 1}
+
+	if b.WrapPrefetchCancel(blk, nil) != nil {
+		t.Error("nil hook should stay nil")
+	}
+
+	// A live (non-cancelled) operation keeps its window open; the
+	// completion callback is what closes it.
+	b.PrefetchBegin(blk)
+	live := b.WrapPrefetchCancel(blk, func() bool { return false })
+	if live() {
+		t.Error("live operation reported cancelled")
+	}
+	if !b.PrefetchInFlight(blk) {
+		t.Error("live operation lost its window")
+	}
+	b.PrefetchEnd(blk)
+
+	// A cancelled operation never completes, so the wrapper must close
+	// the window when the disk polls the hook.
+	b.PrefetchBegin(blk)
+	dropped := b.WrapPrefetchCancel(blk, func() bool { return true })
+	if !dropped() {
+		t.Error("cancelled operation reported live")
+	}
+	if b.PrefetchInFlight(blk) {
+		t.Error("cancelled operation left its window open")
+	}
+}

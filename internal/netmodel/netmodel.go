@@ -73,6 +73,30 @@ func (n *Network) Send(from, to blockdev.NodeID, size int64, done func(e *sim.En
 	})
 }
 
+// Utilization returns the mean busy fraction across the nodes' network
+// ports.
+func (n *Network) Utilization() float64 {
+	if len(n.ports) == 0 {
+		return 0
+	}
+	var u float64
+	for _, p := range n.ports {
+		u += p.Utilization()
+	}
+	return u / float64(len(n.ports))
+}
+
+// MaxPortQueueLen returns the deepest send queue observed on any port.
+func (n *Network) MaxPortQueueLen() int {
+	max := 0
+	for _, p := range n.ports {
+		if q := p.MaxQueueLen(); q > max {
+			max = q
+		}
+	}
+	return max
+}
+
 // MessagesLocal returns the count of intra-node messages delivered.
 func (n *Network) MessagesLocal() uint64 { return n.msgsLocal }
 

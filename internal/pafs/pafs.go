@@ -78,7 +78,9 @@ func (e pafsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bo
 		return
 	}
 	fs.Coll.PrefetchIssued(fallback)
-	fs.Disks.Read(b, fs.alg.PrefetchPriority(), cancelled, func(eng *sim.Engine, at sim.Time) {
+	fs.PrefetchBegin(b)
+	fs.Disks.Read(b, fs.alg.PrefetchPriority(), fs.WrapPrefetchCancel(b, cancelled), func(eng *sim.Engine, at sim.Time) {
+		fs.PrefetchEnd(b)
 		fs.Coll.DiskRead(true)
 		_, victims := fs.Cch.Insert(e.server, b, cachesim.InsertOptions{Prefetched: true})
 		fs.FlushVictims(victims)
@@ -101,6 +103,7 @@ func (fs *FS) driverFor(f blockdev.FileID) *core.Driver {
 		File:           f,
 		FileBlocks:     fs.FileBlocks(f),
 		Env:            pafsEnv{fs: fs, server: fs.ServerFor(f)},
+		Observer:       fs.Ledger,
 	})
 	fs.drivers[f] = d
 	return d

@@ -25,7 +25,7 @@ func TestBuildProducesAllChecks(t *testing.T) {
 		"fig5-flooding", "fig6-aggressive-wins", "fig7-xfs-tracks-pafs",
 		"fig8-pafs-traffic", "fig9-xfs-traffic", "fig10-11-sprite-traffic",
 		"table2-writes-per-block", "claim-misprediction",
-		"claim-fallback", "claim-xfs-volume",
+		"claim-fallback", "claim-xfs-volume", "claim-linearity",
 	}
 	got := make(map[string]Check)
 	for _, c := range r.Checks {
@@ -67,11 +67,43 @@ func TestRenderStructure(t *testing.T) {
 		"## Measured figures", "| check | paper says | measured | verdict |",
 		"fig4-speedup", "11.7", // a paper Table 2 value
 		"paper Fig. 4",
+		"## Observability", "claim-linearity", "max out/file",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}
 	}
+}
+
+func TestObservabilitySection(t *testing.T) {
+	r := buildTiny(t)
+	if len(r.Observability) == 0 {
+		t.Fatal("no observability example cells collected")
+	}
+	var sawPafs, sawXfs bool
+	for _, res := range r.Observability {
+		switch res.Cell.FS {
+		case experiment.PAFS:
+			sawPafs = true
+			if res.MaxFilePrefetchHW > 1 {
+				t.Errorf("%s: PAFS high-water %d > 1", res.Cell, res.MaxFilePrefetchHW)
+			}
+		case experiment.XFS:
+			sawXfs = true
+		}
+	}
+	if !sawPafs || !sawXfs {
+		t.Errorf("example cells cover pafs=%v xfs=%v, want both", sawPafs, sawXfs)
+	}
+	for _, c := range r.Checks {
+		if c.ID == "claim-linearity" {
+			if c.Verdict != Match {
+				t.Errorf("claim-linearity = %s (%s), want MATCH", c.Verdict, c.Note)
+			}
+			return
+		}
+	}
+	t.Fatal("claim-linearity check missing")
 }
 
 func TestPaperTable2Embeds(t *testing.T) {

@@ -66,6 +66,7 @@ type Engine struct {
 	rng     *RNG
 	fired   uint64
 	running bool
+	tracer  Tracer
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose
@@ -154,6 +155,9 @@ func (e *Engine) RunUntil(stop func() bool) Time {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.tracer != nil {
+			e.tracer.Record(TraceRecord{At: ev.at, Kind: TraceEventFired, Seq: ev.seq})
+		}
 		ev.fn(e)
 	}
 	return e.now

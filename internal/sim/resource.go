@@ -80,9 +80,17 @@ type Resource struct {
 	served    uint64
 	perClass  map[Priority]uint64
 	busyTime  Duration
+	busyClass map[Priority]Duration
 	waitTime  Duration
 	enqueueAt map[*Request]Time
 	dropped   uint64
+
+	// queue-depth accounting: high-water mark plus the time integral of
+	// the waiting-queue length, from which the time-weighted mean depth
+	// follows. qLast is the instant of the last length change.
+	maxQueue  int
+	qIntegral int64 // request-nanoseconds
+	qLast     Time
 }
 
 // NewResource creates an idle resource attached to the engine.
@@ -91,6 +99,7 @@ func NewResource(e *Engine, name string) *Resource {
 		name:      name,
 		engine:    e,
 		perClass:  make(map[Priority]uint64),
+		busyClass: make(map[Priority]Duration),
 		enqueueAt: make(map[*Request]Time),
 	}
 }
@@ -116,6 +125,32 @@ func (r *Resource) Dropped() uint64 { return r.dropped }
 // BusyTime returns the cumulative time the resource spent serving.
 func (r *Resource) BusyTime() Duration { return r.busyTime }
 
+// BusyTimeClass returns the cumulative service time spent on requests
+// of class p — the split that shows how much of a disk's load is
+// speculative prefetch traffic versus demand traffic.
+func (r *Resource) BusyTimeClass(p Priority) Duration { return r.busyClass[p] }
+
+// MaxQueueLen returns the waiting-queue high-water mark.
+func (r *Resource) MaxQueueLen() int { return r.maxQueue }
+
+// MeanQueueLen returns the time-weighted mean waiting-queue length up
+// to the current virtual time.
+func (r *Resource) MeanQueueLen() float64 {
+	now := r.engine.Now()
+	if now == 0 {
+		return 0
+	}
+	integral := r.qIntegral + int64(len(r.queue))*int64(now.Sub(r.qLast))
+	return float64(integral) / float64(now)
+}
+
+// accountQueue folds the elapsed interval at the current queue length
+// into the integral; call it immediately before any length change.
+func (r *Resource) accountQueue(now Time) {
+	r.qIntegral += int64(len(r.queue)) * int64(now.Sub(r.qLast))
+	r.qLast = now
+}
+
 // WaitTime returns the cumulative time requests spent queued before
 // service began.
 func (r *Resource) WaitTime() Duration { return r.waitTime }
@@ -138,8 +173,17 @@ func (r *Resource) Submit(req *Request) {
 	}
 	req.seq = r.seq
 	r.seq++
-	r.enqueueAt[req] = r.engine.Now()
+	now := r.engine.Now()
+	r.enqueueAt[req] = now
+	r.accountQueue(now)
 	heap.Push(&r.queue, req)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	if t := r.engine.tracer; t != nil {
+		t.Record(TraceRecord{At: now, Kind: TraceEnqueue, Resource: r.name,
+			Priority: req.Priority, Service: req.Service, QueueLen: len(r.queue)})
+	}
 	r.dispatch()
 }
 
@@ -149,18 +193,29 @@ func (r *Resource) dispatch() {
 		return
 	}
 	for len(r.queue) > 0 {
+		now := r.engine.Now()
+		r.accountQueue(now)
 		req := heap.Pop(&r.queue).(*Request)
 		enq := r.enqueueAt[req]
 		delete(r.enqueueAt, req)
 		if req.Cancelled != nil && req.Cancelled() {
 			r.dropped++
+			if t := r.engine.tracer; t != nil {
+				t.Record(TraceRecord{At: now, Kind: TraceDrop, Resource: r.name,
+					Priority: req.Priority, QueueLen: len(r.queue)})
+			}
 			continue
 		}
-		now := r.engine.Now()
 		r.waitTime += now.Sub(enq)
 		r.busy = true
 		r.busyEnd = now.Add(req.Service)
 		r.busyTime += req.Service
+		r.busyClass[req.Priority] += req.Service
+		if t := r.engine.tracer; t != nil {
+			t.Record(TraceRecord{At: now, Kind: TraceStart, Resource: r.name,
+				Priority: req.Priority, Wait: now.Sub(enq), Service: req.Service,
+				QueueLen: len(r.queue)})
+		}
 		if req.startCB != nil {
 			req.startCB(r.engine, now)
 		}
@@ -168,6 +223,10 @@ func (r *Resource) dispatch() {
 			r.busy = false
 			r.served++
 			r.perClass[req.Priority]++
+			if t := e.tracer; t != nil {
+				t.Record(TraceRecord{At: e.Now(), Kind: TraceDone, Resource: r.name,
+					Priority: req.Priority, Service: req.Service, QueueLen: len(r.queue)})
+			}
 			if req.Done != nil {
 				req.Done(e, e.Now())
 			}

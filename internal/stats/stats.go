@@ -32,6 +32,14 @@ type Collector struct {
 
 	prefetchIssued   uint64
 	prefetchFallback uint64
+
+	// Prefetch timeliness: a prefetched block is *timely* when a user
+	// request finds it cached, *late* when demand traffic arrives while
+	// the prefetch is still in flight (forcing a duplicate demand
+	// fetch), and *wasted* when it is evicted without ever being used.
+	prefetchTimely uint64
+	prefetchLate   uint64
+	prefetchWasted uint64
 }
 
 // New returns an idle collector.
@@ -114,6 +122,34 @@ func (c *Collector) PrefetchIssued(fallback bool) {
 	}
 }
 
+// PrefetchTimely records a prefetched block hit by a user request
+// after arriving in the cache: the prefetch paid off in full.
+func (c *Collector) PrefetchTimely() {
+	if !c.measuring {
+		return
+	}
+	c.prefetchTimely++
+}
+
+// PrefetchLate records a demand fetch launched while a prefetch of the
+// same block was still in flight: the prediction was right but the
+// prefetch lost the race, so the work is duplicated.
+func (c *Collector) PrefetchLate() {
+	if !c.measuring {
+		return
+	}
+	c.prefetchLate++
+}
+
+// PrefetchWasted records a prefetched block evicted before any user
+// request touched it.
+func (c *Collector) PrefetchWasted() {
+	if !c.measuring {
+		return
+	}
+	c.prefetchWasted++
+}
+
 // Reads returns the completed user read count.
 func (c *Collector) Reads() uint64 { return c.reads }
 
@@ -176,6 +212,16 @@ func (c *Collector) FallbackFraction() float64 {
 	}
 	return float64(c.prefetchFallback) / float64(c.prefetchIssued)
 }
+
+// PrefetchTimelyCount returns prefetched blocks used after arrival.
+func (c *Collector) PrefetchTimelyCount() uint64 { return c.prefetchTimely }
+
+// PrefetchLateCount returns demand fetches that overlapped an
+// in-flight prefetch of the same block.
+func (c *Collector) PrefetchLateCount() uint64 { return c.prefetchLate }
+
+// PrefetchWastedCount returns prefetched blocks evicted unused.
+func (c *Collector) PrefetchWastedCount() uint64 { return c.prefetchWasted }
 
 // BlockHitRatio returns the fraction of requested blocks found cached
 // on arrival.

@@ -7,29 +7,100 @@ import (
 	"repro/internal/sim"
 )
 
-func TestCollectorGatesOnMeasurement(t *testing.T) {
-	c := New()
+// fireEverything drives every recorder the collector has, old and new.
+// A gating bug in any of them shows up as a snapshot difference.
+func fireEverything(c *Collector) {
 	c.ReadDone(sim.Milliseconds(5))
 	c.WriteDone(sim.Milliseconds(5))
+	c.ReadBlocks(4, 2)
 	c.DiskRead(false)
+	c.DiskRead(true)
 	c.DiskWrite(blockdev.BlockID{File: 1})
 	c.PrefetchIssued(false)
-	c.ReadBlocks(4, 2)
-	if c.Reads() != 0 || c.Writes() != 0 || c.DiskAccesses() != 0 ||
-		c.PrefetchIssuedCount() != 0 || c.BlockHitRatio() != 0 {
-		t.Error("collector recorded before StartMeasurement")
+	c.PrefetchIssued(true)
+	c.PrefetchTimely()
+	c.PrefetchLate()
+	c.PrefetchWasted()
+}
+
+// snapshot reads every exported counter and ratio.
+func snapshot(c *Collector) map[string]float64 {
+	return map[string]float64{
+		"reads":          float64(c.Reads()),
+		"writes":         float64(c.Writes()),
+		"avgRead":        float64(c.AvgReadTime()),
+		"avgWrite":       float64(c.AvgWriteTime()),
+		"hitRatio":       c.BlockHitRatio(),
+		"diskReads":      float64(c.DiskReads()),
+		"diskDemand":     float64(c.DiskDemandReads()),
+		"diskPrefetch":   float64(c.DiskPrefetchReads()),
+		"diskWrites":     float64(c.DiskWrites()),
+		"diskAccesses":   float64(c.DiskAccesses()),
+		"writesPerBlock": c.WritesPerBlock(),
+		"distinctBlocks": float64(c.DistinctBlocksWritten()),
+		"pfIssued":       float64(c.PrefetchIssuedCount()),
+		"fallback":       c.FallbackFraction(),
+		"pfTimely":       float64(c.PrefetchTimelyCount()),
+		"pfLate":         float64(c.PrefetchLateCount()),
+		"pfWasted":       float64(c.PrefetchWastedCount()),
 	}
+}
+
+func assertAllZero(t *testing.T, c *Collector, when string) {
+	t.Helper()
+	for name, v := range snapshot(c) {
+		if v != 0 {
+			t.Errorf("%s: %s = %v, want 0", when, name, v)
+		}
+	}
+}
+
+func TestCollectorGatesOnMeasurement(t *testing.T) {
+	c := New()
 	if c.Measuring() {
 		t.Error("Measuring true before start")
 	}
+	fireEverything(c)
+	assertAllZero(t, c, "before StartMeasurement")
+
 	c.StartMeasurement()
 	if !c.Measuring() {
 		t.Error("Measuring false after start")
 	}
-	c.ReadDone(sim.Milliseconds(5))
-	if c.Reads() != 1 {
-		t.Error("collector ignored post-start event")
+	fireEverything(c)
+	inWindow := snapshot(c)
+	if inWindow["reads"] != 1 || inWindow["pfTimely"] != 1 ||
+		inWindow["pfLate"] != 1 || inWindow["pfWasted"] != 1 {
+		t.Errorf("collector ignored in-window events: %v", inWindow)
 	}
+	for name, v := range inWindow {
+		if v == 0 {
+			t.Errorf("in-window %s = 0, want nonzero", name)
+		}
+	}
+
+	c.StopMeasurement()
+	if c.Measuring() {
+		t.Error("Measuring true after stop")
+	}
+	fireEverything(c)
+	after := snapshot(c)
+	for name, v := range after {
+		if v != inWindow[name] {
+			t.Errorf("after StopMeasurement %s changed %v -> %v", name, inWindow[name], v)
+		}
+	}
+}
+
+// TestCollectorZeroWindow pins the degenerate window: start and stop
+// with nothing in between leaks nothing from either side.
+func TestCollectorZeroWindow(t *testing.T) {
+	c := New()
+	fireEverything(c)
+	c.StartMeasurement()
+	c.StopMeasurement()
+	fireEverything(c)
+	assertAllZero(t, c, "empty window")
 }
 
 func TestAvgReadTime(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -75,11 +76,23 @@ func Decode(r io.Reader) (*Trace, error) {
 			if n, err := fmt.Sscanf(text, "file %d %d", &id, &blocks); n != 2 || err != nil {
 				return nil, fmt.Errorf("line %d: malformed file record", line)
 			}
+			if id < 0 || id > math.MaxInt32 {
+				return nil, fmt.Errorf("line %d: file id %d out of range", line, id)
+			}
+			if blocks <= 0 || blocks > math.MaxInt32 {
+				return nil, fmt.Errorf("line %d: file %d has %d blocks", line, id, blocks)
+			}
+			if _, dup := t.FileBlocks[blockdev.FileID(id)]; dup {
+				return nil, fmt.Errorf("line %d: duplicate file %d", line, id)
+			}
 			t.FileBlocks[blockdev.FileID(id)] = blockdev.BlockNo(blocks)
 		case "proc":
 			var node int64
 			if n, err := fmt.Sscanf(text, "proc %d", &node); n != 1 || err != nil {
 				return nil, fmt.Errorf("line %d: malformed proc record", line)
+			}
+			if node < 0 || node > math.MaxInt32 {
+				return nil, fmt.Errorf("line %d: node %d out of range", line, node)
 			}
 			t.Procs = append(t.Procs, Process{Node: blockdev.NodeID(node)})
 		case "step":
@@ -100,6 +113,15 @@ func Decode(r io.Reader) (*Trace, error) {
 				k = OpClose
 			default:
 				return nil, fmt.Errorf("line %d: unknown op kind %q", line, kind)
+			}
+			if think < 0 {
+				return nil, fmt.Errorf("line %d: negative think time %d", line, think)
+			}
+			if file < 0 || file > math.MaxInt32 {
+				return nil, fmt.Errorf("line %d: file id %d out of range", line, file)
+			}
+			if k != OpClose && (off < 0 || size <= 0) {
+				return nil, fmt.Errorf("line %d: step has range (%d,%d)", line, off, size)
 			}
 			p := &t.Procs[len(t.Procs)-1]
 			p.Steps = append(p.Steps, Step{

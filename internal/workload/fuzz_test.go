@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// tinyCharisma and tinySprite generate small but structurally complete
+// traces for seeding the parser fuzzer and exercising the round-trip.
+func tinyCharisma(t testing.TB) *Trace {
+	t.Helper()
+	p := DefaultCharismaParams()
+	p.Nodes = 4
+	p.Apps = 2
+	p.ProcsPerApp = 2
+	p.FilesPerApp = 1
+	p.MeanFileBlocks = 24
+	p.Phases = 2
+	p.WritePhaseEvery = 2
+	p.WriteRunLength = 1
+	p.ScratchBlocks = 8
+	p.HotWritesPerPhase = 2
+	tr, err := GenerateCharisma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func tinySprite(t testing.TB) *Trace {
+	t.Helper()
+	p := DefaultSpriteParams()
+	p.Nodes = 4
+	p.FilesPerClient = 4
+	p.SharedFiles = 2
+	p.SessionsPerClient = 4
+	tr, err := GenerateSprite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func encodeToBytes(t testing.TB, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode feeds the trace parser arbitrary input. Two properties
+// must hold: Decode never panics, and anything it accepts survives an
+// Encode/Decode round-trip unchanged.
+func FuzzDecode(f *testing.F) {
+	f.Add(encodeToBytes(f, tinyCharisma(f)))
+	f.Add(encodeToBytes(f, tinySprite(f)))
+	for _, seed := range []string{
+		"",
+		"trace t\n",
+		"trace t\nfile 1 10\nproc 0\nstep 0 r 1 0 512\n",
+		"trace t\nfile 1 10\nproc 0\nstep 100 w 1 512 512\nstep 0 c 1 0 0\n",
+		"trace t\n# comment\n\nfile 2 3\nproc 1\nstep 5 r 2 0 1\n",
+		"step 0 r 1 0 512\n",                 // step before proc
+		"trace t\nfile 1 0\n",                // zero-length file
+		"trace t\nfile -1 10\n",              // negative id
+		"trace t\nfile 1 10\nfile 1 10\n",    // duplicate file
+		"trace t\nproc -3\n",                 // negative node
+		"trace t\nfile 1 8589934592\n",       // blocks overflow int32
+		"trace t\nproc 0\nstep -1 r 1 0 1\n", // negative think
+		"trace t\nproc 0\nstep 0 x 1 0 1\n",  // unknown op
+		"trace t\nproc 0\nstep 0 r 1 -1 0\n", // bad range
+		"bogus record\n",
+		"trace\n",
+		"trace t\nfile 1\n",
+		"trace t extra words\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := encodeToBytes(t, tr)
+		tr2, err := Decode(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("accepted trace failed to round-trip: %v\nencoded:\n%s", err, out)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round-trip changed the trace:\nfirst:  %+v\nsecond: %+v", tr, tr2)
+		}
+	})
+}
+
+// TestDecodeRejections pins the parser's validation errors.
+func TestDecodeRejections(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"empty", ""},
+		{"no header", "file 1 10\n"},
+		{"step before proc", "trace t\nstep 0 r 1 0 512\n"},
+		{"zero blocks", "trace t\nfile 1 0\n"},
+		{"negative blocks", "trace t\nfile 1 -5\n"},
+		{"negative file id", "trace t\nfile -1 10\n"},
+		{"duplicate file", "trace t\nfile 1 10\nfile 1 12\n"},
+		{"file id overflow", "trace t\nfile 4294967296 10\n"},
+		{"blocks overflow", "trace t\nfile 1 8589934592\n"},
+		{"negative node", "trace t\nproc -1\n"},
+		{"node overflow", "trace t\nproc 4294967296\n"},
+		{"negative think", "trace t\nfile 1 10\nproc 0\nstep -1 r 1 0 1\n"},
+		{"unknown op", "trace t\nfile 1 10\nproc 0\nstep 0 q 1 0 1\n"},
+		{"zero size", "trace t\nfile 1 10\nproc 0\nstep 0 r 1 0 0\n"},
+		{"negative offset", "trace t\nfile 1 10\nproc 0\nstep 0 w 1 -1 1\n"},
+		{"step file overflow", "trace t\nproc 0\nstep 0 r 4294967296 0 1\n"},
+		{"unknown record", "trace t\nwat 1\n"},
+		{"bad header", "trace\n"},
+	} {
+		if _, err := Decode(bytes.NewReader([]byte(tc.in))); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+// TestDecodeAcceptsClose pins that close steps skip the range check
+// (their offset and size carry no meaning).
+func TestDecodeAcceptsClose(t *testing.T) {
+	tr, err := Decode(bytes.NewReader([]byte("trace t\nfile 1 10\nproc 0\nstep 0 c 1 0 0\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Procs[0].Steps[0].Kind; got != OpClose {
+		t.Fatalf("kind = %v, want close", got)
+	}
+}
+
+// TestGeneratedTracesRoundTrip checks the real generators against the
+// codec end to end, including think times and close steps.
+func TestGeneratedTracesRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{tinyCharisma(t), tinySprite(t)} {
+		out := encodeToBytes(t, tr)
+		tr2, err := Decode(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("%s: round-trip changed the trace", tr.Name)
+		}
+		if tr2.TotalSteps() == 0 || tr2.DistinctBlocks() == 0 {
+			t.Fatalf("%s: degenerate trace", tr.Name)
+		}
+		// Generated traces must themselves validate (8KB is the
+		// generators' default block size).
+		if err := tr2.Validate(4, 8*1024); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+	}
+}

@@ -98,7 +98,9 @@ func (e xfsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() boo
 	// is fetched again anyway — the duplicated work (and the extra
 	// disk traffic of Figure 9) that makes xFS's per-node prefetching
 	// "not really linear" (§4, §5.2).
-	fs.Disks.Read(b, fs.alg.PrefetchPriority(), cancelled, func(eng *sim.Engine, at sim.Time) {
+	fs.PrefetchBegin(b)
+	fs.Disks.Read(b, fs.alg.PrefetchPriority(), fs.WrapPrefetchCancel(b, cancelled), func(eng *sim.Engine, at sim.Time) {
+		fs.PrefetchEnd(b)
 		fs.Coll.DiskRead(true)
 		_, victims := fs.Cch.Insert(e.node, b, cachesim.InsertOptions{Prefetched: true})
 		fs.FlushVictims(victims)
@@ -122,6 +124,7 @@ func (fs *FS) driverFor(node blockdev.NodeID, f blockdev.FileID) *core.Driver {
 		File:           f,
 		FileBlocks:     fs.FileBlocks(f),
 		Env:            xfsEnv{fs: fs, node: node},
+		Observer:       fs.Ledger,
 	})
 	fs.drivers[k] = d
 	return d
