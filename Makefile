@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench report
+.PHONY: check check-runtime vet build test race fuzz bench report
 
-check: vet build race fuzz
+check: vet build race fuzz check-runtime
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The runtime engine and its commands under the race detector: unit
+# tests, the linearity stress test (N goroutines on one file), and the
+# end-to-end trace replay through a live server.
+check-runtime:
+	$(GO) test -race -count=1 ./internal/lapcache/... ./internal/lapclient/... ./cmd/...
 
 # Run each fuzz target briefly; the seed corpus alone is covered by
 # plain `go test`, this also explores mutations for FUZZTIME.

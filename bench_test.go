@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/lapcache"
 )
 
 // benchScale is shared by every benchmark in this file.
@@ -181,6 +183,74 @@ func BenchmarkAblationFallback(b *testing.B) {
 			runAblationCell(b, spec)
 		})
 	}
+}
+
+// newBenchEngine builds a lapcache engine for the runtime benchmarks:
+// zero-latency in-memory store, no prefetching, so the measured cost is
+// the cache path itself.
+func newBenchEngine(b *testing.B, cacheBlocks int) *lapcache.Engine {
+	b.Helper()
+	const blockSize = 8192
+	e, err := lapcache.New(lapcache.Config{
+		Alg:         core.SpecNP,
+		BlockSize:   blockSize,
+		CacheBlocks: cacheBlocks,
+		Store:       lapcache.NewMemStore(blockSize, 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Shutdown)
+	return e
+}
+
+// BenchmarkLapcacheGet measures the runtime engine's three demand-read
+// paths: a plain cache hit, a miss through the backing store, and the
+// first touch of a prefetched block (hit + timely classification).
+// BENCH_lapcache.json records a reference run.
+func BenchmarkLapcacheGet(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		e := newBenchEngine(b, 64)
+		e.Preload(1, 0, 1, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit, err := e.Read(1, 0, 1); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		// A 1-block cache and a striding scan: every read misses and
+		// goes to the (zero-latency) store.
+		e := newBenchEngine(b, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := blockdev.BlockNo(i % (1 << 18))
+			if _, hit, err := e.Read(1, off, 1); err != nil || hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
+	b.Run("prefetchedHit", func(b *testing.B) {
+		// Blocks are staged with the speculative flag armed, in batches
+		// outside the timer; each read is then a first touch of a
+		// prefetched block — the timely path.
+		const batch = 4096
+		e := newBenchEngine(b, 2*batch) // headroom: shard hashing is not perfectly even
+		i := 0
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if i == 0 {
+				b.StopTimer()
+				e.Preload(1, 0, batch, true)
+				b.StartTimer()
+			}
+			if _, hit, err := e.Read(1, blockdev.BlockNo(i), 1); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+			i = (i + 1) % batch
+		}
+	})
 }
 
 // BenchmarkAblationNChance sweeps xFS's N-chance recirculation count

@@ -1,0 +1,147 @@
+// Command lapcached serves a live linear-aggressive prefetching block
+// cache over TCP: the paper's predictors and driver running against
+// wall-clock time instead of the simulator's virtual clock.
+//
+// Usage:
+//
+//	lapcached -addr :7020 -alg Ln_Agr_IS_PPM:3 [-cache-blocks N]
+//	          [-store mem|dir] [-latency 2ms] [-trace FILE] [-strict]
+//
+// A -trace file (in tracegen's text format) supplies the file table so
+// prefetch chains clip at each file's real end. -debug-addr exposes
+// the counter snapshot as expvar JSON over HTTP.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lapcache"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7020", "listen address")
+		algName     = flag.String("alg", "Ln_Agr_IS_PPM:3", "prefetch algorithm (paper notation; see -list-algs)")
+		listAlgs    = flag.Bool("list-algs", false, "print the known algorithm names and exit")
+		cacheBlocks = flag.Int("cache-blocks", 4096, "cache capacity in blocks")
+		blockSize   = flag.Int("block-size", 8192, "block size in bytes")
+		shards      = flag.Int("shards", 8, "cache mutex stripes")
+		workers     = flag.Int("workers", 4, "prefetch worker goroutines")
+		queueLen    = flag.Int("queue", 64, "prefetch queue bound (backpressure)")
+		storeKind   = flag.String("store", "mem", "backing store: mem or dir")
+		dir         = flag.String("dir", "", "directory for -store dir")
+		latency     = flag.Duration("latency", 2*time.Millisecond, "injected read latency for -store mem")
+		traceFile   = flag.String("trace", "", "trace file supplying the file table")
+		strict      = flag.Bool("strict", false, "panic if a file ever exceeds the linear outstanding limit")
+		debugAddr   = flag.String("debug-addr", "", "HTTP address for expvar counters (off when empty)")
+	)
+	flag.Parse()
+
+	if *listAlgs {
+		names := core.AlgNames()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	alg, ok := core.LookupAlg(*algName)
+	if !ok {
+		log.Fatalf("unknown algorithm %q (try -list-algs)", *algName)
+	}
+
+	cfg := lapcache.Config{
+		Alg:          alg,
+		BlockSize:    *blockSize,
+		CacheBlocks:  *cacheBlocks,
+		Shards:       *shards,
+		Workers:      *workers,
+		QueueLen:     *queueLen,
+		StrictLinear: *strict,
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatalf("open trace: %v", err)
+		}
+		tr, err := workload.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse trace %s: %v", *traceFile, err)
+		}
+		cfg.FileBlocks = tr.FileBlocks
+		log.Printf("file table: %d files from %s (%s)", len(tr.FileBlocks), *traceFile, tr.Name)
+	}
+
+	var fileStore *lapcache.FileStore
+	switch *storeKind {
+	case "mem":
+		cfg.Store = lapcache.NewMemStore(*blockSize, *latency)
+	case "dir":
+		if *dir == "" {
+			log.Fatal("-store dir needs -dir")
+		}
+		fs, err := lapcache.NewFileStore(*dir, int64(*blockSize))
+		if err != nil {
+			log.Fatalf("open file store: %v", err)
+		}
+		fileStore = fs
+		cfg.Store = fs
+	default:
+		log.Fatalf("unknown store %q", *storeKind)
+	}
+
+	engine, err := lapcache.New(cfg)
+	if err != nil {
+		log.Fatalf("start engine: %v", err)
+	}
+
+	if *debugAddr != "" {
+		expvar.Publish("lapcache", expvar.Func(func() any { return engine.Snapshot() }))
+		go func() {
+			log.Printf("expvar counters on http://%s/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := lapcache.NewServer(engine)
+	log.Printf("lapcached: alg=%s cache=%d blocks (%d B each) store=%s listening on %s",
+		alg.Name(), *cacheBlocks, *blockSize, *storeKind, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	engine.Shutdown()
+	if fileStore != nil {
+		fileStore.Close()
+	}
+	log.Printf("final: %s", engine.Snapshot())
+}

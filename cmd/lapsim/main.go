@@ -70,9 +70,9 @@ func main() {
 	default:
 		fail("unknown workload %q", *wlName)
 	}
-	alg, ok := lookupAlg(*algName)
+	alg, ok := core.LookupAlg(*algName)
 	if !ok {
-		fail("unknown algorithm %q (want one of %s)", *algName, strings.Join(algNames(), ", "))
+		fail("unknown algorithm %q (want one of %s)", *algName, strings.Join(core.AlgNames(), ", "))
 	}
 	var scale experiment.Scale
 	switch *scaleName {
@@ -158,35 +158,6 @@ func main() {
 	fmt.Printf("net utilization      %.4f (max port queue %d)\n", r.NetUtilization, r.NetMaxQueue)
 	fmt.Printf("events fired         %d\n", r.EventsFired)
 	fmt.Printf("simulated time       %.3f s\n", r.SimTime.Seconds())
-}
-
-// standardAndAblation lists every named algorithm lapsim accepts.
-func standardAndAblation() []core.AlgSpec {
-	specs := core.StandardAlgorithms()
-	specs = append(specs,
-		core.AlgSpec{Kind: core.AlgOBA, Mode: core.ModeAggressive, MaxOutstanding: 0},
-		core.AlgSpec{Kind: core.AlgISPPM, Order: 1, Mode: core.ModeAggressive, MaxOutstanding: 0},
-		core.AlgSpec{Kind: core.AlgISPPM, Order: 3, Mode: core.ModeAggressive, MaxOutstanding: 0},
-		core.AlgSpec{Kind: core.AlgBlockPPM, Order: 1, Mode: core.ModeAggressive, MaxOutstanding: 1},
-	)
-	return specs
-}
-
-func lookupAlg(name string) (core.AlgSpec, bool) {
-	for _, s := range standardAndAblation() {
-		if s.Name() == name {
-			return s, true
-		}
-	}
-	return core.AlgSpec{}, false
-}
-
-func algNames() []string {
-	var out []string
-	for _, s := range standardAndAblation() {
-		out = append(out, s.Name())
-	}
-	return out
 }
 
 func fail(format string, args ...any) {

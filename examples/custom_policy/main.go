@@ -32,7 +32,7 @@ type striderCursor struct{ last blockdev.BlockNo }
 
 func (s *strider) Name() string { return fmt.Sprintf("Stride+%d", s.stride) }
 
-func (s *strider) Observe(r core.Request, _ sim.Time) core.Cursor {
+func (s *strider) Observe(r core.Request, _ core.Tick) core.Cursor {
 	return striderCursor{last: r.Offset}
 }
 
@@ -54,11 +54,12 @@ type env struct {
 
 func (e *env) Cached(b blockdev.BlockID) bool { return e.cached[b] }
 
-func (e *env) Prefetch(b blockdev.BlockID, _ bool, cancelled func() bool, done func(eng *sim.Engine, at sim.Time)) {
+func (e *env) Prefetch(b blockdev.BlockID, _ bool, cancelled func() bool, done func()) bool {
 	e.disks.Read(b, sim.PriorityPrefetch, cancelled, func(eng *sim.Engine, at sim.Time) {
 		e.cached[b] = true
-		done(eng, at)
+		done()
 	})
+	return true
 }
 
 // simulateScan runs a strided read stream (stride 4, one block per
@@ -101,7 +102,7 @@ func simulateScan(pred core.Predictor) (hits, total int) {
 		} else {
 			envr.disks.Read(blk, sim.PriorityUser, nil, finish)
 		}
-		drv.OnUserRequest(core.Request{Offset: off, Size: 1}, e.Now(), satisfied)
+		drv.OnUserRequest(core.Request{Offset: off, Size: 1}, core.Tick(e.Now()), satisfied)
 	}
 	step(0, 0)
 	e.Run()

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/blockdev"
+	"repro/internal/lrulist"
 	"repro/internal/sim"
 )
 
@@ -28,86 +29,23 @@ type Copy struct {
 	// Recirculated counts N-chance forwarding hops (xFS policy).
 	Recirculated int
 
-	lastUse  sim.Time
-	nodePrev *Copy // per-node LRU links
-	nodeNext *Copy
-	globPrev *Copy // global LRU links
-	globNext *Copy
+	lastUse   sim.Time
+	nodeLinks lrulist.Links[Copy] // per-node LRU links
+	globLinks lrulist.Links[Copy] // global LRU links
 }
 
-// lruList is an intrusive doubly linked list with sentinel, most
-// recently used at the back.
-type lruList struct {
-	head, tail *Copy
-	len        int
-	global     bool // selects which pair of links to use
+// The recency machinery itself lives in internal/lrulist (shared with
+// the lapcache runtime); the two Links fields let one copy sit on its
+// node's list and the machine-wide list at once.
+
+// newNodeLRU threads a list through the per-node link pair.
+func newNodeLRU() lrulist.List[Copy] {
+	return lrulist.New[Copy](func(c *Copy) *lrulist.Links[Copy] { return &c.nodeLinks })
 }
 
-func (l *lruList) prev(c *Copy) *Copy {
-	if l.global {
-		return c.globPrev
-	}
-	return c.nodePrev
-}
-
-func (l *lruList) next(c *Copy) *Copy {
-	if l.global {
-		return c.globNext
-	}
-	return c.nodeNext
-}
-
-func (l *lruList) setPrev(c, v *Copy) {
-	if l.global {
-		c.globPrev = v
-	} else {
-		c.nodePrev = v
-	}
-}
-
-func (l *lruList) setNext(c, v *Copy) {
-	if l.global {
-		c.globNext = v
-	} else {
-		c.nodeNext = v
-	}
-}
-
-// pushBack appends c as the most recently used element.
-func (l *lruList) pushBack(c *Copy) {
-	l.setPrev(c, l.tail)
-	l.setNext(c, nil)
-	if l.tail != nil {
-		l.setNext(l.tail, c)
-	} else {
-		l.head = c
-	}
-	l.tail = c
-	l.len++
-}
-
-// remove unlinks c.
-func (l *lruList) remove(c *Copy) {
-	p, n := l.prev(c), l.next(c)
-	if p != nil {
-		l.setNext(p, n)
-	} else {
-		l.head = n
-	}
-	if n != nil {
-		l.setPrev(n, p)
-	} else {
-		l.tail = p
-	}
-	l.setPrev(c, nil)
-	l.setNext(c, nil)
-	l.len--
-}
-
-// touch moves c to the most-recently-used position.
-func (l *lruList) touch(c *Copy) {
-	l.remove(c)
-	l.pushBack(c)
+// newGlobalLRU threads a list through the global link pair.
+func newGlobalLRU() lrulist.List[Copy] {
+	return lrulist.New[Copy](func(c *Copy) *lrulist.Links[Copy] { return &c.globLinks })
 }
 
 // Victim is an evicted copy the caller must handle: if Dirty, the
@@ -137,7 +75,7 @@ type Cache struct {
 	perNode   int // capacity per node, in blocks
 	nodes     []nodeState
 	dir       map[blockdev.BlockID][]*Copy
-	globLRU   lruList // only maintained under global-LRU management
+	globLRU   lrulist.List[Copy] // only maintained under global-LRU management
 	policy    Policy
 	rng       *sim.RNG
 	stats     Stats
@@ -151,7 +89,7 @@ type Cache struct {
 }
 
 type nodeState struct {
-	lru lruList
+	lru lrulist.List[Copy]
 }
 
 // Policy chooses how room is made when a node's pool is full.
@@ -172,16 +110,20 @@ func New(e *sim.Engine, nNodes, perNode int, policy Policy) *Cache {
 	if nNodes <= 0 || perNode <= 0 {
 		panic(fmt.Sprintf("cachesim: invalid geometry %d nodes x %d blocks", nNodes, perNode))
 	}
-	return &Cache{
+	c := &Cache{
 		engine:  e,
 		perNode: perNode,
 		nodes:   make([]nodeState, nNodes),
 		dir:     make(map[blockdev.BlockID][]*Copy),
-		globLRU: lruList{global: true},
+		globLRU: newGlobalLRU(),
 		policy:  policy,
 		rng:     e.RNG().Split(),
 		dirty:   make(map[blockdev.BlockID]bool),
 	}
+	for i := range c.nodes {
+		c.nodes[i].lru = newNodeLRU()
+	}
+	return c
 }
 
 // Nodes returns the number of per-node pools.
@@ -200,13 +142,13 @@ func (c *Cache) Policy() Policy { return c.policy }
 func (c *Cache) Len() int {
 	n := 0
 	for i := range c.nodes {
-		n += c.nodes[i].lru.len
+		n += c.nodes[i].lru.Len()
 	}
 	return n
 }
 
 // NodeLen returns the number of copies cached on node n.
-func (c *Cache) NodeLen(n blockdev.NodeID) int { return c.nodes[n].lru.len }
+func (c *Cache) NodeLen(n blockdev.NodeID) int { return c.nodes[n].lru.Len() }
 
 // Holders returns the nodes currently holding copies of b, in
 // insertion order; nil if the block is uncached.
@@ -268,7 +210,7 @@ func (c *Cache) Insert(pref blockdev.NodeID, b blockdev.BlockID, opts InsertOpti
 	// Termination: every MakeRoom call either drops a copy or uses up
 	// one recirculation hop, both finite.
 	target := pref
-	for c.findCopy(target, b) == nil && c.nodes[target].lru.len >= c.perNode {
+	for c.findCopy(target, b) == nil && c.nodes[target].lru.Len() >= c.perNode {
 		target, victims = c.policy.MakeRoom(c, target, victims)
 	}
 	if existing := c.findCopy(target, b); existing != nil {
@@ -287,8 +229,8 @@ func (c *Cache) Insert(pref blockdev.NodeID, b blockdev.BlockID, opts InsertOpti
 		lastUse:    c.engine.Now(),
 	}
 	c.dir[b] = append(c.dir[b], cp)
-	c.nodes[target].lru.pushBack(cp)
-	c.globLRU.pushBack(cp)
+	c.nodes[target].lru.PushBack(cp)
+	c.globLRU.PushBack(cp)
 	if opts.Dirty {
 		c.dirty[b] = true
 	}
@@ -298,8 +240,8 @@ func (c *Cache) Insert(pref blockdev.NodeID, b blockdev.BlockID, opts InsertOpti
 
 func (c *Cache) touchCopy(cp *Copy) {
 	cp.lastUse = c.engine.Now()
-	c.nodes[cp.Node].lru.touch(cp)
-	c.globLRU.touch(cp)
+	c.nodes[cp.Node].lru.Touch(cp)
+	c.globLRU.Touch(cp)
 	if cp.Prefetched {
 		cp.Prefetched = false
 		c.stats.UsedPrefetches++
@@ -341,8 +283,8 @@ func (c *Cache) MarkDirty(b blockdev.BlockID) bool {
 
 // removeCopy unlinks the copy from all structures and the directory.
 func (c *Cache) removeCopy(cp *Copy) {
-	c.nodes[cp.Node].lru.remove(cp)
-	c.globLRU.remove(cp)
+	c.nodes[cp.Node].lru.Remove(cp)
+	c.globLRU.Remove(cp)
 	copies := c.dir[cp.Block]
 	for i, x := range copies {
 		if x == cp {

@@ -22,7 +22,7 @@ func (GlobalLRU) MakeRoom(c *Cache, pref blockdev.NodeID, out []Victim) (blockde
 	if n, ok := c.anyFreeNode(); ok {
 		return n, out
 	}
-	victim := c.globLRU.head
+	victim := c.globLRU.Front()
 	if victim == nil {
 		// Impossible with positive capacity; guard anyway.
 		return pref, out
@@ -39,7 +39,7 @@ func (c *Cache) anyFreeNode() (blockdev.NodeID, bool) {
 	start := c.scanStart
 	for i := 0; i < n; i++ {
 		id := (start + i) % n
-		if c.nodes[id].lru.len < c.perNode {
+		if c.nodes[id].lru.Len() < c.perNode {
 			c.scanStart = (id + 1) % n
 			return blockdev.NodeID(id), true
 		}
@@ -64,7 +64,7 @@ func (p NChance) Name() string { return "n-chance" }
 // MakeRoom frees a buffer on node pref itself (xFS decisions are
 // local), forwarding singlet victims per the N-chance protocol.
 func (p NChance) MakeRoom(c *Cache, pref blockdev.NodeID, out []Victim) (blockdev.NodeID, []Victim) {
-	victim := c.nodes[pref].lru.head
+	victim := c.nodes[pref].lru.Front()
 	if victim == nil {
 		return pref, out
 	}
@@ -79,7 +79,7 @@ func (p NChance) MakeRoom(c *Cache, pref blockdev.NodeID, out []Victim) (blockde
 		prefetched := victim.Prefetched
 		blk := victim.Block
 		c.removeCopy(victim)
-		for c.nodes[target].lru.len >= c.perNode {
+		for c.nodes[target].lru.Len() >= c.perNode {
 			_, out = p.MakeRoom(c, target, out)
 		}
 		fwd := &Copy{
@@ -91,8 +91,8 @@ func (p NChance) MakeRoom(c *Cache, pref blockdev.NodeID, out []Victim) (blockde
 			lastUse:      c.engine.Now(),
 		}
 		c.dir[blk] = append(c.dir[blk], fwd)
-		c.nodes[target].lru.pushBack(fwd)
-		c.globLRU.pushBack(fwd)
+		c.nodes[target].lru.PushBack(fwd)
+		c.globLRU.PushBack(fwd)
 		if dirty {
 			c.dirty[blk] = true
 		}

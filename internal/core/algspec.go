@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/sim"
-)
+import "fmt"
 
 // AlgKind selects the base predictor of an algorithm configuration.
 type AlgKind int
@@ -96,15 +92,6 @@ func (s AlgSpec) Validate() error {
 	return nil
 }
 
-// PrefetchPriority returns the disk priority class for this
-// configuration's prefetch operations.
-func (s AlgSpec) PrefetchPriority() sim.Priority {
-	if s.UserPriorityPrefetch {
-		return sim.PriorityUser
-	}
-	return sim.PriorityPrefetch
-}
-
 // Prefetches reports whether the configuration prefetches at all.
 func (s AlgSpec) Prefetches() bool { return s.Kind != AlgNone }
 
@@ -161,6 +148,40 @@ func StandardAlgorithms() []AlgSpec {
 		SpecISPPM3,
 		SpecLnAgrISPPM3,
 	}
+}
+
+// NamedAlgorithms returns every configuration addressable by name:
+// the standard seven plus the unthrottled aggressive variants and the
+// block-granularity PPM baseline. Command-line tools resolve -alg
+// flags against this set.
+func NamedAlgorithms() []AlgSpec {
+	return append(StandardAlgorithms(),
+		AlgSpec{Kind: AlgOBA, Mode: ModeAggressive, MaxOutstanding: 0},
+		AlgSpec{Kind: AlgISPPM, Order: 1, Mode: ModeAggressive, MaxOutstanding: 0},
+		AlgSpec{Kind: AlgISPPM, Order: 3, Mode: ModeAggressive, MaxOutstanding: 0},
+		AlgSpec{Kind: AlgBlockPPM, Order: 1, Mode: ModeAggressive, MaxOutstanding: 1},
+	)
+}
+
+// LookupAlg resolves a paper-notation algorithm name ("NP", "OBA",
+// "Ln_Agr_IS_PPM:3", ...) to its configuration.
+func LookupAlg(name string) (AlgSpec, bool) {
+	for _, s := range NamedAlgorithms() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return AlgSpec{}, false
+}
+
+// AlgNames returns the names of every named configuration, in order.
+func AlgNames() []string {
+	specs := NamedAlgorithms()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name()
+	}
+	return out
 }
 
 // AggressiveAlgorithms returns the three linear aggressive

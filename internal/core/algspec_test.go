@@ -2,8 +2,6 @@ package core
 
 import (
 	"testing"
-
-	"repro/internal/sim"
 )
 
 func TestAlgSpecNames(t *testing.T) {
@@ -61,12 +59,6 @@ func TestAlgSpecAblationNamesAndPriority(t *testing.T) {
 	s.UserPriorityPrefetch = true
 	if got := s.Name(); got != "Ln_Agr_IS_PPM:1[prob][nofb][uprio]" {
 		t.Errorf("Name = %q", got)
-	}
-	if s.PrefetchPriority() != sim.PriorityUser {
-		t.Error("UserPriorityPrefetch not reflected in PrefetchPriority")
-	}
-	if SpecLnAgrISPPM1.PrefetchPriority() != sim.PriorityPrefetch {
-		t.Error("default prefetch priority wrong")
 	}
 	// The ablation predictor must carry the switches.
 	m, ok := s.NewPredictor().(*ISPPM)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // BlockPPM is the original Vitter & Krishnan prediction-by-partial-
@@ -54,7 +53,7 @@ type blockNode struct {
 	counts   map[blockdev.BlockNo]uint32
 	top      blockdev.BlockNo
 	topCount uint32
-	lastUse  sim.Time
+	lastUse  Tick
 }
 
 // blockppmCursor is a speculative position: the history window.
@@ -82,7 +81,7 @@ func (m *BlockPPM) NodeCount() int { return len(m.nodes) }
 
 // Observe records the blocks of a real request, one by one, as the
 // original paging-oriented algorithm would see them.
-func (m *BlockPPM) Observe(r Request, now sim.Time) Cursor {
+func (m *BlockPPM) Observe(r Request, now Tick) Cursor {
 	for b := r.Offset; b < r.End(); b++ {
 		if m.started && m.hist.full(m.order) {
 			nd := m.getOrCreate(m.hist, now)
@@ -99,7 +98,7 @@ func (m *BlockPPM) Observe(r Request, now sim.Time) Cursor {
 	return blockppmCursor{hist: m.hist}
 }
 
-func (m *BlockPPM) getOrCreate(k blockKey, now sim.Time) *blockNode {
+func (m *BlockPPM) getOrCreate(k blockKey, now Tick) *blockNode {
 	if nd, ok := m.nodes[k]; ok {
 		return nd
 	}
@@ -113,7 +112,7 @@ func (m *BlockPPM) getOrCreate(k blockKey, now sim.Time) *blockNode {
 
 func (m *BlockPPM) evictOldest() {
 	var victim blockKey
-	var at sim.Time
+	var at Tick
 	first := true
 	for k, nd := range m.nodes {
 		if first || nd.lastUse < at {

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 func TestBlockPPMLearnsRepeatedSequence(t *testing.T) {
@@ -14,7 +13,7 @@ func TestBlockPPMLearnsRepeatedSequence(t *testing.T) {
 	var cur Cursor
 	for pass := 0; pass < 2; pass++ {
 		for b := 0; b < 5; b++ {
-			cur = m.Observe(Request{Offset: blockdev.BlockNo(b), Size: 1}, sim.Time(pass*5+b+1))
+			cur = m.Observe(Request{Offset: blockdev.BlockNo(b), Size: 1}, Tick(pass*5+b+1))
 		}
 	}
 	p, _, ok := m.Predict(cur)
@@ -37,8 +36,8 @@ func TestBlockPPMCannotPredictFreshBlocks(t *testing.T) {
 	var bpCur, isCur Cursor
 	for i := 0; i < 6; i++ {
 		r := Request{Offset: blockdev.BlockNo(i * 10), Size: 1}
-		bpCur = bp.Observe(r, sim.Time(i+1))
-		isCur = is.Observe(r, sim.Time(i+1))
+		bpCur = bp.Observe(r, Tick(i+1))
+		isCur = is.Observe(r, Tick(i+1))
 	}
 	if _, _, ok := bp.Predict(bpCur); ok {
 		t.Error("block-PPM predicted a never-accessed block")
@@ -55,7 +54,7 @@ func TestBlockPPMMostProbableWins(t *testing.T) {
 	seq := []blockdev.BlockNo{5, 6, 5, 9, 5, 6}
 	var cur Cursor
 	for i, b := range seq {
-		cur = m.Observe(Request{Offset: b, Size: 1}, sim.Time(i+1))
+		cur = m.Observe(Request{Offset: b, Size: 1}, Tick(i+1))
 	}
 	cur = m.Observe(Request{Offset: 5, Size: 1}, 10)
 	p, _, ok := m.Predict(cur)
@@ -88,7 +87,7 @@ func TestBlockPPMChainWalk(t *testing.T) {
 	m := NewBlockPPM(1)
 	for pass := 0; pass < 2; pass++ {
 		for b := 0; b < 6; b++ {
-			m.Observe(Request{Offset: blockdev.BlockNo(b), Size: 1}, sim.Time(pass*6+b+1))
+			m.Observe(Request{Offset: blockdev.BlockNo(b), Size: 1}, Tick(pass*6+b+1))
 		}
 	}
 	cur := m.Observe(Request{Offset: 0, Size: 1}, 20)
@@ -130,7 +129,7 @@ func TestBlockPPMNodeCapBounds(t *testing.T) {
 	m := NewBlockPPM(1)
 	m.maxNodes = 8
 	for i := 0; i < 100; i++ {
-		m.Observe(Request{Offset: blockdev.BlockNo(i * 7 % 97), Size: 1}, sim.Time(i+1))
+		m.Observe(Request{Offset: blockdev.BlockNo(i * 7 % 97), Size: 1}, Tick(i+1))
 	}
 	if m.NodeCount() > 8 {
 		t.Errorf("graph grew to %d nodes despite cap", m.NodeCount())

@@ -1,0 +1,9 @@
+package core
+
+// Tick is a point on whichever clock drives a predictor. The package
+// is deliberately clock-free: predictors and drivers only ever compare
+// Ticks for recency (MRU links, node eviction), so any monotonically
+// non-decreasing int64 works. The discrete-event simulator feeds
+// virtual nanoseconds (sim.Time), the lapcache runtime feeds a
+// per-file logical sequence number — one model, two clocks.
+type Tick int64

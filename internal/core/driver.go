@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // Mode selects how a predictor is exercised by the Driver.
@@ -40,9 +39,12 @@ type Env interface {
 	// Prefetch launches a low-priority fetch of b. fallback reports
 	// whether the block was predicted by the cold-start OBA fallback
 	// (for the paper's fallback-fraction accounting). cancelled is
-	// polled when the disk would start the operation; done fires at
-	// completion (not called when cancelled).
-	Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(e *sim.Engine, at sim.Time))
+	// polled when the backing store would start the operation; done
+	// fires at completion (not called when cancelled). Prefetch reports
+	// whether the operation was accepted: an environment under
+	// backpressure (the runtime's bounded prefetch queue) may refuse,
+	// which parks the driver's chain until the next user request.
+	Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func()) (accepted bool)
 }
 
 // OutstandingObserver is notified whenever a driver's logical count of
@@ -92,6 +94,7 @@ type DriverStats struct {
 	Completed       uint64 // prefetch operations that finished
 	Restarts        uint64 // chain resets after mispredictions
 	ChainStops      uint64 // chain reached end of file or went dry
+	Rejected        uint64 // prefetches refused by the env (backpressure)
 	PredictionSteps uint64 // Predict calls made while walking
 	// HighWater is the most prefetches this driver ever had in flight
 	// at once; ≤ MaxOutstanding by construction, so it verifies the
@@ -172,7 +175,7 @@ func (d *Driver) Outstanding() int { return d.outstanding }
 // whether every requested block was already cached when the request
 // arrived — the paper's criterion for "the system prediction was
 // correct and there is no need to modify the prefetching path" (§3.1).
-func (d *Driver) OnUserRequest(r Request, now sim.Time, satisfied bool) {
+func (d *Driver) OnUserRequest(r Request, now Tick, satisfied bool) {
 	real := d.cfg.Predictor.Observe(r, now)
 	switch d.cfg.Mode {
 	case ModeOneShot:
@@ -280,7 +283,13 @@ func (d *Driver) pump() {
 		if d.cfg.Env.Cached(blk) {
 			continue // raced in via a demand fetch since enqueue
 		}
-		d.issue(blk, pb.fallback)
+		if !d.issue(blk, pb.fallback) {
+			// Backpressure: the env refused the operation. Park the
+			// chain; OnUserRequest resumes it once the queue drains
+			// enough for the next satisfied request to restart it.
+			d.stopped = true
+			return
+		}
 	}
 }
 
@@ -314,19 +323,16 @@ func (d *Driver) refill() bool {
 
 // issue launches one prefetch with generation-stamped callbacks so a
 // chain restart orphans, and the disk queue drops, stale operations.
-func (d *Driver) issue(blk blockdev.BlockID, fallback bool) {
+// It reports whether the environment accepted the operation.
+func (d *Driver) issue(blk blockdev.BlockID, fallback bool) bool {
 	gen := d.gen
 	d.changeOutstanding(1)
-	d.stats.Issued++
-	if fallback {
-		d.stats.FallbackIssued++
-	}
 	// Cancellation keys on the generation only: a same-generation
 	// operation always runs to completion so the outstanding count
 	// stays consistent (stale generations reset it in restartFrom).
-	d.cfg.Env.Prefetch(blk, fallback,
+	accepted := d.cfg.Env.Prefetch(blk, fallback,
 		func() bool { return d.gen != gen },
-		func(_ *sim.Engine, _ sim.Time) {
+		func() {
 			if d.gen != gen {
 				return // belongs to an abandoned chain
 			}
@@ -334,4 +340,14 @@ func (d *Driver) issue(blk blockdev.BlockID, fallback bool) {
 			d.stats.Completed++
 			d.pump()
 		})
+	if !accepted {
+		d.changeOutstanding(-1)
+		d.stats.Rejected++
+		return false
+	}
+	d.stats.Issued++
+	if fallback {
+		d.stats.FallbackIssued++
+	}
+	return true
 }

@@ -2,8 +2,6 @@ package core
 
 import (
 	"testing"
-
-	"repro/internal/sim"
 )
 
 func TestOneShotUnlimitedIssuesBatchInParallel(t *testing.T) {
@@ -20,7 +18,7 @@ func TestOneShotUnlimitedIssuesBatchInParallel(t *testing.T) {
 	reqs := []Request{{0, 8}, {10, 8}, {20, 8}, {30, 8}}
 	for i, r := range reqs {
 		env.inflight = nil
-		d.OnUserRequest(r, sim.Time(i+1), false)
+		d.OnUserRequest(r, Tick(i+1), false)
 	}
 	// After the 4th request the prediction is (40, 8): all 8 blocks in
 	// flight simultaneously.
@@ -103,7 +101,7 @@ func TestNegativePredictionOffsetClipped(t *testing.T) {
 	seq := []Request{{90, 1}, {60, 1}, {30, 1}} // interval -30
 	for i, r := range seq {
 		env.inflight = nil
-		d.OnUserRequest(r, sim.Time(i+1), false)
+		d.OnUserRequest(r, Tick(i+1), false)
 	}
 	// Predicted next: offset 0 (clipped from 30-30=0 — in range), then
 	// from 0 the next prediction would be -30: entirely outside.
@@ -141,7 +139,7 @@ func TestWritesFeedThePredictor(t *testing.T) {
 	d := newDriver(t, m, ModeOneShot, 0, 1000, env)
 	for i, r := range []Request{{0, 2}, {10, 2}, {20, 2}, {30, 2}} {
 		env.inflight = nil
-		d.OnUserRequest(r, sim.Time(i+1), false) // kind-agnostic
+		d.OnUserRequest(r, Tick(i+1), false) // kind-agnostic
 	}
 	if len(env.inflight) != 2 || env.inflight[0].b != bid(1, 40) {
 		t.Errorf("stride from mixed stream not predicted: %+v", env.inflight)

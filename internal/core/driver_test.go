@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // fakeEnv is a controllable Env: prefetches queue up and complete only
@@ -19,7 +18,7 @@ type fakeEnv struct {
 type fakeOp struct {
 	b         blockdev.BlockID
 	cancelled func() bool
-	done      func(e *sim.Engine, at sim.Time)
+	done      func()
 }
 
 func newFakeEnv() *fakeEnv {
@@ -28,10 +27,11 @@ func newFakeEnv() *fakeEnv {
 
 func (f *fakeEnv) Cached(b blockdev.BlockID) bool { return f.cache[b] }
 
-func (f *fakeEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(e *sim.Engine, at sim.Time)) {
+func (f *fakeEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func()) bool {
 	f.issued = append(f.issued, b)
 	f.fallbacks = append(f.fallbacks, fallback)
 	f.inflight = append(f.inflight, fakeOp{b, cancelled, done})
+	return true
 }
 
 // completeOne finishes the oldest in-flight prefetch, inserting the
@@ -46,7 +46,7 @@ func (f *fakeEnv) completeOne() bool {
 		return true
 	}
 	f.cache[op.b] = true
-	op.done(nil, 0)
+	op.done()
 	return true
 }
 
@@ -90,7 +90,7 @@ func TestOneShotISPPMPrefetchesWholePredictedRequest(t *testing.T) {
 	d := newDriver(t, m, ModeOneShot, 1, 1000, env)
 	// Teach the paper pattern via the driver.
 	for i, r := range paperPattern(4) {
-		d.OnUserRequest(r, sim.Time(i+1), false)
+		d.OnUserRequest(r, Tick(i+1), false)
 		env.completeAll()
 	}
 	// After the 4th request (offset 11, size 3) the prediction is
@@ -246,7 +246,7 @@ func TestDriverClipsPredictionsToFile(t *testing.T) {
 	// [24, 28) — fully outside a 20-block file.
 	reqs := []Request{{0, 4}, {8, 4}, {16, 4}}
 	for i, r := range reqs {
-		d.OnUserRequest(r, sim.Time(i+1), false)
+		d.OnUserRequest(r, Tick(i+1), false)
 		env.completeAll()
 	}
 	for _, b := range env.issued {
@@ -286,7 +286,7 @@ func TestDryPatternDoesNotSpin(t *testing.T) {
 	// both blocks cached: the chain can always predict in-file blocks
 	// but never finds work.
 	for i, r := range []Request{{10, 1}, {20, 1}, {10, 1}, {20, 1}} {
-		m.Observe(r, sim.Time(i+1))
+		m.Observe(r, Tick(i+1))
 	}
 	env.cache[bid(1, 10)] = true
 	env.cache[bid(1, 20)] = true
@@ -372,7 +372,7 @@ func TestISPPMAggressiveFollowsLearnedPattern(t *testing.T) {
 		for _, b := range r.blocks() {
 			env.cache[bid(1, int(b))] = true
 		}
-		d.OnUserRequest(r, sim.Time(i+1), i > 3)
+		d.OnUserRequest(r, Tick(i+1), i > 3)
 	}
 	// Drain some chain work and verify it follows the +3/+5 pattern
 	// beyond the observed region.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // MaxOrder bounds the Markov order of IS_PPM predictors; the paper
@@ -71,14 +70,14 @@ const (
 // their last traversal and counted; prediction follows the configured
 // link policy.
 type node struct {
-	links      map[histKey]sim.Time
+	links      map[histKey]Tick
 	counts     map[histKey]uint32
 	mru        histKey // cached argmax over links by timestamp
-	mruTime    sim.Time
+	mruTime    Tick
 	hasMRU     bool
 	top        histKey // cached argmax over links by count
 	topCount   uint32
-	lastUpdate sim.Time
+	lastUpdate Tick
 }
 
 // ISPPM is the Interval-and-Size prediction-by-partial-match predictor
@@ -152,7 +151,7 @@ func (m *ISPPM) NodeCount() int { return len(m.nodes) }
 
 // Observe records a real user request, growing the pattern graph as in
 // the paper's Figure 2, and returns the cursor positioned after it.
-func (m *ISPPM) Observe(r Request, now sim.Time) Cursor {
+func (m *ISPPM) Observe(r Request, now Tick) Cursor {
 	if !m.started {
 		// First request: no interval can be computed yet (§2.2, t1).
 		m.started = true
@@ -177,9 +176,9 @@ func (m *ISPPM) Observe(r Request, now sim.Time) Cursor {
 	return isppmCursor{hist: m.hist, lastOffset: r.Offset, lastSize: r.Size}
 }
 
-func (nd *node) setLink(target histKey, now sim.Time) {
+func (nd *node) setLink(target histKey, now Tick) {
 	if nd.links == nil {
-		nd.links = make(map[histKey]sim.Time)
+		nd.links = make(map[histKey]Tick)
 		nd.counts = make(map[histKey]uint32)
 	}
 	nd.links[target] = now
@@ -207,7 +206,7 @@ func (nd *node) successor(p LinkPolicy) (histKey, bool) {
 	return nd.mru, true
 }
 
-func (m *ISPPM) getOrCreate(k histKey, now sim.Time) *node {
+func (m *ISPPM) getOrCreate(k histKey, now Tick) *node {
 	if nd, ok := m.nodes[k]; ok {
 		return nd
 	}
@@ -224,7 +223,7 @@ func (m *ISPPM) getOrCreate(k histKey, now sim.Time) *node {
 // key itself (its last pair), not the target node.
 func (m *ISPPM) evictOldestNode() {
 	var victim histKey
-	var victimTime sim.Time
+	var victimTime Tick
 	first := true
 	for k, nd := range m.nodes {
 		if first || nd.lastUpdate < victimTime {

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // paperPattern is the access pattern of the paper's Figure 1 in
@@ -30,7 +29,7 @@ func paperPattern(n int) []Request {
 func feed(p Predictor, reqs []Request) Cursor {
 	var cur Cursor
 	for i, r := range reqs {
-		cur = p.Observe(r, sim.Time(i+1))
+		cur = p.Observe(r, Tick(i+1))
 	}
 	return cur
 }
@@ -218,7 +217,7 @@ func TestISPPMPredictsNeverAccessedBlocks(t *testing.T) {
 	var cur Cursor
 	off := blockdev.BlockNo(0)
 	for i := 0; i < 6; i++ {
-		cur = m.Observe(Request{Offset: off, Size: 1}, sim.Time(i+1))
+		cur = m.Observe(Request{Offset: off, Size: 1}, Tick(i+1))
 		off += 100
 	}
 	p, _, ok := m.Predict(cur)
@@ -236,7 +235,7 @@ func TestISPPMNegativeIntervals(t *testing.T) {
 	seq := []Request{{100, 1}, {50, 1}, {100, 1}, {50, 1}, {100, 1}}
 	var cur Cursor
 	for i, r := range seq {
-		cur = m.Observe(r, sim.Time(i+1))
+		cur = m.Observe(r, Tick(i+1))
 	}
 	p, _, ok := m.Predict(cur)
 	if !ok || p.Fallback {
@@ -252,7 +251,7 @@ func TestISPPMNodeCapBoundsGraph(t *testing.T) {
 	// Random-ish walk creating many distinct (interval, size) pairs.
 	off := blockdev.BlockNo(0)
 	for i := 1; i <= 100; i++ {
-		m.Observe(Request{Offset: off, Size: int32(i%7 + 1)}, sim.Time(i))
+		m.Observe(Request{Offset: off, Size: int32(i%7 + 1)}, Tick(i))
 		off += blockdev.BlockNo(i % 13)
 	}
 	if m.NodeCount() > 4 {
@@ -365,7 +364,7 @@ func TestISPPMPatternChangeRelearns(t *testing.T) {
 	// observations the prediction must follow the new stride.
 	var cur Cursor
 	off := blockdev.BlockNo(0)
-	now := sim.Time(1)
+	now := Tick(1)
 	for i := 0; i < 5; i++ {
 		cur = m.Observe(Request{Offset: off, Size: 1}, now)
 		off += 10

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // OBA is the One-Block-Ahead predictor (§2.1): after a request ending
@@ -30,7 +29,7 @@ func (*OBA) Name() string { return "OBA" }
 
 // Observe records a user request; OBA keeps no history beyond the last
 // request's end.
-func (o *OBA) Observe(r Request, _ sim.Time) Cursor {
+func (o *OBA) Observe(r Request, _ Tick) Cursor {
 	o.seen = true
 	o.last = r
 	return obaCursor{next: r.End()}

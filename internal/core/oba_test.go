@@ -2,8 +2,6 @@ package core
 
 import (
 	"testing"
-
-	"repro/internal/sim"
 )
 
 func TestOBAPredictsNextSequentialBlock(t *testing.T) {
@@ -64,7 +62,7 @@ func TestOBACursorIndependence(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		_, cur, _ = o.Predict(cur)
 	}
-	real := o.Observe(Request{Offset: 50, Size: 2}, sim.Time(1))
+	real := o.Observe(Request{Offset: 50, Size: 2}, Tick(1))
 	p, _, _ := o.Predict(real)
 	if p.Offset != 52 {
 		t.Errorf("real-stream prediction %v, want offset 52", p.Request)

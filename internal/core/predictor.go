@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // Request is one user request as seen by a predictor: the block-level
@@ -53,7 +52,7 @@ type Predictor interface {
 	Name() string
 	// Observe records a real user request, updating the model, and
 	// returns the cursor positioned after that request.
-	Observe(r Request, now sim.Time) Cursor
+	Observe(r Request, now Tick) Cursor
 	// Predict returns the predicted request following the given
 	// cursor plus the cursor advanced past the prediction. ok is false
 	// when the predictor has no basis for any guess (e.g. before the

@@ -5,7 +5,6 @@ import (
 	"testing/quick"
 
 	"repro/internal/blockdev"
-	"repro/internal/sim"
 )
 
 // Property: under arbitrary request sequences and completion orders,
@@ -23,7 +22,7 @@ func TestDriverOutstandingInvariantProperty(t *testing.T) {
 			FileBlocks:     256,
 			Env:            env,
 		})
-		now := sim.Time(1)
+		now := Tick(1)
 		for _, op := range ops {
 			switch op % 3 {
 			case 0: // user request at a pseudo-random position
@@ -68,7 +67,7 @@ func TestISPPMRobustnessProperty(t *testing.T) {
 		var cur Cursor
 		for i, o := range offs {
 			r := Request{Offset: blockdev.BlockNo(o % 4096), Size: int32(o%7) + 1}
-			cur = m.Observe(r, sim.Time(i+1))
+			cur = m.Observe(r, Tick(i+1))
 		}
 		if len(offs) == 0 {
 			return true

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/cachesim"
+	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
@@ -246,4 +247,15 @@ func (b *Base) FinalFlush() {
 // block size.
 func (b *Base) SpanOf(s workload.Step) blockdev.Span {
 	return blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, b.Cfg.BlockSize)
+}
+
+// PrefetchPriority maps an algorithm configuration to the disk
+// priority class its prefetch operations use. It lives here rather
+// than on core.AlgSpec so the predictor core stays free of simulator
+// types; the runtime engine has no priority classes at all.
+func PrefetchPriority(s core.AlgSpec) sim.Priority {
+	if s.UserPriorityPrefetch {
+		return sim.PriorityUser
+	}
+	return sim.PriorityPrefetch
 }

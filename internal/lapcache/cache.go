@@ -1,0 +1,196 @@
+package lapcache
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/lrulist"
+)
+
+// centry is one cached block. It lives on exactly one shard's LRU
+// list; the intrusive links come from the same package the simulator's
+// cooperative cache uses.
+type centry struct {
+	id   blockdev.BlockID
+	data []byte
+	// prefetched marks a block brought in speculatively and not yet
+	// touched by any user request — the runtime image of
+	// cachesim.Copy.Prefetched, and the flag behind the timely/wasted
+	// classification.
+	prefetched bool
+	links      lrulist.Links[centry]
+}
+
+// cacheShard is one mutex-striped slice of the block cache.
+type cacheShard struct {
+	mu     sync.Mutex
+	blocks map[blockdev.BlockID]*centry
+	lru    lrulist.List[centry]
+	cap    int
+}
+
+// blockCache is the engine's sharded block cache: the runtime
+// counterpart of cachesim.Cache, with the global directory replaced by
+// hash sharding (one copy per block machine-wide — the engine is one
+// process) and the simulator's virtual-time recency replaced by list
+// order under per-shard mutexes.
+type blockCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+// newBlockCache builds a cache of capacity blocks striped over nShards
+// shards (rounded up to a power of two so shard selection is a mask).
+func newBlockCache(capacity, nShards int) *blockCache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("lapcache: invalid cache capacity %d", capacity))
+	}
+	if nShards <= 0 {
+		nShards = 1
+	}
+	pow := 1
+	for pow < nShards {
+		pow <<= 1
+	}
+	if pow > capacity {
+		// Never let rounding strand a shard with zero capacity.
+		pow = 1
+		for pow*2 <= capacity && pow*2 <= nShards {
+			pow <<= 1
+		}
+	}
+	c := &blockCache{shards: make([]cacheShard, pow), mask: uint32(pow - 1)}
+	per := capacity / pow
+	extra := capacity % pow
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.blocks = make(map[blockdev.BlockID]*centry)
+		sh.lru = lrulist.New[centry](func(e *centry) *lrulist.Links[centry] { return &e.links })
+		sh.cap = per
+		if i < extra {
+			sh.cap++
+		}
+	}
+	return c
+}
+
+// shardFor hashes a block to its shard. File and block number both
+// feed the hash so one hot file stripes across every shard.
+func (c *blockCache) shardFor(b blockdev.BlockID) *cacheShard {
+	h := uint32(b.File)*2654435761 ^ uint32(b.Block)*0x9e3779b9
+	h ^= h >> 16
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the cached data for b, touching recency. wasPrefetched
+// reports that this access is the first user touch of a speculative
+// block — a timely prefetch; the flag is cleared, as in the
+// simulator's cache.
+func (c *blockCache) Get(b blockdev.BlockID) (data []byte, wasPrefetched, ok bool) {
+	sh := c.shardFor(b)
+	sh.mu.Lock()
+	e, found := sh.blocks[b]
+	if !found {
+		sh.mu.Unlock()
+		return nil, false, false
+	}
+	sh.lru.Touch(e)
+	wasPrefetched = e.prefetched
+	e.prefetched = false
+	data = e.data
+	sh.mu.Unlock()
+	return data, wasPrefetched, true
+}
+
+// Contains reports whether b is cached, without touching recency (the
+// prefetch driver's visibility check must not promote blocks).
+func (c *blockCache) Contains(b blockdev.BlockID) bool {
+	sh := c.shardFor(b)
+	sh.mu.Lock()
+	_, ok := sh.blocks[b]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Put inserts (or overwrites) b, evicting from the shard's LRU end as
+// needed. It returns how many evicted blocks were speculative and
+// never touched — wasted prefetches. Inserting over an existing entry
+// refreshes recency and, like the simulator's insert-merge, clears the
+// prefetched flag only when the new copy is a demand fill.
+func (c *blockCache) Put(b blockdev.BlockID, data []byte, prefetched bool) (wastedEvictions int) {
+	sh := c.shardFor(b)
+	sh.mu.Lock()
+	if e, ok := sh.blocks[b]; ok {
+		e.data = data
+		if !prefetched {
+			e.prefetched = false
+		}
+		sh.lru.Touch(e)
+		sh.mu.Unlock()
+		return 0
+	}
+	for sh.lru.Len() >= sh.cap {
+		victim := sh.lru.Front()
+		if victim == nil {
+			break
+		}
+		sh.lru.Remove(victim)
+		delete(sh.blocks, victim.id)
+		if victim.prefetched {
+			wastedEvictions++
+		}
+	}
+	e := &centry{id: b, data: data, prefetched: prefetched}
+	sh.blocks[b] = e
+	sh.lru.PushBack(e)
+	sh.mu.Unlock()
+	return wastedEvictions
+}
+
+// Preinstall inserts b with an explicit prefetched flag, overriding
+// the merge rule that an overwrite never re-arms the flag; the
+// engine's Preload uses it to stage cache states for benchmarks.
+func (c *blockCache) Preinstall(b blockdev.BlockID, data []byte, prefetched bool) {
+	sh := c.shardFor(b)
+	sh.mu.Lock()
+	if e, ok := sh.blocks[b]; ok {
+		e.data = data
+		e.prefetched = prefetched
+		sh.lru.Touch(e)
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	c.Put(b, data, prefetched)
+}
+
+// Len returns the number of cached blocks.
+func (c *blockCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// UnusedPrefetched counts cached blocks still flagged speculative;
+// end-of-run accounting adds them to the wasted count, mirroring
+// cachesim.UnusedPrefetchedCopies.
+func (c *blockCache) UnusedPrefetched() uint64 {
+	var n uint64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.blocks {
+			if e.prefetched {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package lapcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func bid(f, b int) blockdev.BlockID {
+	return blockdev.BlockID{File: blockdev.FileID(f), Block: blockdev.BlockNo(b)}
+}
+
+func TestCachePutGetEvict(t *testing.T) {
+	c := newBlockCache(4, 1) // one shard: eviction order is exact
+	for i := 0; i < 4; i++ {
+		c.Put(bid(1, i), []byte{byte(i)}, false)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Get(bid(1, 0)) // block 0 becomes MRU; block 1 is now LRU
+	c.Put(bid(1, 9), []byte{9}, false)
+	if c.Contains(bid(1, 1)) {
+		t.Error("LRU block survived eviction")
+	}
+	if !c.Contains(bid(1, 0)) {
+		t.Error("touched block was evicted")
+	}
+	data, _, ok := c.Get(bid(1, 9))
+	if !ok || !bytes.Equal(data, []byte{9}) {
+		t.Error("inserted block unreadable")
+	}
+}
+
+func TestCachePrefetchedFlagLifecycle(t *testing.T) {
+	c := newBlockCache(8, 1)
+	c.Put(bid(1, 0), []byte{0}, true)
+	if c.UnusedPrefetched() != 1 {
+		t.Fatalf("UnusedPrefetched = %d", c.UnusedPrefetched())
+	}
+	// Contains must not consume the flag.
+	c.Contains(bid(1, 0))
+	if _, wasPf, _ := c.Get(bid(1, 0)); !wasPf {
+		t.Error("first Get did not report the prefetched flag")
+	}
+	if _, wasPf, _ := c.Get(bid(1, 0)); wasPf {
+		t.Error("flag survived the first touch")
+	}
+	// A demand overwrite clears the flag; a speculative one keeps it.
+	c.Put(bid(1, 1), []byte{1}, true)
+	c.Put(bid(1, 1), []byte{1}, true)
+	if c.UnusedPrefetched() != 1 {
+		t.Error("speculative overwrite cleared the flag")
+	}
+	c.Put(bid(1, 1), []byte{1}, false)
+	if c.UnusedPrefetched() != 0 {
+		t.Error("demand overwrite kept the flag")
+	}
+}
+
+func TestCacheWastedEvictionCount(t *testing.T) {
+	c := newBlockCache(2, 1)
+	c.Put(bid(1, 0), nil, true)
+	c.Put(bid(1, 1), nil, false)
+	wasted := c.Put(bid(1, 2), nil, false) // evicts untouched speculative block 0
+	if wasted != 1 {
+		t.Errorf("wasted = %d, want 1", wasted)
+	}
+	wasted = c.Put(bid(1, 3), nil, false) // evicts demand block 1
+	if wasted != 0 {
+		t.Errorf("wasted = %d, want 0", wasted)
+	}
+}
+
+func TestCacheShardingCapacity(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards, wantShards int }{
+		{100, 8, 8},
+		{100, 7, 8},   // rounded up
+		{3, 8, 2},     // never more shards than capacity allows
+		{1, 16, 1},
+		{64, 1, 1},
+	} {
+		c := newBlockCache(tc.capacity, tc.shards)
+		if len(c.shards) != tc.wantShards {
+			t.Errorf("cap=%d shards=%d: got %d shards, want %d",
+				tc.capacity, tc.shards, len(c.shards), tc.wantShards)
+		}
+		total := 0
+		for i := range c.shards {
+			total += c.shards[i].cap
+		}
+		if total != tc.capacity {
+			t.Errorf("cap=%d shards=%d: shard capacities sum to %d",
+				tc.capacity, tc.shards, total)
+		}
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	const capacity = 32
+	c := newBlockCache(capacity, 4)
+	for i := 0; i < 500; i++ {
+		c.Put(bid(i%7, i), nil, i%3 == 0)
+	}
+	if c.Len() > capacity {
+		t.Errorf("Len = %d exceeds capacity %d", c.Len(), capacity)
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore(16, 0)
+	buf := make([]byte, 16)
+	if err := s.ReadBlock(bid(1, 2), buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	want := make([]byte, 16)
+	FillPattern(bid(1, 2), want)
+	if !bytes.Equal(buf, want) {
+		t.Error("unwritten block did not read as fill pattern")
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 16)
+	if err := s.WriteBlock(bid(1, 2), payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := s.ReadBlock(bid(1, 2), buf); err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Error("written block did not read back")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir, 32)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	defer s.Close()
+
+	payload := bytes.Repeat([]byte{0xC3}, 32)
+	if err := s.WriteBlock(bid(4, 5), payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 32)
+	if err := s.ReadBlock(bid(4, 5), buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Error("written block did not read back")
+	}
+	// Reads past EOF and of untouched files are zero-filled.
+	if err := s.ReadBlock(bid(4, 100), buf); err != nil {
+		t.Fatalf("past-EOF read: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, 32)) {
+		t.Error("past-EOF read not zero-filled")
+	}
+	if err := s.ReadBlock(bid(9, 0), buf); err != nil {
+		t.Fatalf("fresh-file read: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, 32)) {
+		t.Error("fresh-file read not zero-filled")
+	}
+}
+
+func TestFillPatternDistinguishesBlocks(t *testing.T) {
+	a, b := make([]byte, 64), make([]byte, 64)
+	seen := make(map[string]string)
+	for f := 0; f < 4; f++ {
+		for blk := 0; blk < 4; blk++ {
+			FillPattern(bid(f, blk), a)
+			key := string(a)
+			id := fmt.Sprintf("%d:%d", f, blk)
+			if prev, dup := seen[key]; dup {
+				t.Errorf("blocks %s and %s share a fill pattern", prev, id)
+			}
+			seen[key] = id
+		}
+	}
+	FillPattern(bid(1, 2), a)
+	FillPattern(bid(1, 2), b)
+	if !bytes.Equal(a, b) {
+		t.Error("fill pattern not deterministic")
+	}
+}

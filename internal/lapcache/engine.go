@@ -1,0 +1,511 @@
+// Package lapcache is the live counterpart of the simulator: a
+// goroutine-concurrent prefetching block cache built on the paper's
+// predictors. The predictor state machines and the linear-aggressive
+// driver come verbatim from internal/core — one model, two clocks: the
+// simulator feeds virtual nanoseconds, this engine feeds a per-file
+// logical sequence number.
+//
+// The simulator's resources map onto runtime machinery as follows:
+// the cooperative cache directory becomes a sharded, mutex-striped
+// block cache; the disk array becomes a BackingStore; the low-priority
+// prefetch disk queue becomes a bounded channel drained by a worker
+// pool, whose fullness is the backpressure signal that parks a
+// driver's chain; and the per-file prefetch server of PAFS becomes a
+// per-file mutex under which the (single-threaded by contract) driver
+// runs.
+package lapcache
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// Alg is the prefetching configuration in the paper's notation
+	// (e.g. core.SpecLnAgrISPPM3); core.AlgNone disables prefetching.
+	Alg core.AlgSpec
+	// BlockSize is the cache and store block size in bytes.
+	BlockSize int
+	// CacheBlocks is the cache capacity in blocks.
+	CacheBlocks int
+	// Shards stripes the cache over this many mutexes (default 8,
+	// rounded to a power of two).
+	Shards int
+	// Store is the slow medium behind the cache.
+	Store BackingStore
+	// Workers is the prefetch worker pool size (default 4).
+	Workers int
+	// QueueLen bounds the prefetch queue (default 64); a full queue
+	// refuses further prefetches, which parks the refusing file's
+	// chain until its next satisfied request.
+	QueueLen int
+	// FileBlocks maps known files to their length in blocks, clipping
+	// prefetch chains at end of file (a trace's file table goes here).
+	FileBlocks map[blockdev.FileID]blockdev.BlockNo
+	// DefaultFileBlocks sizes files missing from FileBlocks
+	// (default 1<<20 blocks).
+	DefaultFileBlocks blockdev.BlockNo
+	// StrictLinear makes any breach of the per-file outstanding limit
+	// panic instead of only counting — the server-side assertion that
+	// linear mode really keeps at most one prefetch per file in
+	// flight.
+	StrictLinear bool
+}
+
+// fetchOp is one in-flight block fetch, demand or speculative. It is
+// the singleflight rendezvous: whoever registers it reads the store,
+// everyone else waits on done. err is written before done is closed.
+type fetchOp struct {
+	prefetch bool
+	err      error
+	done     chan struct{}
+}
+
+// prefetchOp is one queued speculative fetch. The callbacks belong to
+// the issuing driver and must only run under its file's mutex.
+type prefetchOp struct {
+	b         blockdev.BlockID
+	fl        *fileState
+	cancelled func() bool
+	done      func()
+}
+
+// fileState serializes one file's driver. The core.Driver is
+// single-goroutine by contract; mu is what makes that contract hold on
+// a concurrent server — the runtime image of PAFS's one-server-per-
+// file design, which is exactly what makes its prefetching truly
+// linear (§4).
+type fileState struct {
+	mu     sync.Mutex
+	driver *core.Driver // nil when Alg is NP
+	tick   core.Tick    // per-file logical clock fed to the predictor
+}
+
+// Engine is a concurrent prefetching block cache.
+//
+// Lock hierarchy: fileState.mu > flightMu > cacheShard.mu. A goroutine
+// may acquire rightward while holding leftward, never the reverse;
+// store reads and channel sends happen under no lock or fileState.mu
+// only.
+type Engine struct {
+	cfg   Config
+	cache *blockCache
+	store BackingStore
+
+	m      Metrics
+	ledger *Ledger
+
+	filesMu    sync.RWMutex
+	files      map[blockdev.FileID]*fileState
+	fileBlocks map[blockdev.FileID]blockdev.BlockNo
+
+	flightMu sync.Mutex
+	inflight map[blockdev.BlockID]*fetchOp
+
+	pfq  chan prefetchOp
+	quit chan struct{}
+	wg   sync.WaitGroup
+	stop sync.Once
+}
+
+// New validates the configuration, starts the worker pool and returns
+// a running engine. Call Shutdown when done.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Alg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("lapcache: config needs a backing store")
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("lapcache: invalid block size %d", cfg.BlockSize)
+	}
+	if cfg.CacheBlocks <= 0 {
+		return nil, fmt.Errorf("lapcache: invalid cache capacity %d", cfg.CacheBlocks)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	if cfg.DefaultFileBlocks <= 0 {
+		cfg.DefaultFileBlocks = 1 << 20
+	}
+	e := &Engine{
+		cfg:        cfg,
+		cache:      newBlockCache(cfg.CacheBlocks, cfg.Shards),
+		store:      cfg.Store,
+		ledger:     NewLedger(cfg.Alg.MaxOutstanding, cfg.StrictLinear),
+		files:      make(map[blockdev.FileID]*fileState),
+		fileBlocks: make(map[blockdev.FileID]blockdev.BlockNo, len(cfg.FileBlocks)),
+		inflight:   make(map[blockdev.BlockID]*fetchOp),
+		pfq:        make(chan prefetchOp, cfg.QueueLen),
+		quit:       make(chan struct{}),
+	}
+	for f, b := range cfg.FileBlocks {
+		e.fileBlocks[f] = b
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// BlockSize returns the configured block size in bytes.
+func (e *Engine) BlockSize() int { return e.cfg.BlockSize }
+
+// AlgName returns the paper-notation name of the running algorithm.
+func (e *Engine) AlgName() string { return e.cfg.Alg.Name() }
+
+// RegisterFiles merges a file table (file → length in blocks) into the
+// engine, typically a replayed trace's. Sizes only affect files whose
+// driver has not been created yet.
+func (e *Engine) RegisterFiles(table map[blockdev.FileID]blockdev.BlockNo) {
+	e.filesMu.Lock()
+	for f, b := range table {
+		e.fileBlocks[f] = b
+	}
+	e.filesMu.Unlock()
+}
+
+// fileState returns (creating on first touch) the state for f.
+func (e *Engine) fileState(f blockdev.FileID) *fileState {
+	e.filesMu.RLock()
+	fl := e.files[f]
+	e.filesMu.RUnlock()
+	if fl != nil {
+		return fl
+	}
+	e.filesMu.Lock()
+	defer e.filesMu.Unlock()
+	if fl := e.files[f]; fl != nil {
+		return fl
+	}
+	fl = &fileState{}
+	if e.cfg.Alg.Prefetches() {
+		blocks := e.fileBlocks[f]
+		if blocks <= 0 {
+			blocks = e.cfg.DefaultFileBlocks
+		}
+		fl.driver = core.NewDriver(core.DriverConfig{
+			Predictor:      e.cfg.Alg.NewPredictor(),
+			Mode:           e.cfg.Alg.Mode,
+			MaxOutstanding: e.cfg.Alg.MaxOutstanding,
+			File:           f,
+			FileBlocks:     blocks,
+			Env:            &runtimeEnv{e: e, fl: fl},
+			Observer:       e.ledger,
+		})
+	}
+	e.files[f] = fl
+	return fl
+}
+
+// Read serves a demand read of nblocks blocks starting at off,
+// returning the concatenated data. hit reports that every block was
+// already cached on arrival — the satisfaction criterion fed to the
+// driver (§3.1).
+func (e *Engine) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32) (data []byte, hit bool, err error) {
+	if nblocks <= 0 || off < 0 {
+		return nil, false, fmt.Errorf("lapcache: invalid read %d:[%d,+%d]", f, off, nblocks)
+	}
+	data = make([]byte, int(nblocks)*e.cfg.BlockSize)
+	hit = true
+	for i := int32(0); i < nblocks; i++ {
+		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
+		dst := data[int(i)*e.cfg.BlockSize : int(i+1)*e.cfg.BlockSize]
+		blockHit, err := e.readBlock(b, dst)
+		if err != nil {
+			return nil, false, err
+		}
+		if blockHit {
+			e.m.demandHits.Add(1)
+		} else {
+			e.m.demandMisses.Add(1)
+			hit = false
+		}
+	}
+	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, hit)
+	return data, hit, nil
+}
+
+// readBlock fetches one block into dst, consulting the cache, joining
+// any in-flight fetch, or reading the store. hit reports a pure cache
+// hit (no waiting).
+func (e *Engine) readBlock(b blockdev.BlockID, dst []byte) (hit bool, err error) {
+	waited := false
+	for {
+		if data, wasPrefetched, ok := e.cache.Get(b); ok {
+			copy(dst, data)
+			// A first touch of a speculative block that was already
+			// resident is a timely prefetch; if we waited for its fetch
+			// to land, it was late and already counted.
+			if wasPrefetched && !waited {
+				e.m.prefetchTimely.Add(1)
+			}
+			return !waited, nil
+		}
+
+		e.flightMu.Lock()
+		if fo := e.inflight[b]; fo != nil {
+			e.flightMu.Unlock()
+			if fo.prefetch && !waited {
+				// The predictor chose this block, but its fetch is
+				// still in flight when the demand arrives: late.
+				e.m.prefetchLate.Add(1)
+			}
+			waited = true
+			<-fo.done
+			if fo.err != nil {
+				return false, fo.err
+			}
+			continue // the block should be cached now; re-check
+		}
+		if e.cache.Contains(b) {
+			// Landed between our Get miss and taking flightMu.
+			e.flightMu.Unlock()
+			continue
+		}
+		fo := &fetchOp{done: make(chan struct{})}
+		e.inflight[b] = fo
+		e.flightMu.Unlock()
+
+		buf := make([]byte, e.cfg.BlockSize)
+		err := e.store.ReadBlock(b, buf)
+		e.m.storeReads.Add(1)
+		if err == nil {
+			e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf, false)))
+		}
+		fo.err = err
+		e.flightMu.Lock()
+		delete(e.inflight, b)
+		e.flightMu.Unlock()
+		close(fo.done)
+		if err != nil {
+			return false, err
+		}
+		copy(dst, buf)
+		return false, nil
+	}
+}
+
+// Write persists nblocks blocks starting at off and installs them in
+// the cache as demand fills. A nil data writes each block's
+// deterministic fill pattern (the replay client's payload).
+func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	if nblocks <= 0 || off < 0 {
+		return fmt.Errorf("lapcache: invalid write %d:[%d,+%d]", f, off, nblocks)
+	}
+	if data != nil && len(data) != int(nblocks)*e.cfg.BlockSize {
+		return fmt.Errorf("lapcache: write payload is %d bytes, want %d",
+			len(data), int(nblocks)*e.cfg.BlockSize)
+	}
+	for i := int32(0); i < nblocks; i++ {
+		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
+		buf := make([]byte, e.cfg.BlockSize)
+		if data != nil {
+			copy(buf, data[int(i)*e.cfg.BlockSize:int(i+1)*e.cfg.BlockSize])
+		} else {
+			FillPattern(b, buf)
+		}
+		if err := e.store.WriteBlock(b, buf); err != nil {
+			return err
+		}
+		e.m.storeWrites.Add(1)
+		e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf, false)))
+	}
+	e.m.writes.Add(1)
+	// The write is part of the file's access stream: the predictors
+	// model (offset-interval, size) pairs of all requests. A write
+	// never waits on prefetched data, so it counts as satisfied.
+	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, true)
+	return nil
+}
+
+// CloseFile stops f's prefetch chain until its next request, as the
+// simulator does on trace close steps. The learned model is kept.
+func (e *Engine) CloseFile(f blockdev.FileID) {
+	fl := e.fileState(f)
+	if fl.driver == nil {
+		return
+	}
+	fl.mu.Lock()
+	fl.driver.StopChain()
+	fl.mu.Unlock()
+}
+
+// feedDriver runs one user request through f's driver under the
+// per-file mutex.
+func (e *Engine) feedDriver(f blockdev.FileID, r core.Request, satisfied bool) {
+	fl := e.fileState(f)
+	if fl.driver == nil {
+		return
+	}
+	fl.mu.Lock()
+	fl.tick++
+	fl.driver.OnUserRequest(r, fl.tick, satisfied)
+	fl.mu.Unlock()
+}
+
+// Preload stages nblocks blocks of f directly into the cache, bearing
+// their deterministic fill pattern, without touching the store or the
+// predictor. prefetched arms the speculative flag, letting benchmarks
+// and warm-start tooling set up hit and prefetched-hit states exactly.
+func (e *Engine) Preload(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, prefetched bool) {
+	for i := int32(0); i < nblocks; i++ {
+		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
+		buf := make([]byte, e.cfg.BlockSize)
+		FillPattern(b, buf)
+		e.cache.Preinstall(b, buf, prefetched)
+	}
+}
+
+// Snapshot freezes the engine's counters.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		DemandHits:           e.m.demandHits.Load(),
+		DemandMisses:         e.m.demandMisses.Load(),
+		Writes:               e.m.writes.Load(),
+		PrefetchIssued:       e.m.prefetchIssued.Load(),
+		PrefetchFallback:     e.m.prefetchFallback.Load(),
+		PrefetchCompleted:    e.m.prefetchCompleted.Load(),
+		PrefetchCancelled:    e.m.prefetchCancelled.Load(),
+		PrefetchDropped:      e.m.prefetchDropped.Load(),
+		PrefetchDupSkipped:   e.m.prefetchDupSkip.Load(),
+		PrefetchTimely:       e.m.prefetchTimely.Load(),
+		PrefetchLate:         e.m.prefetchLate.Load(),
+		PrefetchWasted:       e.m.prefetchWasted.Load(),
+		PrefetchUnused:       e.cache.UnusedPrefetched(),
+		StoreReads:           e.m.storeReads.Load(),
+		StoreWrites:          e.m.storeWrites.Load(),
+		MaxFileOutstandingHW: e.ledger.MaxHighWater(),
+		LinearViolations:     e.ledger.Violations(),
+		CachedBlocks:         e.cache.Len(),
+	}
+}
+
+// Ledger exposes the linearity ledger (tests assert on high-water
+// marks through it).
+func (e *Engine) Ledger() *Ledger { return e.ledger }
+
+// Shutdown stops the worker pool. Queued prefetch operations are
+// abandoned; in-progress ones finish first. Idempotent.
+func (e *Engine) Shutdown() {
+	e.stop.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// worker drains the prefetch queue.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case op := <-e.pfq:
+			e.runPrefetch(op)
+		}
+	}
+}
+
+// runPrefetch dispatches one speculative fetch: cancellation check,
+// singleflight dedup against demand misses and other prefetches, store
+// read, cache install, completion callback.
+func (e *Engine) runPrefetch(op prefetchOp) {
+	op.fl.mu.Lock()
+	cancelled := op.cancelled()
+	op.fl.mu.Unlock()
+	if cancelled {
+		// The chain this operation belonged to was restarted or
+		// stopped before dispatch; its driver already reset the
+		// outstanding count, so done must not fire.
+		e.m.prefetchCancelled.Add(1)
+		return
+	}
+
+	e.flightMu.Lock()
+	if e.cache.Contains(op.b) || e.inflight[op.b] != nil {
+		// Someone else — a demand miss or an earlier prefetch — is
+		// already producing this block (singleflight).
+		e.flightMu.Unlock()
+		e.m.prefetchDupSkip.Add(1)
+		e.complete(op)
+		return
+	}
+	fo := &fetchOp{prefetch: true, done: make(chan struct{})}
+	e.inflight[op.b] = fo
+	e.flightMu.Unlock()
+
+	buf := make([]byte, e.cfg.BlockSize)
+	err := e.store.ReadBlock(op.b, buf)
+	e.m.storeReads.Add(1)
+	if err == nil {
+		e.m.prefetchWasted.Add(uint64(e.cache.Put(op.b, buf, true)))
+	}
+	fo.err = err
+	e.flightMu.Lock()
+	delete(e.inflight, op.b)
+	e.flightMu.Unlock()
+	close(fo.done)
+	e.m.prefetchCompleted.Add(1)
+	e.complete(op)
+}
+
+// complete fires a prefetch operation's driver callback under its
+// file's mutex; the driver decrements outstanding and pumps the chain.
+func (e *Engine) complete(op prefetchOp) {
+	op.fl.mu.Lock()
+	op.done()
+	op.fl.mu.Unlock()
+}
+
+// runtimeEnv adapts the engine to core.Env for one file's driver.
+// Every method is called with the file's mutex held (the driver only
+// runs under it).
+type runtimeEnv struct {
+	e  *Engine
+	fl *fileState
+}
+
+// Cached reports whether the block is resident or already being
+// fetched — either way the driver must not issue it again.
+func (env *runtimeEnv) Cached(b blockdev.BlockID) bool {
+	if env.e.cache.Contains(b) {
+		return true
+	}
+	env.e.flightMu.Lock()
+	_, busy := env.e.inflight[b]
+	env.e.flightMu.Unlock()
+	return busy
+}
+
+// Prefetch enqueues a speculative fetch, refusing when the bounded
+// queue is full (backpressure) or the engine is shutting down.
+func (env *runtimeEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func()) bool {
+	select {
+	case <-env.e.quit:
+		return false
+	default:
+	}
+	op := prefetchOp{b: b, fl: env.fl, cancelled: cancelled, done: done}
+	select {
+	case env.e.pfq <- op:
+		env.e.m.prefetchIssued.Add(1)
+		if fallback {
+			env.e.m.prefetchFallback.Add(1)
+		}
+		return true
+	default:
+		env.e.m.prefetchDropped.Add(1)
+		return false
+	}
+}

@@ -1,0 +1,168 @@
+package lapcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blockdev"
+)
+
+// Metrics is the engine's counter set: the runtime image of the PR-1
+// observability layer, kept as atomics so request goroutines and
+// prefetch workers update it without a shared lock. Snapshot() freezes
+// it into a plain struct for expvar/JSON export.
+type Metrics struct {
+	demandHits   atomic.Uint64
+	demandMisses atomic.Uint64
+	writes       atomic.Uint64
+
+	prefetchIssued    atomic.Uint64
+	prefetchFallback  atomic.Uint64
+	prefetchCompleted atomic.Uint64
+	prefetchCancelled atomic.Uint64
+	prefetchDropped   atomic.Uint64
+	prefetchDupSkip   atomic.Uint64
+
+	prefetchTimely atomic.Uint64
+	prefetchLate   atomic.Uint64
+	prefetchWasted atomic.Uint64
+
+	storeReads  atomic.Uint64
+	storeWrites atomic.Uint64
+}
+
+// Snapshot is a frozen, JSON-exportable view of the engine's counters
+// plus the linearity ledger.
+type Snapshot struct {
+	// Demand path.
+	DemandHits   uint64 `json:"demand_hits"`
+	DemandMisses uint64 `json:"demand_misses"`
+	Writes       uint64 `json:"writes"`
+
+	// Prefetch lifecycle.
+	PrefetchIssued    uint64 `json:"prefetch_issued"`
+	PrefetchFallback  uint64 `json:"prefetch_fallback"`
+	PrefetchCompleted uint64 `json:"prefetch_completed"`
+	PrefetchCancelled uint64 `json:"prefetch_cancelled"`
+	// PrefetchDropped counts operations refused because the bounded
+	// prefetch queue was full — the engine's backpressure valve.
+	PrefetchDropped uint64 `json:"prefetch_dropped"`
+	// PrefetchDupSkipped counts operations skipped at dispatch because
+	// the block was already cached or already being fetched
+	// (singleflight dedup against demand misses).
+	PrefetchDupSkipped uint64 `json:"prefetch_dup_skipped"`
+
+	// Timeliness classification (PR-1 semantics).
+	PrefetchTimely uint64 `json:"prefetch_timely"`
+	PrefetchLate   uint64 `json:"prefetch_late"`
+	PrefetchWasted uint64 `json:"prefetch_wasted"`
+	// PrefetchUnused counts speculative blocks still sitting untouched
+	// in the cache at snapshot time.
+	PrefetchUnused uint64 `json:"prefetch_unused"`
+
+	// Backing store traffic.
+	StoreReads  uint64 `json:"store_reads"`
+	StoreWrites uint64 `json:"store_writes"`
+
+	// Linearity: the largest number of prefetches ever simultaneously
+	// in flight for any one file — exactly 1 on a linear run.
+	MaxFileOutstandingHW int `json:"max_file_outstanding_hw"`
+	// LinearViolations counts ledger updates that exceeded the
+	// configured per-file limit; always 0 unless the engine is
+	// misconfigured (it is also asserted server-side when strict).
+	LinearViolations uint64 `json:"linear_violations"`
+
+	CachedBlocks int `json:"cached_blocks"`
+}
+
+// HitRatio returns the demand hit ratio.
+func (s Snapshot) HitRatio() float64 {
+	total := s.DemandHits + s.DemandMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DemandHits) / float64(total)
+}
+
+// String renders the snapshot as a compact one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"hits=%d misses=%d (ratio %.3f) prefetch issued=%d timely=%d late=%d wasted=%d dropped=%d maxHW=%d",
+		s.DemandHits, s.DemandMisses, s.HitRatio(),
+		s.PrefetchIssued, s.PrefetchTimely, s.PrefetchLate, s.PrefetchWasted,
+		s.PrefetchDropped, s.MaxFileOutstandingHW)
+}
+
+// Ledger is the concurrent counterpart of fscommon.PrefetchLedger: it
+// aggregates every driver's outstanding-prefetch deltas per file and
+// records high-water marks, making the paper's linear invariant
+// checkable on a live server. When strict, an update that pushes a
+// file past limit panics — the server-side assertion of linearity.
+type Ledger struct {
+	mu          sync.Mutex
+	limit       int // 0 = unlimited
+	strict      bool
+	outstanding map[blockdev.FileID]int
+	highWater   map[blockdev.FileID]int
+	maxHW       int
+	violations  uint64
+}
+
+// NewLedger returns a ledger enforcing limit (0 for none). strict
+// turns violations into panics rather than counters.
+func NewLedger(limit int, strict bool) *Ledger {
+	return &Ledger{
+		limit:       limit,
+		strict:      strict,
+		outstanding: make(map[blockdev.FileID]int),
+		highWater:   make(map[blockdev.FileID]int),
+	}
+}
+
+// OutstandingChanged implements core.OutstandingObserver.
+func (l *Ledger) OutstandingChanged(f blockdev.FileID, delta int) {
+	l.mu.Lock()
+	n := l.outstanding[f] + delta
+	if n < 0 {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("lapcache: file %d outstanding prefetches went negative (%d)", f, n))
+	}
+	l.outstanding[f] = n
+	if n > l.highWater[f] {
+		l.highWater[f] = n
+	}
+	if n > l.maxHW {
+		l.maxHW = n
+	}
+	if l.limit > 0 && n > l.limit {
+		l.violations++
+		if l.strict {
+			l.mu.Unlock()
+			panic(fmt.Sprintf("lapcache: file %d has %d outstanding prefetches, linear limit is %d",
+				f, n, l.limit))
+		}
+	}
+	l.mu.Unlock()
+}
+
+// MaxHighWater returns the largest per-file high-water mark seen.
+func (l *Ledger) MaxHighWater() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxHW
+}
+
+// FileHighWater returns file f's high-water mark.
+func (l *Ledger) FileHighWater(f blockdev.FileID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.highWater[f]
+}
+
+// Violations returns how many updates exceeded the limit.
+func (l *Ledger) Violations() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.violations
+}

@@ -1,0 +1,184 @@
+package lapcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/blockdev"
+)
+
+// The wire protocol is newline-delimited JSON, one request and one
+// response per line, pipelined in order per connection. Offsets and
+// sizes are in blocks; clients convert byte ranges with
+// blockdev.ByteRangeToSpan, honouring the paper's two-bytes-two-blocks
+// rule. A "ping" reports the server's algorithm and block size so a
+// client can configure itself from the live server.
+
+// WireRequest is one client request.
+type WireRequest struct {
+	Op     string `json:"op"` // ping | read | write | close | stats
+	File   int32  `json:"file,omitempty"`
+	Offset int32  `json:"offset,omitempty"` // first block
+	Size   int32  `json:"size,omitempty"`   // blocks
+	// WantData asks a read to return the block payload (base64 in
+	// JSON); replay clients leave it off to keep the wire thin.
+	WantData bool `json:"want_data,omitempty"`
+	// Data carries a write's payload; nil writes the deterministic
+	// fill pattern.
+	Data []byte `json:"data,omitempty"`
+}
+
+// WireResponse is one server response.
+type WireResponse struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	// Hit is set on reads: every requested block was cached on
+	// arrival.
+	Hit       bool      `json:"hit,omitempty"`
+	Data      []byte    `json:"data,omitempty"`
+	Stats     *Snapshot `json:"stats,omitempty"`
+	Alg       string    `json:"alg,omitempty"`
+	BlockSize int       `json:"block_size,omitempty"`
+}
+
+// Server fronts an Engine over TCP.
+type Server struct {
+	e *Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server around e.
+func NewServer(e *Engine) *Server {
+	return &Server{e: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// Close-initiated shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("lapcache: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every connection and waits for the
+// handlers to drain. The engine itself is left running (the owner
+// shuts it down).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req WireRequest
+		var resp WireResponse
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Err = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.dispatch(&req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *WireRequest) WireResponse {
+	switch req.Op {
+	case "ping":
+		return WireResponse{OK: true, Alg: s.e.AlgName(), BlockSize: s.e.BlockSize()}
+	case "read":
+		data, hit, err := s.e.Read(blockdev.FileID(req.File),
+			blockdev.BlockNo(req.Offset), req.Size)
+		if err != nil {
+			return WireResponse{Err: err.Error()}
+		}
+		resp := WireResponse{OK: true, Hit: hit}
+		if req.WantData {
+			resp.Data = data
+		}
+		return resp
+	case "write":
+		err := s.e.Write(blockdev.FileID(req.File),
+			blockdev.BlockNo(req.Offset), req.Size, req.Data)
+		if err != nil {
+			return WireResponse{Err: err.Error()}
+		}
+		return WireResponse{OK: true}
+	case "close":
+		s.e.CloseFile(blockdev.FileID(req.File))
+		return WireResponse{OK: true}
+	case "stats":
+		snap := s.e.Snapshot()
+		return WireResponse{OK: true, Stats: &snap}
+	default:
+		return WireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

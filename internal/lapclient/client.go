@@ -1,0 +1,242 @@
+// Package lapclient is the client side of the lapcache wire protocol:
+// a thin connection wrapper plus a trace replayer that drives a live
+// lapcached server with the simulator's workloads — each traced
+// process becomes a goroutine with its own connection running the
+// closed loop (think, request, wait) the paper models.
+package lapclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/lapcache"
+	"repro/internal/workload"
+)
+
+// Client is one connection to a lapcached server. It is not safe for
+// concurrent use; the replayer opens one per process.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	bw   *bufio.Writer
+	enc  *json.Encoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		sc:   bufio.NewScanner(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	c.sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	c.enc = json.NewEncoder(c.bw)
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do runs one request/response round trip.
+func (c *Client) do(req *lapcache.WireRequest) (*lapcache.WireResponse, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("lapclient: connection closed mid-request")
+	}
+	var resp lapcache.WireResponse
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("lapclient: server error: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping returns the server's algorithm name and block size.
+func (c *Client) Ping() (alg string, blockSize int, err error) {
+	resp, err := c.do(&lapcache.WireRequest{Op: "ping"})
+	if err != nil {
+		return "", 0, err
+	}
+	return resp.Alg, resp.BlockSize, nil
+}
+
+// Read requests nblocks blocks of f starting at block off. hit
+// reports that the server had every block cached; data is nil unless
+// wantData.
+func (c *Client) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) (data []byte, hit bool, err error) {
+	resp, err := c.do(&lapcache.WireRequest{
+		Op: "read", File: int32(f), Offset: int32(off), Size: nblocks, WantData: wantData,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Data, resp.Hit, nil
+}
+
+// Write sends nblocks blocks starting at off; nil data writes the
+// deterministic fill pattern server-side.
+func (c *Client) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	_, err := c.do(&lapcache.WireRequest{
+		Op: "write", File: int32(f), Offset: int32(off), Size: nblocks, Data: data,
+	})
+	return err
+}
+
+// CloseFile tells the server this client is done with f for now.
+func (c *Client) CloseFile(f blockdev.FileID) error {
+	_, err := c.do(&lapcache.WireRequest{Op: "close", File: int32(f)})
+	return err
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (lapcache.Snapshot, error) {
+	resp, err := c.do(&lapcache.WireRequest{Op: "stats"})
+	if err != nil {
+		return lapcache.Snapshot{}, err
+	}
+	if resp.Stats == nil {
+		return lapcache.Snapshot{}, fmt.Errorf("lapclient: stats response without stats")
+	}
+	return *resp.Stats, nil
+}
+
+// ReplayResult summarizes a trace replay from the client's side.
+type ReplayResult struct {
+	Procs    int
+	Requests int
+	Reads    int
+	ReadHits int
+	Writes   int
+	Closes   int
+	Elapsed  time.Duration
+}
+
+// HitRatio returns the fraction of reads fully served from cache.
+func (r ReplayResult) HitRatio() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.ReadHits) / float64(r.Reads)
+}
+
+// ReplayTrace drives a server with a workload trace: one goroutine and
+// one connection per traced process, each running its closed loop in
+// order. Think times are multiplied by thinkScale (0 disables thinking
+// entirely — the usual choice, since the trace's virtual think times
+// are far longer than a live server's service times).
+func ReplayTrace(addr string, tr *workload.Trace, thinkScale float64) (ReplayResult, error) {
+	probe, err := Dial(addr)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	_, blockSize, err := probe.Ping()
+	probe.Close()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	if blockSize <= 0 {
+		return ReplayResult{}, fmt.Errorf("lapclient: server reports block size %d", blockSize)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		res      ReplayResult
+		firstErr error
+	)
+	res.Procs = len(tr.Procs)
+	start := time.Now()
+	for pi := range tr.Procs {
+		wg.Add(1)
+		go func(p *workload.Process) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			var local ReplayResult
+			for _, s := range p.Steps {
+				if thinkScale > 0 && s.Think > 0 {
+					time.Sleep(time.Duration(float64(s.Think) * thinkScale))
+				}
+				local.Requests++
+				switch s.Kind {
+				case workload.OpRead:
+					span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, int64(blockSize))
+					_, hit, err := c.Read(span.File, span.Start, span.Count, false)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local.Reads++
+					if hit {
+						local.ReadHits++
+					}
+				case workload.OpWrite:
+					span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, int64(blockSize))
+					if err := c.Write(span.File, span.Start, span.Count, nil); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local.Writes++
+				case workload.OpClose:
+					if err := c.CloseFile(s.File); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local.Closes++
+				}
+			}
+			mu.Lock()
+			res.Requests += local.Requests
+			res.Reads += local.Reads
+			res.ReadHits += local.ReadHits
+			res.Writes += local.Writes
+			res.Closes += local.Closes
+			mu.Unlock()
+		}(&tr.Procs[pi])
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package lapclient
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/lapcache"
+	"repro/internal/workload"
+)
+
+// startServer brings up an engine + server on a loopback port and
+// returns its address.
+func startServer(t *testing.T, cfg lapcache.Config) string {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = lapcache.NewMemStore(cfg.BlockSize, 0)
+	}
+	e, err := lapcache.New(cfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	srv := lapcache.NewServer(e)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		e.Shutdown()
+	})
+	return ln.Addr().String()
+}
+
+func TestClientBasicOps(t *testing.T) {
+	addr := startServer(t, lapcache.Config{
+		Alg: core.SpecNP, BlockSize: 256, CacheBlocks: 64,
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	alg, bs, err := c.Ping()
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if alg != "NP" || bs != 256 {
+		t.Errorf("ping = %q/%d, want NP/256", alg, bs)
+	}
+
+	payload := bytes.Repeat([]byte{0x7E}, 256)
+	if err := c.Write(2, 3, 1, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, hit, err := c.Read(2, 3, 1, true)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !hit {
+		t.Error("read of written block missed")
+	}
+	if !bytes.Equal(data, payload) {
+		t.Error("read back wrong data")
+	}
+	if err := c.CloseFile(2); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.Writes != 1 || snap.DemandHits != 1 {
+		t.Errorf("server counters: %s", snap)
+	}
+}
+
+// TestReplayCharismaEndToEnd is the acceptance run: a synthetic
+// CHARISMA trace replayed through a live lapcached with linear
+// aggressive prefetching on. It must finish, report timeliness
+// counters, and keep every file's outstanding-prefetch high-water at
+// exactly 1.
+func TestReplayCharismaEndToEnd(t *testing.T) {
+	p := experiment.TinyScale().Charisma
+	tr, err := workload.GenerateCharisma(p)
+	if err != nil {
+		t.Fatalf("generate trace: %v", err)
+	}
+
+	const blockSize = 512
+	addr := startServer(t, lapcache.Config{
+		Alg:          core.SpecLnAgrISPPM1,
+		BlockSize:    blockSize,
+		CacheBlocks:  4096,
+		Workers:      8,
+		QueueLen:     128,
+		FileBlocks:   tr.FileBlocks,
+		StrictLinear: true,
+	})
+
+	res, err := ReplayTrace(addr, tr, 0)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Requests != tr.TotalSteps() {
+		t.Errorf("replayed %d requests, trace has %d", res.Requests, tr.TotalSteps())
+	}
+	if res.Reads == 0 {
+		t.Fatal("trace replay issued no reads")
+	}
+	if r := res.HitRatio(); r < 0 || r > 1 {
+		t.Errorf("hit ratio %f out of range", r)
+	}
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.DemandHits+snap.DemandMisses == 0 {
+		t.Fatal("server saw no demand reads")
+	}
+	if snap.PrefetchIssued == 0 {
+		t.Error("prefetching never engaged during the replay")
+	}
+	if snap.PrefetchTimely+snap.PrefetchLate+snap.PrefetchWasted+snap.PrefetchUnused == 0 {
+		t.Errorf("no timeliness classification recorded: %s", snap)
+	}
+	if snap.MaxFileOutstandingHW != 1 {
+		t.Errorf("max per-file outstanding high-water = %d, want exactly 1 in linear mode",
+			snap.MaxFileOutstandingHW)
+	}
+	if snap.LinearViolations != 0 {
+		t.Errorf("%d linear violations", snap.LinearViolations)
+	}
+	t.Logf("replay: %d reqs in %v, client hit ratio %.3f; server: %s",
+		res.Requests, res.Elapsed, res.HitRatio(), snap)
+}
+
+// TestReplayTraceDataIntegrity replays a tiny hand-made trace with
+// verification that block contents survive the write → cache → read
+// path through the wire.
+func TestReplayTraceDataIntegrity(t *testing.T) {
+	addr := startServer(t, lapcache.Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	// Unwritten blocks come back as the server-side fill pattern.
+	data, _, err := c.Read(6, 4, 1, true)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	want := make([]byte, 128)
+	lapcache.FillPattern(blockdev.BlockID{File: 6, Block: 4}, want)
+	if !bytes.Equal(data, want) {
+		t.Error("unwritten block did not arrive as the fill pattern")
+	}
+}

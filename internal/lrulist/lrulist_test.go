@@ -1,0 +1,155 @@
+package lrulist
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+)
+
+// elem is a test element that lives on two lists at once, like a cache
+// copy on its node list and the global list.
+type elem struct {
+	id   int
+	a, b Links[elem]
+}
+
+func newLists() (la, lb List[elem]) {
+	la = New[elem](func(e *elem) *Links[elem] { return &e.a })
+	lb = New[elem](func(e *elem) *Links[elem] { return &e.b })
+	return la, lb
+}
+
+func order(l *List[elem]) []int {
+	var out []int
+	for e := l.Front(); e != nil; e = l.Next(e) {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+func equal(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPushTouchRemoveOrder(t *testing.T) {
+	la, _ := newLists()
+	es := make([]*elem, 5)
+	for i := range es {
+		es[i] = &elem{id: i}
+		la.PushBack(es[i])
+	}
+	if got := order(&la); !equal(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("after pushes: %v", got)
+	}
+	la.Touch(es[1]) // 0 2 3 4 1
+	la.Touch(es[0]) // 2 3 4 1 0
+	la.Remove(es[3])
+	if got := order(&la); !equal(got, []int{2, 4, 1, 0}) {
+		t.Fatalf("after touches+remove: %v", got)
+	}
+	if la.Len() != 4 {
+		t.Errorf("Len = %d, want 4", la.Len())
+	}
+	if la.Front().id != 2 || la.Back().id != 0 {
+		t.Errorf("Front/Back = %d/%d, want 2/0", la.Front().id, la.Back().id)
+	}
+	// Touching the MRU element is a no-op.
+	la.Touch(es[0])
+	if got := order(&la); !equal(got, []int{2, 4, 1, 0}) {
+		t.Fatalf("touch of MRU reordered: %v", got)
+	}
+}
+
+// TestEvictionOrderUnderInterleavedTouchRemove drives a random mix of
+// push/touch/remove operations against container/list as a model and
+// checks the LRU→MRU order matches after every step — the eviction
+// order is exactly the front-to-back walk.
+func TestEvictionOrderUnderInterleavedTouchRemove(t *testing.T) {
+	la, _ := newLists()
+	model := list.New()
+	handles := make(map[int]*list.Element)
+	var live []*elem
+	rng := rand.New(rand.NewSource(42))
+	nextID := 0
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(live) == 0: // push
+			e := &elem{id: nextID}
+			nextID++
+			la.PushBack(e)
+			handles[e.id] = model.PushBack(e.id)
+			live = append(live, e)
+		case op == 1: // touch
+			e := live[rng.Intn(len(live))]
+			la.Touch(e)
+			model.MoveToBack(handles[e.id])
+		default: // remove
+			i := rng.Intn(len(live))
+			e := live[i]
+			la.Remove(e)
+			model.Remove(handles[e.id])
+			delete(handles, e.id)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if la.Len() != model.Len() {
+			t.Fatalf("step %d: Len = %d, model %d", step, la.Len(), model.Len())
+		}
+		want := make([]int, 0, model.Len())
+		for m := model.Front(); m != nil; m = m.Next() {
+			want = append(want, m.Value.(int))
+		}
+		if got := order(&la); !equal(got, want) {
+			t.Fatalf("step %d: order %v, model %v", step, got, want)
+		}
+	}
+}
+
+// TestTwoListsIndependent verifies one element can sit on two lists
+// with independent ordering — the cachesim node/global split.
+func TestTwoListsIndependent(t *testing.T) {
+	la, lb := newLists()
+	es := []*elem{{id: 0}, {id: 1}, {id: 2}}
+	for _, e := range es {
+		la.PushBack(e)
+		lb.PushBack(e)
+	}
+	la.Touch(es[0]) // a: 1 2 0; b unchanged
+	if got := order(&la); !equal(got, []int{1, 2, 0}) {
+		t.Fatalf("list a: %v", got)
+	}
+	if got := order(&lb); !equal(got, []int{0, 1, 2}) {
+		t.Fatalf("list b: %v", got)
+	}
+	lb.Remove(es[1]) // b: 0 2; a keeps 1
+	if got := order(&la); !equal(got, []int{1, 2, 0}) {
+		t.Fatalf("list a after b-remove: %v", got)
+	}
+	if got := order(&lb); !equal(got, []int{0, 2}) {
+		t.Fatalf("list b after remove: %v", got)
+	}
+}
+
+func TestZeroLinksIsUnlinked(t *testing.T) {
+	la, _ := newLists()
+	e := &elem{id: 7}
+	la.PushBack(e)
+	la.Remove(e)
+	if la.Len() != 0 || la.Front() != nil || la.Back() != nil {
+		t.Fatal("list not empty after removing sole element")
+	}
+	// Re-insert after removal must work (links were cleared).
+	la.PushBack(e)
+	if la.Len() != 1 || la.Front() != e {
+		t.Fatal("re-insert after remove failed")
+	}
+}

@@ -70,22 +70,23 @@ func (e pafsEnv) Cached(b blockdev.BlockID) bool {
 	return e.fs.Cch.Contains(b) || e.fs.DemandFetchInFlight(b)
 }
 
-func (e pafsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(eng *sim.Engine, at sim.Time)) {
+func (e pafsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func()) bool {
 	fs := e.fs
 	if fs.Stopped() {
 		// Draining after the trace: never calling done stalls the
 		// chain, which is exactly what lets the run end.
-		return
+		return true
 	}
 	fs.Coll.PrefetchIssued(fallback)
 	fs.PrefetchBegin(b)
-	fs.Disks.Read(b, fs.alg.PrefetchPriority(), fs.WrapPrefetchCancel(b, cancelled), func(eng *sim.Engine, at sim.Time) {
+	fs.Disks.Read(b, fscommon.PrefetchPriority(fs.alg), fs.WrapPrefetchCancel(b, cancelled), func(eng *sim.Engine, at sim.Time) {
 		fs.PrefetchEnd(b)
 		fs.Coll.DiskRead(true)
 		_, victims := fs.Cch.Insert(e.server, b, cachesim.InsertOptions{Prefetched: true})
 		fs.FlushVictims(victims)
-		done(eng, at)
+		done()
 	})
+	return true
 }
 
 // driverFor lazily creates the per-file driver; nil when NP.
@@ -164,7 +165,7 @@ func (fs *FS) serveRead(e *sim.Engine, client, server blockdev.NodeID, span bloc
 		})
 	}
 	if d := fs.driverFor(span.File); d != nil {
-		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, e.Now(), satisfied)
+		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, core.Tick(e.Now()), satisfied)
 	}
 }
 
@@ -230,6 +231,6 @@ func (fs *FS) serveWrite(e *sim.Engine, client, server blockdev.NodeID, span blo
 		fs.Net.Send(client, target, fs.Cfg.BlockSize, finishOne)
 	}
 	if d := fs.driverFor(span.File); d != nil {
-		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, e.Now(), satisfied)
+		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, core.Tick(e.Now()), satisfied)
 	}
 }

@@ -157,7 +157,7 @@ func Evaluate(tr *workload.Trace, mode StreamMode, blockSize int64, name string,
 		evs := strs[k]
 		res.Streams++
 		pred := mkPred()
-		cursor := pred.Observe(evs[0].req, evs[0].at)
+		cursor := pred.Observe(evs[0].req, core.Tick(evs[0].at))
 		for i := 1; i < len(evs); i++ {
 			next := evs[i].req
 			res.Requests++
@@ -174,7 +174,7 @@ func Evaluate(tr *workload.Trace, mode StreamMode, blockSize int64, name string,
 				}
 				res.CoveredBlocks += overlap(p.Request, next)
 			}
-			cursor = pred.Observe(next, evs[i].at)
+			cursor = pred.Observe(next, core.Tick(evs[i].at))
 		}
 	}
 	return res

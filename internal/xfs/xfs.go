@@ -85,12 +85,12 @@ func (e xfsEnv) Cached(b blockdev.BlockID) bool {
 	return e.fs.Cch.ContainsOn(e.node, b)
 }
 
-func (e xfsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func(eng *sim.Engine, at sim.Time)) {
+func (e xfsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func()) bool {
 	fs := e.fs
 	if fs.Stopped() {
 		// Draining after the trace: never calling done stalls the
 		// chain, which is exactly what lets the run end.
-		return
+		return true
 	}
 	fs.Coll.PrefetchIssued(fallback)
 	// Prefetches go straight to disk: the prefetch decision is local
@@ -99,13 +99,14 @@ func (e xfsEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() boo
 	// disk traffic of Figure 9) that makes xFS's per-node prefetching
 	// "not really linear" (§4, §5.2).
 	fs.PrefetchBegin(b)
-	fs.Disks.Read(b, fs.alg.PrefetchPriority(), fs.WrapPrefetchCancel(b, cancelled), func(eng *sim.Engine, at sim.Time) {
+	fs.Disks.Read(b, fscommon.PrefetchPriority(fs.alg), fs.WrapPrefetchCancel(b, cancelled), func(eng *sim.Engine, at sim.Time) {
 		fs.PrefetchEnd(b)
 		fs.Coll.DiskRead(true)
 		_, victims := fs.Cch.Insert(e.node, b, cachesim.InsertOptions{Prefetched: true})
 		fs.FlushVictims(victims)
-		done(eng, at)
+		done()
 	})
+	return true
 }
 
 // driverFor lazily creates the per-(node,file) driver; nil when NP.
@@ -175,7 +176,7 @@ func (fs *FS) Read(client blockdev.NodeID, span blockdev.Span, done func(at sim.
 		})
 	}
 	if d := fs.driverFor(client, span.File); d != nil {
-		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, fs.Engine.Now(), satisfied)
+		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, core.Tick(fs.Engine.Now()), satisfied)
 	}
 }
 
@@ -248,6 +249,6 @@ func (fs *FS) Write(client blockdev.NodeID, span blockdev.Span, done func(at sim
 		})
 	}
 	if d := fs.driverFor(client, span.File); d != nil {
-		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, fs.Engine.Now(), satisfied)
+		d.OnUserRequest(core.Request{Offset: span.Start, Size: span.Count}, core.Tick(fs.Engine.Now()), satisfied)
 	}
 }
