@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check check-runtime vet build test race fuzz bench report
+.PHONY: check check-runtime vet build test race fuzz bench bench-all report
 
 check: vet build race fuzz check-runtime
 
@@ -31,8 +31,20 @@ check-runtime:
 # plain `go test`, this also explores mutations for FUZZTIME.
 fuzz:
 	$(GO) test ./internal/workload/ -run FuzzDecode -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -run FuzzWireDecode -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 
+# The runtime micro-benchmarks: engine demand-read paths and the JSON
+# vs binary wire comparison, recorded to BENCH_wire.json.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkLapcacheGet|BenchmarkWireRoundTrip' -benchmem . | \
+		$(GO) run ./cmd/benchfmt -benchmark "BenchmarkLapcacheGet + BenchmarkWireRoundTrip" -o BENCH_wire.json \
+		-description "lapcache engine demand-read paths (zero-copy ReadInto vs legacy copying Read) and one 8 KiB cached block fetched per round trip over loopback TCP: legacy JSON lines vs the binary framed protocol, serial and pipelined." \
+		-command "make bench" \
+		-notes "binary streams the payload from the refcounted cache buffer (no base64, no copy); binaryPipelined is the -replay configuration: pooled connections with an in-flight window."
+
+# Every benchmark in the repo, including the paper-figure regenerators
+# (minutes of simulation work).
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 # Print the full-scale paper-vs-measured record. EXPERIMENTS.md keeps

@@ -10,12 +10,15 @@ package repro_test
 
 import (
 	"fmt"
+	"net"
 	"testing"
 
+	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/lapcache"
+	"repro/internal/lapclient"
 )
 
 // benchScale is shared by every benchmark in this file.
@@ -207,9 +210,30 @@ func newBenchEngine(b *testing.B, cacheBlocks int) *lapcache.Engine {
 // BenchmarkLapcacheGet measures the runtime engine's three demand-read
 // paths: a plain cache hit, a miss through the backing store, and the
 // first touch of a prefetched block (hit + timely classification).
+// The hit paths go through ReadInto — the zero-copy API the server
+// uses — and with the refcounted buffer pool they run at 0 allocs/op.
 // BENCH_lapcache.json records a reference run.
 func BenchmarkLapcacheGet(b *testing.B) {
 	b.Run("hit", func(b *testing.B) {
+		e := newBenchEngine(b, 64)
+		e.Preload(1, 0, 1, false)
+		var (
+			bufs []*blockbuf.Buf
+			hit  bool
+			err  error
+		)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bufs, hit, err = e.ReadInto(bufs[:0], 1, 0, 1)
+			if err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+			bufs[0].Release()
+		}
+	})
+	b.Run("hitCopy", func(b *testing.B) {
+		// The legacy copying wrapper, for comparison: one 8 KiB
+		// allocation per read.
 		e := newBenchEngine(b, 64)
 		e.Preload(1, 0, 1, false)
 		b.ResetTimer()
@@ -223,12 +247,19 @@ func BenchmarkLapcacheGet(b *testing.B) {
 		// A 1-block cache and a striding scan: every read misses and
 		// goes to the (zero-latency) store.
 		e := newBenchEngine(b, 1)
+		var (
+			bufs []*blockbuf.Buf
+			hit  bool
+			err  error
+		)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			off := blockdev.BlockNo(i % (1 << 18))
-			if _, hit, err := e.Read(1, off, 1); err != nil || hit {
+			bufs, hit, err = e.ReadInto(bufs[:0], 1, off, 1)
+			if err != nil || hit {
 				b.Fatalf("hit=%v err=%v", hit, err)
 			}
+			bufs[0].Release()
 		}
 	})
 	b.Run("prefetchedHit", func(b *testing.B) {
@@ -237,6 +268,11 @@ func BenchmarkLapcacheGet(b *testing.B) {
 		// prefetched block — the timely path.
 		const batch = 4096
 		e := newBenchEngine(b, 2*batch) // headroom: shard hashing is not perfectly even
+		var (
+			bufs []*blockbuf.Buf
+			hit  bool
+			err  error
+		)
 		i := 0
 		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
@@ -245,11 +281,90 @@ func BenchmarkLapcacheGet(b *testing.B) {
 				e.Preload(1, 0, batch, true)
 				b.StartTimer()
 			}
-			if _, hit, err := e.Read(1, blockdev.BlockNo(i), 1); err != nil || !hit {
+			bufs, hit, err = e.ReadInto(bufs[:0], 1, blockdev.BlockNo(i), 1)
+			if err != nil || !hit {
 				b.Fatalf("hit=%v err=%v", hit, err)
 			}
+			bufs[0].Release()
 			i = (i + 1) % batch
 		}
+	})
+}
+
+// startBenchServer exposes a hot single-block engine over loopback TCP
+// for the wire benchmarks.
+func startBenchServer(b *testing.B) string {
+	b.Helper()
+	e := newBenchEngine(b, 64)
+	e.Preload(1, 0, 1, false) // every read below is a cache hit
+	srv := lapcache.NewServer(e)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(srv.Close)
+	return ln.Addr().String()
+}
+
+// BenchmarkWireRoundTrip compares the two wire protocols end to end
+// over loopback TCP: an 8 KiB cached block fetched with data per
+// round trip. json is the legacy line protocol (base64 payload);
+// binary is the framed protocol streaming the block out of the
+// refcounted cache buffer; binaryPipelined keeps a window of requests
+// in flight on pooled connections — the configuration -replay uses.
+// BENCH_wire.json records a reference run (make bench).
+func BenchmarkWireRoundTrip(b *testing.B) {
+	const blockSize = 8192
+	b.Run("json", func(b *testing.B) {
+		addr := startBenchServer(b)
+		c, err := lapclient.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := c.Read(1, 0, 1, true)
+			if err != nil || !hit || len(data) != blockSize {
+				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		addr := startBenchServer(b)
+		c, err := lapclient.DialConn(addr, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := c.Read(1, 0, 1, true)
+			if err != nil || !hit || len(data) != blockSize {
+				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			}
+		}
+	})
+	b.Run("binaryPipelined", func(b *testing.B) {
+		addr := startBenchServer(b)
+		p, err := lapclient.DialPool(addr, 2, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				data, hit, err := p.Read(1, 0, 1, true)
+				if err != nil || !hit || len(data) != blockSize {
+					b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+				}
+			}
+		})
 	})
 }
 

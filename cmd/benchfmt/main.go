@@ -1,0 +1,139 @@
+// Command benchfmt turns `go test -bench` output into the repo's
+// BENCH_*.json record format (see BENCH_lapcache.json). It reads the
+// benchmark run from stdin, echoes it through to stderr so the run
+// stays visible, and writes the JSON record to -o.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkWireRoundTrip -benchmem . | \
+//	    go run ./cmd/benchfmt -benchmark BenchmarkWireRoundTrip -o BENCH_wire.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type record struct {
+	Benchmark   string   `json:"benchmark"`
+	Description string   `json:"description,omitempty"`
+	Date        string   `json:"date"`
+	Command     string   `json:"command,omitempty"`
+	Go          string   `json:"go"`
+	CPU         string   `json:"cpu,omitempty"`
+	Results     []result `json:"results"`
+	Notes       string   `json:"notes,omitempty"`
+}
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "benchmark name for the record header")
+		filter    = flag.String("filter", "Benchmark", "keep only result names with this prefix")
+		desc      = flag.String("description", "", "one-line description")
+		notes     = flag.String("notes", "", "free-form notes")
+		command   = flag.String("command", "", "the command that produced the input")
+		out       = flag.String("o", "", "output file (stdout when empty)")
+	)
+	flag.Parse()
+
+	rec := record{
+		Benchmark:   *benchmark,
+		Description: *desc,
+		Notes:       *notes,
+		Command:     *command,
+		Date:        time.Now().Format("2006-01-02"),
+		Go:          runtime.Version(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if !strings.HasPrefix(r.Name, *filter) {
+			continue
+		}
+		rec.Results = append(rec.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchfmt: reading input: %v", err)
+	}
+	if len(rec.Results) == 0 {
+		log.Fatal("benchfmt: no benchmark result lines in input")
+	}
+
+	buf, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		log.Fatalf("benchfmt: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchfmt: %v", err)
+	}
+	log.Printf("benchfmt: wrote %d results to %s", len(rec.Results), *out)
+}
+
+// parseLine decodes one `-bench` result line: a name, an iteration
+// count, then value/unit pairs (ns/op, MB/s, B/op, allocs/op). The
+// -N GOMAXPROCS suffix goes with the name, matching go tooling.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	var r result
+	r.Name = fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, r.NsPerOp > 0
+}

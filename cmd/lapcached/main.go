@@ -45,6 +45,7 @@ func main() {
 		latency     = flag.Duration("latency", 2*time.Millisecond, "injected read latency for -store mem")
 		traceFile   = flag.String("trace", "", "trace file supplying the file table")
 		strict      = flag.Bool("strict", false, "panic if a file ever exceeds the linear outstanding limit")
+		idleTimeout = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP address for expvar counters (off when empty)")
 	)
 	flag.Parse()
@@ -125,6 +126,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	srv := lapcache.NewServer(engine)
+	srv.IdleTimeout = *idleTimeout
 	log.Printf("lapcached: alg=%s cache=%d blocks (%d B each) store=%s listening on %s",
 		alg.Name(), *cacheBlocks, *blockSize, *storeKind, ln.Addr())
 

@@ -7,10 +7,12 @@
 //	lapget -addr HOST:PORT -stats                       server counters
 //	lapget -addr HOST:PORT -replay trace.txt            replay a trace
 //
-// A replay drives one goroutine and connection per traced process and
-// then prints the client-side hit ratio next to the server's
-// prefetch-timeliness counters — the live analogue of the simulator's
-// experiment report.
+// A replay drives one goroutine per traced process over a shared pool
+// of pipelined binary connections (tune with -conns and -window, or
+// force the legacy one-JSON-connection-per-process protocol with
+// -json) and then prints the client-side hit ratio next to the
+// server's prefetch-timeliness counters — the live analogue of the
+// simulator's experiment report.
 package main
 
 import (
@@ -35,6 +37,9 @@ func main() {
 		stats      = flag.Bool("stats", false, "print the server's counter snapshot as JSON")
 		replay     = flag.String("replay", "", "replay this trace file through the server")
 		thinkScale = flag.Float64("think-scale", 0, "multiply trace think times by this (0 = no thinking)")
+		jsonProto  = flag.Bool("json", false, "force the legacy JSON protocol for -replay")
+		conns      = flag.Int("conns", 0, "binary connection pool size for -replay (0 = min(8, procs))")
+		window     = flag.Int("window", 0, "per-connection in-flight window for -replay (0 = default)")
 	)
 	flag.Parse()
 
@@ -59,12 +64,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("parse trace %s: %v", *replay, err)
 		}
-		res, err := lapclient.ReplayTrace(*addr, tr, *thinkScale)
+		res, err := lapclient.ReplayTrace(*addr, tr, lapclient.ReplayOptions{
+			ThinkScale: *thinkScale,
+			Conns:      *conns,
+			Window:     *window,
+			JSON:       *jsonProto,
+		})
 		if err != nil {
 			log.Fatalf("replay: %v", err)
 		}
-		fmt.Printf("replayed %s: %d procs, %d requests (%d reads, %d writes, %d closes) in %v\n",
-			tr.Name, res.Procs, res.Requests, res.Reads, res.Writes, res.Closes, res.Elapsed)
+		fmt.Printf("replayed %s over %s: %d procs, %d requests (%d reads, %d writes, %d closes) in %v\n",
+			tr.Name, res.Proto, res.Procs, res.Requests, res.Reads, res.Writes, res.Closes, res.Elapsed)
 		fmt.Printf("client hit ratio: %.3f (%d/%d reads fully cached)\n",
 			res.HitRatio(), res.ReadHits, res.Reads)
 		c := dial(*addr)

@@ -4,16 +4,18 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
 	"repro/internal/lrulist"
 )
 
 // centry is one cached block. It lives on exactly one shard's LRU
 // list; the intrusive links come from the same package the simulator's
-// cooperative cache uses.
+// cooperative cache uses. The cache holds exactly one reference to
+// buf for as long as the entry exists.
 type centry struct {
-	id   blockdev.BlockID
-	data []byte
+	id  blockdev.BlockID
+	buf *blockbuf.Buf
 	// prefetched marks a block brought in speculatively and not yet
 	// touched by any user request — the runtime image of
 	// cachesim.Copy.Prefetched, and the flag behind the timely/wasted
@@ -35,6 +37,11 @@ type cacheShard struct {
 // hash sharding (one copy per block machine-wide — the engine is one
 // process) and the simulator's virtual-time recency replaced by list
 // order under per-shard mutexes.
+//
+// Buffer ownership: Put and Preinstall take ownership of one
+// reference to the buffer they are handed (eviction and overwrite
+// release it); Get hands the caller a freshly retained reference the
+// caller must Release.
 type blockCache struct {
 	shards []cacheShard
 	mask   uint32
@@ -83,11 +90,11 @@ func (c *blockCache) shardFor(b blockdev.BlockID) *cacheShard {
 	return &c.shards[h&c.mask]
 }
 
-// Get returns the cached data for b, touching recency. wasPrefetched
-// reports that this access is the first user touch of a speculative
-// block — a timely prefetch; the flag is cleared, as in the
-// simulator's cache.
-func (c *blockCache) Get(b blockdev.BlockID) (data []byte, wasPrefetched, ok bool) {
+// Get returns a retained reference to the cached buffer for b,
+// touching recency; the caller must Release it. wasPrefetched reports
+// that this access is the first user touch of a speculative block — a
+// timely prefetch; the flag is cleared, as in the simulator's cache.
+func (c *blockCache) Get(b blockdev.BlockID) (buf *blockbuf.Buf, wasPrefetched, ok bool) {
 	sh := c.shardFor(b)
 	sh.mu.Lock()
 	e, found := sh.blocks[b]
@@ -98,9 +105,12 @@ func (c *blockCache) Get(b blockdev.BlockID) (data []byte, wasPrefetched, ok boo
 	sh.lru.Touch(e)
 	wasPrefetched = e.prefetched
 	e.prefetched = false
-	data = e.data
+	// Retain under the shard lock: the entry's own reference keeps the
+	// count >= 1 here, so the new reference is race-free against a
+	// concurrent eviction's Release.
+	buf = e.buf.Retain()
 	sh.mu.Unlock()
-	return data, wasPrefetched, true
+	return buf, wasPrefetched, true
 }
 
 // Contains reports whether b is cached, without touching recency (the
@@ -113,23 +123,28 @@ func (c *blockCache) Contains(b blockdev.BlockID) bool {
 	return ok
 }
 
-// Put inserts (or overwrites) b, evicting from the shard's LRU end as
-// needed. It returns how many evicted blocks were speculative and
-// never touched — wasted prefetches. Inserting over an existing entry
-// refreshes recency and, like the simulator's insert-merge, clears the
-// prefetched flag only when the new copy is a demand fill.
-func (c *blockCache) Put(b blockdev.BlockID, data []byte, prefetched bool) (wastedEvictions int) {
+// Put inserts (or overwrites) b, taking ownership of one reference to
+// buf and evicting from the shard's LRU end as needed (each victim's
+// reference is released). It returns how many evicted blocks were
+// speculative and never touched — wasted prefetches. Inserting over an
+// existing entry releases the displaced buffer, refreshes recency and,
+// like the simulator's insert-merge, clears the prefetched flag only
+// when the new copy is a demand fill.
+func (c *blockCache) Put(b blockdev.BlockID, buf *blockbuf.Buf, prefetched bool) (wastedEvictions int) {
 	sh := c.shardFor(b)
 	sh.mu.Lock()
 	if e, ok := sh.blocks[b]; ok {
-		e.data = data
+		old := e.buf
+		e.buf = buf
 		if !prefetched {
 			e.prefetched = false
 		}
 		sh.lru.Touch(e)
 		sh.mu.Unlock()
+		old.Release()
 		return 0
 	}
+	var freed []*blockbuf.Buf
 	for sh.lru.Len() >= sh.cap {
 		victim := sh.lru.Front()
 		if victim == nil {
@@ -140,29 +155,38 @@ func (c *blockCache) Put(b blockdev.BlockID, data []byte, prefetched bool) (wast
 		if victim.prefetched {
 			wastedEvictions++
 		}
+		freed = append(freed, victim.buf)
 	}
-	e := &centry{id: b, data: data, prefetched: prefetched}
+	e := &centry{id: b, buf: buf, prefetched: prefetched}
 	sh.blocks[b] = e
 	sh.lru.PushBack(e)
 	sh.mu.Unlock()
+	// Release outside the shard lock: a final Release pushes into the
+	// buffer pool, which there is no reason to do under the stripe.
+	for _, f := range freed {
+		f.Release()
+	}
 	return wastedEvictions
 }
 
 // Preinstall inserts b with an explicit prefetched flag, overriding
 // the merge rule that an overwrite never re-arms the flag; the
-// engine's Preload uses it to stage cache states for benchmarks.
-func (c *blockCache) Preinstall(b blockdev.BlockID, data []byte, prefetched bool) {
+// engine's Preload uses it to stage cache states for benchmarks. Like
+// Put it takes ownership of one reference to buf.
+func (c *blockCache) Preinstall(b blockdev.BlockID, buf *blockbuf.Buf, prefetched bool) {
 	sh := c.shardFor(b)
 	sh.mu.Lock()
 	if e, ok := sh.blocks[b]; ok {
-		e.data = data
+		old := e.buf
+		e.buf = buf
 		e.prefetched = prefetched
 		sh.lru.Touch(e)
 		sh.mu.Unlock()
+		old.Release()
 		return
 	}
 	sh.mu.Unlock()
-	c.Put(b, data, prefetched)
+	c.Put(b, buf, prefetched)
 }
 
 // Len returns the number of cached blocks.

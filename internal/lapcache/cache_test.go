@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
 )
 
@@ -12,63 +13,107 @@ func bid(f, b int) blockdev.BlockID {
 	return blockdev.BlockID{File: blockdev.FileID(f), Block: blockdev.BlockNo(b)}
 }
 
+// testPool is the buffer pool for direct cache tests; mkbuf stamps a
+// one-byte tag so tests can tell buffers apart.
+func testPool() *blockbuf.Pool { return blockbuf.NewPool(4) }
+
+func mkbuf(p *blockbuf.Pool, tag byte) *blockbuf.Buf {
+	b := p.Get()
+	b.Bytes()[0] = tag
+	return b
+}
+
 func TestCachePutGetEvict(t *testing.T) {
+	p := testPool()
 	c := newBlockCache(4, 1) // one shard: eviction order is exact
 	for i := 0; i < 4; i++ {
-		c.Put(bid(1, i), []byte{byte(i)}, false)
+		c.Put(bid(1, i), mkbuf(p, byte(i)), false)
 	}
 	if c.Len() != 4 {
 		t.Fatalf("Len = %d", c.Len())
 	}
-	c.Get(bid(1, 0)) // block 0 becomes MRU; block 1 is now LRU
-	c.Put(bid(1, 9), []byte{9}, false)
+	if buf, _, ok := c.Get(bid(1, 0)); ok { // block 0 becomes MRU; block 1 is now LRU
+		buf.Release()
+	}
+	c.Put(bid(1, 9), mkbuf(p, 9), false)
 	if c.Contains(bid(1, 1)) {
 		t.Error("LRU block survived eviction")
 	}
 	if !c.Contains(bid(1, 0)) {
 		t.Error("touched block was evicted")
 	}
-	data, _, ok := c.Get(bid(1, 9))
-	if !ok || !bytes.Equal(data, []byte{9}) {
+	buf, _, ok := c.Get(bid(1, 9))
+	if !ok || buf.Bytes()[0] != 9 {
 		t.Error("inserted block unreadable")
 	}
+	buf.Release()
+}
+
+// TestCacheGetOutlivesEviction pins the zero-copy contract: a buffer
+// handed out by Get stays valid (and unrecycled) even after the cache
+// evicts the block, until the holder releases it.
+func TestCacheGetOutlivesEviction(t *testing.T) {
+	p := testPool()
+	p.SetPoison(true)
+	c := newBlockCache(1, 1)
+	c.Put(bid(1, 0), mkbuf(p, 0xAA), false)
+	held, _, ok := c.Get(bid(1, 0))
+	if !ok {
+		t.Fatal("miss on inserted block")
+	}
+	c.Put(bid(1, 1), mkbuf(p, 0xBB), false) // evicts block 0
+	if held.Bytes()[0] != 0xAA {
+		t.Errorf("held buffer mutated after eviction: %#x", held.Bytes()[0])
+	}
+	if held.Refs() != 1 {
+		t.Errorf("held refs = %d, want 1", held.Refs())
+	}
+	held.Release()
 }
 
 func TestCachePrefetchedFlagLifecycle(t *testing.T) {
+	p := testPool()
 	c := newBlockCache(8, 1)
-	c.Put(bid(1, 0), []byte{0}, true)
+	rel := func(buf *blockbuf.Buf, wasPf, ok bool) bool {
+		if ok {
+			buf.Release()
+		}
+		return wasPf
+	}
+	c.Put(bid(1, 0), mkbuf(p, 0), true)
 	if c.UnusedPrefetched() != 1 {
 		t.Fatalf("UnusedPrefetched = %d", c.UnusedPrefetched())
 	}
 	// Contains must not consume the flag.
 	c.Contains(bid(1, 0))
-	if _, wasPf, _ := c.Get(bid(1, 0)); !wasPf {
+	if !rel(c.Get(bid(1, 0))) {
 		t.Error("first Get did not report the prefetched flag")
 	}
-	if _, wasPf, _ := c.Get(bid(1, 0)); wasPf {
+	if rel(c.Get(bid(1, 0))) {
 		t.Error("flag survived the first touch")
 	}
 	// A demand overwrite clears the flag; a speculative one keeps it.
-	c.Put(bid(1, 1), []byte{1}, true)
-	c.Put(bid(1, 1), []byte{1}, true)
+	c.Put(bid(1, 1), mkbuf(p, 1), true)
+	c.Put(bid(1, 1), mkbuf(p, 1), true)
 	if c.UnusedPrefetched() != 1 {
 		t.Error("speculative overwrite cleared the flag")
 	}
-	c.Put(bid(1, 1), []byte{1}, false)
+	c.Put(bid(1, 1), mkbuf(p, 1), false)
 	if c.UnusedPrefetched() != 0 {
 		t.Error("demand overwrite kept the flag")
 	}
 }
 
 func TestCacheWastedEvictionCount(t *testing.T) {
+	p := testPool()
 	c := newBlockCache(2, 1)
-	c.Put(bid(1, 0), nil, true)
-	c.Put(bid(1, 1), nil, false)
-	wasted := c.Put(bid(1, 2), nil, false) // evicts untouched speculative block 0
+	c.Put(bid(1, 0), mkbuf(p, 0), true)
+	c.Put(bid(1, 1), mkbuf(p, 1), false)
+	wasted := c.Put(bid(1, 2), mkbuf(p, 2), false) // evicts untouched speculative block 0
 	if wasted != 1 {
 		t.Errorf("wasted = %d, want 1", wasted)
 	}
-	wasted = c.Put(bid(1, 3), nil, false) // evicts demand block 1
+	wasted = c.Put(bid(1, 3), mkbuf(p, 3), false) // evicts demand block 1
 	if wasted != 0 {
 		t.Errorf("wasted = %d, want 0", wasted)
 	}
@@ -100,12 +145,24 @@ func TestCacheShardingCapacity(t *testing.T) {
 
 func TestCacheNeverExceedsCapacity(t *testing.T) {
 	const capacity = 32
+	p := testPool()
+	p.SetPoison(true) // evicted buffers must recycle cleanly
 	c := newBlockCache(capacity, 4)
 	for i := 0; i < 500; i++ {
-		c.Put(bid(i%7, i), nil, i%3 == 0)
+		c.Put(bid(i%7, i), p.Get(), i%3 == 0)
 	}
 	if c.Len() > capacity {
 		t.Errorf("Len = %d exceeds capacity %d", c.Len(), capacity)
+	}
+	// Churn recycled the evicted buffers instead of allocating 500.
+	// Under -race sync.Pool drops Puts at random, so only the plain
+	// run holds the tight allocation bound.
+	limit := uint64(capacity + 8)
+	if raceEnabled {
+		limit = 400
+	}
+	if allocs, recycles := p.Stats(); allocs > limit || recycles == 0 {
+		t.Errorf("pool stats: %d allocs / %d recycles over 500 churning puts", allocs, recycles)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
 	"repro/internal/core"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// linear mode really keeps at most one prefetch per file in
 	// flight.
 	StrictLinear bool
+	// PoisonBufs turns on the buffer pool's test mode: released
+	// buffers are poisoned and verified on recycle, so a holder that
+	// writes through a stale reference panics instead of corrupting a
+	// later block. Costs a full-block write per recycle; tests only.
+	PoisonBufs bool
 }
 
 // fetchOp is one in-flight block fetch, demand or speculative. It is
@@ -95,6 +101,7 @@ type Engine struct {
 	cfg   Config
 	cache *blockCache
 	store BackingStore
+	pool  *blockbuf.Pool
 
 	m      Metrics
 	ledger *Ledger
@@ -143,12 +150,16 @@ func New(cfg Config) (*Engine, error) {
 		cfg:        cfg,
 		cache:      newBlockCache(cfg.CacheBlocks, cfg.Shards),
 		store:      cfg.Store,
+		pool:       blockbuf.NewPool(cfg.BlockSize),
 		ledger:     NewLedger(cfg.Alg.MaxOutstanding, cfg.StrictLinear),
 		files:      make(map[blockdev.FileID]*fileState),
 		fileBlocks: make(map[blockdev.FileID]blockdev.BlockNo, len(cfg.FileBlocks)),
 		inflight:   make(map[blockdev.BlockID]*fetchOp),
 		pfq:        make(chan prefetchOp, cfg.QueueLen),
 		quit:       make(chan struct{}),
+	}
+	if cfg.PoisonBufs {
+		e.pool.SetPoison(true)
 	}
 	for f, b := range cfg.FileBlocks {
 		e.fileBlocks[f] = b
@@ -211,22 +222,49 @@ func (e *Engine) fileState(f blockdev.FileID) *fileState {
 }
 
 // Read serves a demand read of nblocks blocks starting at off,
-// returning the concatenated data. hit reports that every block was
-// already cached on arrival — the satisfaction criterion fed to the
-// driver (§3.1).
+// returning the concatenated data as a freshly allocated slice. It is
+// the copying convenience wrapper around ReadInto; hot paths (the
+// binary wire protocol, the benchmarks) use ReadInto directly and
+// avoid the copy.
 func (e *Engine) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32) (data []byte, hit bool, err error) {
-	if nblocks <= 0 || off < 0 {
-		return nil, false, fmt.Errorf("lapcache: invalid read %d:[%d,+%d]", f, off, nblocks)
+	bufs, hit, err := e.ReadInto(nil, f, off, nblocks)
+	if err != nil {
+		return nil, false, err
 	}
 	data = make([]byte, int(nblocks)*e.cfg.BlockSize)
-	hit = true
+	for i, buf := range bufs {
+		copy(data[i*e.cfg.BlockSize:], buf.Bytes())
+		buf.Release()
+	}
+	return data, hit, nil
+}
+
+// ReadInto serves a demand read of nblocks blocks starting at off,
+// appending one retained buffer per block to bufs (usually a reused
+// slice; pass bufs[:0]) and returning the extended slice. The caller
+// owns one reference to every appended buffer and must Release each;
+// the buffers stay valid even if the cache evicts or overwrites the
+// blocks meanwhile. hit reports that every block was already cached
+// on arrival — the satisfaction criterion fed to the driver (§3.1).
+//
+// On error the appended buffers are released and bufs is returned at
+// its original length.
+func (e *Engine) ReadInto(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.BlockNo, nblocks int32) ([]*blockbuf.Buf, bool, error) {
+	if nblocks <= 0 || off < 0 {
+		return bufs, false, fmt.Errorf("lapcache: invalid read %d:[%d,+%d]", f, off, nblocks)
+	}
+	base := len(bufs)
+	hit := true
 	for i := int32(0); i < nblocks; i++ {
 		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
-		dst := data[int(i)*e.cfg.BlockSize : int(i+1)*e.cfg.BlockSize]
-		blockHit, err := e.readBlock(b, dst)
+		buf, blockHit, err := e.readBlockBuf(b)
 		if err != nil {
-			return nil, false, err
+			for _, held := range bufs[base:] {
+				held.Release()
+			}
+			return bufs[:base], false, err
 		}
+		bufs = append(bufs, buf)
 		if blockHit {
 			e.m.demandHits.Add(1)
 		} else {
@@ -235,24 +273,24 @@ func (e *Engine) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32) (d
 		}
 	}
 	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, hit)
-	return data, hit, nil
+	return bufs, hit, nil
 }
 
-// readBlock fetches one block into dst, consulting the cache, joining
-// any in-flight fetch, or reading the store. hit reports a pure cache
-// hit (no waiting).
-func (e *Engine) readBlock(b blockdev.BlockID, dst []byte) (hit bool, err error) {
+// readBlockBuf fetches one block, consulting the cache, joining any
+// in-flight fetch, or reading the store into a pooled buffer. The
+// returned buffer carries one reference owned by the caller. hit
+// reports a pure cache hit (no waiting).
+func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, err error) {
 	waited := false
 	for {
-		if data, wasPrefetched, ok := e.cache.Get(b); ok {
-			copy(dst, data)
+		if buf, wasPrefetched, ok := e.cache.Get(b); ok {
 			// A first touch of a speculative block that was already
 			// resident is a timely prefetch; if we waited for its fetch
 			// to land, it was late and already counted.
 			if wasPrefetched && !waited {
 				e.m.prefetchTimely.Add(1)
 			}
-			return !waited, nil
+			return buf, !waited, nil
 		}
 
 		e.flightMu.Lock()
@@ -266,7 +304,7 @@ func (e *Engine) readBlock(b blockdev.BlockID, dst []byte) (hit bool, err error)
 			waited = true
 			<-fo.done
 			if fo.err != nil {
-				return false, fo.err
+				return nil, false, fo.err
 			}
 			continue // the block should be cached now; re-check
 		}
@@ -279,11 +317,13 @@ func (e *Engine) readBlock(b blockdev.BlockID, dst []byte) (hit bool, err error)
 		e.inflight[b] = fo
 		e.flightMu.Unlock()
 
-		buf := make([]byte, e.cfg.BlockSize)
-		err := e.store.ReadBlock(b, buf)
+		buf := e.pool.Get()
+		err := e.store.ReadBlock(b, buf.Bytes())
 		e.m.storeReads.Add(1)
 		if err == nil {
-			e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf, false)))
+			// One reference transfers to the cache, one stays with the
+			// caller.
+			e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf.Retain(), false)))
 		}
 		fo.err = err
 		e.flightMu.Lock()
@@ -291,10 +331,10 @@ func (e *Engine) readBlock(b blockdev.BlockID, dst []byte) (hit bool, err error)
 		e.flightMu.Unlock()
 		close(fo.done)
 		if err != nil {
-			return false, err
+			buf.Release()
+			return nil, false, err
 		}
-		copy(dst, buf)
-		return false, nil
+		return buf, false, nil
 	}
 }
 
@@ -311,16 +351,18 @@ func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, d
 	}
 	for i := int32(0); i < nblocks; i++ {
 		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
-		buf := make([]byte, e.cfg.BlockSize)
+		buf := e.pool.Get()
 		if data != nil {
-			copy(buf, data[int(i)*e.cfg.BlockSize:int(i+1)*e.cfg.BlockSize])
+			copy(buf.Bytes(), data[int(i)*e.cfg.BlockSize:int(i+1)*e.cfg.BlockSize])
 		} else {
-			FillPattern(b, buf)
+			FillPattern(b, buf.Bytes())
 		}
-		if err := e.store.WriteBlock(b, buf); err != nil {
+		if err := e.store.WriteBlock(b, buf.Bytes()); err != nil {
+			buf.Release()
 			return err
 		}
 		e.m.storeWrites.Add(1)
+		// The cache takes the reference.
 		e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf, false)))
 	}
 	e.m.writes.Add(1)
@@ -363,15 +405,18 @@ func (e *Engine) feedDriver(f blockdev.FileID, r core.Request, satisfied bool) {
 func (e *Engine) Preload(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, prefetched bool) {
 	for i := int32(0); i < nblocks; i++ {
 		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
-		buf := make([]byte, e.cfg.BlockSize)
-		FillPattern(b, buf)
+		buf := e.pool.Get()
+		FillPattern(b, buf.Bytes())
 		e.cache.Preinstall(b, buf, prefetched)
 	}
 }
 
 // Snapshot freezes the engine's counters.
 func (e *Engine) Snapshot() Snapshot {
+	bufAllocs, bufRecycles := e.pool.Stats()
 	return Snapshot{
+		BufAllocs:            bufAllocs,
+		BufRecycles:          bufRecycles,
 		DemandHits:           e.m.demandHits.Load(),
 		DemandMisses:         e.m.demandMisses.Load(),
 		Writes:               e.m.writes.Load(),
@@ -445,11 +490,14 @@ func (e *Engine) runPrefetch(op prefetchOp) {
 	e.inflight[op.b] = fo
 	e.flightMu.Unlock()
 
-	buf := make([]byte, e.cfg.BlockSize)
-	err := e.store.ReadBlock(op.b, buf)
+	buf := e.pool.Get()
+	err := e.store.ReadBlock(op.b, buf.Bytes())
 	e.m.storeReads.Add(1)
 	if err == nil {
+		// The cache takes the worker's only reference.
 		e.m.prefetchWasted.Add(uint64(e.cache.Put(op.b, buf, true)))
+	} else {
+		buf.Release()
 	}
 	fo.err = err
 	e.flightMu.Lock()

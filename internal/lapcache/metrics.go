@@ -65,6 +65,12 @@ type Snapshot struct {
 	StoreReads  uint64 `json:"store_reads"`
 	StoreWrites uint64 `json:"store_writes"`
 
+	// Buffer pool traffic: fills served by allocating a new block
+	// buffer vs. recycling a released one. A steady-state ratio near
+	// all-recycles is the zero-copy data path working as intended.
+	BufAllocs   uint64 `json:"buf_allocs"`
+	BufRecycles uint64 `json:"buf_recycles"`
+
 	// Linearity: the largest number of prefetches ever simultaneously
 	// in flight for any one file — exactly 1 on a linear run.
 	MaxFileOutstandingHW int `json:"max_file_outstanding_hw"`

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lapcache
+
+const raceEnabled = false

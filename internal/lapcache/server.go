@@ -7,20 +7,28 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
+	"repro/internal/wire"
 )
 
-// The wire protocol is newline-delimited JSON, one request and one
-// response per line, pipelined in order per connection. Offsets and
-// sizes are in blocks; clients convert byte ranges with
-// blockdev.ByteRangeToSpan, honouring the paper's two-bytes-two-blocks
-// rule. A "ping" reports the server's algorithm and block size so a
-// client can configure itself from the live server.
+// Every connection starts in the JSON protocol: newline-delimited
+// JSON, one request and one response per line, pipelined in order per
+// connection. Offsets and sizes are in blocks; clients convert byte
+// ranges with blockdev.ByteRangeToSpan, honouring the paper's
+// two-bytes-two-blocks rule. A "ping" reports the server's algorithm,
+// block size and maximum protocol version; a client that sees
+// proto_max >= wire.ProtoBinary may send {"op":"upgrade"} and switch
+// the connection to the binary framed protocol (see internal/wire),
+// whose read path streams raw block payloads straight from the
+// cache's refcounted buffers — no base64, no copy. Plain JSON stays
+// fully supported for old clients and debugging (lapget -json).
 
-// WireRequest is one client request.
+// WireRequest is one client request (JSON protocol).
 type WireRequest struct {
-	Op     string `json:"op"` // ping | read | write | close | stats
+	Op     string `json:"op"` // ping | read | write | close | stats | upgrade
 	File   int32  `json:"file,omitempty"`
 	Offset int32  `json:"offset,omitempty"` // first block
 	Size   int32  `json:"size,omitempty"`   // blocks
@@ -30,9 +38,12 @@ type WireRequest struct {
 	// Data carries a write's payload; nil writes the deterministic
 	// fill pattern.
 	Data []byte `json:"data,omitempty"`
+	// Proto names the protocol version an "upgrade" requests
+	// (defaults to wire.ProtoBinary).
+	Proto int `json:"proto,omitempty"`
 }
 
-// WireResponse is one server response.
+// WireResponse is one server response (JSON protocol).
 type WireResponse struct {
 	OK  bool   `json:"ok"`
 	Err string `json:"err,omitempty"`
@@ -43,22 +54,43 @@ type WireResponse struct {
 	Stats     *Snapshot `json:"stats,omitempty"`
 	Alg       string    `json:"alg,omitempty"`
 	BlockSize int       `json:"block_size,omitempty"`
+	// ProtoMax (on ping) is the newest protocol version this server
+	// speaks; a client upgrades past JSON only after seeing it.
+	ProtoMax int `json:"proto_max,omitempty"`
+}
+
+// pingPayload is the JSON document carried by binary ping and stats
+// responses (rare ops, so their encoding is irrelevant).
+type pingPayload struct {
+	Alg       string `json:"alg"`
+	BlockSize int    `json:"block_size"`
+	ProtoMax  int    `json:"proto_max"`
 }
 
 // Server fronts an Engine over TCP.
 type Server struct {
 	e *Engine
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// IdleTimeout, when positive, closes a connection that sends no
+	// request for the duration (lapcached -idle-timeout). Zero keeps
+	// connections open forever, the historical behaviour.
+	IdleTimeout time.Duration
+	// DrainGrace bounds how long Close waits for an in-flight
+	// response to flush to a slow client before the write is abandoned
+	// (default 2s).
+	DrainGrace time.Duration
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	closing chan struct{}
+	wg      sync.WaitGroup
 }
 
 // NewServer returns a server around e.
 func NewServer(e *Engine) *Server {
-	return &Server{e: e, conns: make(map[net.Conn]struct{})}
+	return &Server{e: e, conns: make(map[net.Conn]struct{}), closing: make(chan struct{})}
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -96,9 +128,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes every connection and waits for the
-// handlers to drain. The engine itself is left running (the owner
-// shuts it down).
+// Close stops accepting and shuts down draining: every in-flight
+// request finishes dispatching and its response is flushed (bounded
+// by DrainGrace for clients too slow to take the bytes) before the
+// connection closes; idle connections are interrupted immediately.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -107,14 +140,48 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	close(s.closing)
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	grace := s.DrainGrace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	now := time.Now()
 	for c := range s.conns {
-		c.Close()
+		// Unblock handlers parked in a read between requests; a
+		// handler mid-dispatch is not reading and finishes its
+		// response first (the drain), bounded by the write deadline.
+		c.SetReadDeadline(now)
+		c.SetWriteDeadline(now.Add(grace))
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+func (s *Server) isClosing() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// armRead sets the deadline for the next blocking read on conn:
+// the idle timeout if configured, cleared otherwise — and an
+// immediate deadline if the server is closing (re-checked after
+// setting, so a racing Close cannot be overwritten into oblivion).
+func (s *Server) armRead(conn net.Conn) {
+	if s.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+	} else {
+		conn.SetReadDeadline(time.Time{})
+	}
+	if s.isClosing() {
+		conn.SetReadDeadline(time.Now())
+	}
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -125,26 +192,164 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	bw := bufio.NewWriter(conn)
-	enc := json.NewEncoder(bw)
-	for sc.Scan() {
-		line := sc.Bytes()
+	h := &connHandler{
+		s:    s,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	h.serveJSON()
+}
+
+// connHandler runs one connection's request loop, starting in JSON
+// and optionally upgrading to binary frames.
+type connHandler struct {
+	s    *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// serveJSON is the line-delimited JSON loop. Lines are bounded by
+// wire.MaxFrame (the documented frame cap — the old bufio.Scanner
+// 64 KiB default truncated multi-block WantData reads).
+func (h *connHandler) serveJSON() {
+	s := h.s
+	enc := json.NewEncoder(h.bw)
+	for {
+		s.armRead(h.conn)
+		line, err := wire.ReadLine(h.br, wire.MaxFrame)
+		if err != nil {
+			return
+		}
 		if len(line) == 0 {
 			continue
 		}
 		var req WireRequest
 		var resp WireResponse
+		upgrade := false
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp.Err = fmt.Sprintf("bad request: %v", err)
+		} else if req.Op == "upgrade" {
+			if req.Proto == 0 || req.Proto == wire.ProtoBinary {
+				resp.OK = true
+				upgrade = true
+			} else {
+				resp.Err = fmt.Sprintf("unsupported protocol %d", req.Proto)
+			}
 		} else {
 			resp = s.dispatch(&req)
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
+		if err := h.bw.Flush(); err != nil {
+			return
+		}
+		if upgrade {
+			h.serveBinary()
+			return
+		}
+		if s.isClosing() {
+			return
+		}
+	}
+}
+
+// serveBinary is the framed loop after an upgrade. Read responses
+// stream block payloads directly from the cache's refcounted buffers
+// into the connection's write buffer — the zero-copy half of the
+// tentpole: no base64, no intermediate concatenation.
+func (h *connHandler) serveBinary() {
+	s := h.s
+	var (
+		scratch [wire.HeaderSize]byte
+		payload []byte          // reused for write payloads
+		bufs    []*blockbuf.Buf // reused for read responses
+	)
+	fail := func(hd wire.Header, msg string) bool {
+		return wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Seq: hd.Seq}, []byte(msg)) == nil
+	}
+	for {
+		s.armRead(h.conn)
+		hd, err := wire.ReadHeader(h.br, scratch[:])
+		if err != nil {
+			return
+		}
+		if payload, err = wire.ReadPayload(h.br, hd, payload); err != nil {
+			return
+		}
+		ok := true
+		switch hd.Op {
+		case wire.OpPing:
+			doc, _ := json.Marshal(pingPayload{
+				Alg: s.e.AlgName(), BlockSize: s.e.BlockSize(), ProtoMax: wire.ProtoBinary,
+			})
+			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
+
+		case wire.OpRead:
+			want := hd.Flags&wire.FlagWantData != 0
+			total := int64(hd.Size) * int64(s.e.BlockSize())
+			if want && (total <= 0 || total > wire.MaxDataBytes) {
+				ok = fail(hd, fmt.Sprintf("read of %d blocks exceeds the %d-byte payload cap", hd.Size, wire.MaxDataBytes))
+				break
+			}
+			bufs = bufs[:0]
+			var hit bool
+			bufs, hit, err = s.e.ReadInto(bufs, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
+			if err != nil {
+				ok = fail(hd, err.Error())
+				break
+			}
+			flags := wire.FlagOK
+			if hit {
+				flags |= wire.FlagHit
+			}
+			out := wire.Header{Op: hd.Op, Flags: flags, Seq: hd.Seq}
+			if want {
+				out.PayloadLen = uint32(total)
+			}
+			wire.PutHeader(scratch[:], out)
+			_, werr := h.bw.Write(scratch[:])
+			if want && werr == nil {
+				for _, b := range bufs {
+					if _, werr = h.bw.Write(b.Bytes()); werr != nil {
+						break
+					}
+				}
+			}
+			for _, b := range bufs {
+				b.Release()
+			}
+			ok = werr == nil
+
+		case wire.OpWrite:
+			var data []byte
+			if hd.PayloadLen > 0 {
+				data = payload
+			}
+			if err := s.e.Write(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data); err != nil {
+				ok = fail(hd, err.Error())
+				break
+			}
+			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) == nil
+
+		case wire.OpClose:
+			s.e.CloseFile(blockdev.FileID(hd.File))
+			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) == nil
+
+		case wire.OpStats:
+			snap := s.e.Snapshot()
+			doc, _ := json.Marshal(&snap)
+			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
+		}
+		if !ok {
+			return
+		}
+		if err := h.bw.Flush(); err != nil {
+			return
+		}
+		if s.isClosing() {
 			return
 		}
 	}
@@ -153,8 +358,15 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(req *WireRequest) WireResponse {
 	switch req.Op {
 	case "ping":
-		return WireResponse{OK: true, Alg: s.e.AlgName(), BlockSize: s.e.BlockSize()}
+		return WireResponse{OK: true, Alg: s.e.AlgName(), BlockSize: s.e.BlockSize(),
+			ProtoMax: wire.ProtoBinary}
 	case "read":
+		if req.WantData {
+			if total := int64(req.Size) * int64(s.e.BlockSize()); total > wire.MaxDataBytes {
+				return WireResponse{Err: fmt.Sprintf(
+					"read of %d blocks exceeds the %d-byte payload cap", req.Size, wire.MaxDataBytes)}
+			}
+		}
 		data, hit, err := s.e.Read(blockdev.FileID(req.File),
 			blockdev.BlockNo(req.Offset), req.Size)
 		if err != nil {

@@ -1,0 +1,298 @@
+package lapcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// startTestServer brings up an engine + server on a loopback port.
+// The lapclient package has its own end-to-end tests; these talk the
+// protocols raw to pin server behaviour without the import cycle.
+func startTestServer(t *testing.T, cfg Config, tune func(*Server)) (*Server, string) {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore(cfg.BlockSize, 0)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	srv := NewServer(e)
+	if tune != nil {
+		tune(srv)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		e.Shutdown()
+	})
+	return srv, ln.Addr().String()
+}
+
+// jsonConn speaks the raw JSON protocol for tests.
+type jsonConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	enc  *json.Encoder
+}
+
+func dialJSON(t *testing.T, addr string) *jsonConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &jsonConn{conn: conn, br: bufio.NewReader(conn), enc: json.NewEncoder(conn)}
+}
+
+func (c *jsonConn) do(t *testing.T, req *WireRequest) *WireResponse {
+	t.Helper()
+	if err := c.enc.Encode(req); err != nil {
+		t.Fatalf("send %s: %v", req.Op, err)
+	}
+	line, err := wire.ReadLine(c.br, wire.MaxFrame)
+	if err != nil {
+		t.Fatalf("read %s response: %v", req.Op, err)
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("decode %s response: %v", req.Op, err)
+	}
+	return &resp
+}
+
+// TestServerJSONLargeWantData is the regression test for the
+// bufio.Scanner 64 KiB default token cap: a 32-block read of 8 KiB
+// blocks base64-encodes to a ~350 KiB response line, which the old
+// scanner-based loops on both ends silently truncated. Lines are now
+// bounded only by the documented wire.MaxFrame.
+func TestServerJSONLargeWantData(t *testing.T) {
+	const blockSize = 8192
+	const nblocks = 32
+	_, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 64,
+	}, nil)
+	c := dialJSON(t, addr)
+
+	resp := c.do(t, &WireRequest{Op: "read", File: 3, Size: nblocks, WantData: true})
+	if !resp.OK {
+		t.Fatalf("read failed: %s", resp.Err)
+	}
+	if len(resp.Data) != nblocks*blockSize {
+		t.Fatalf("got %d bytes, want %d", len(resp.Data), nblocks*blockSize)
+	}
+	want := make([]byte, blockSize)
+	for i := 0; i < nblocks; i++ {
+		FillPattern(blockdev.BlockID{File: 3, Block: blockdev.BlockNo(i)}, want)
+		if !bytes.Equal(resp.Data[i*blockSize:(i+1)*blockSize], want) {
+			t.Fatalf("block %d arrived corrupted", i)
+		}
+	}
+}
+
+// TestServerIdleTimeout: with -idle-timeout armed, a connection that
+// goes quiet is dropped; one that keeps talking is not.
+func TestServerIdleTimeout(t *testing.T) {
+	_, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, func(s *Server) { s.IdleTimeout = 100 * time.Millisecond })
+
+	// An active connection outlives many idle windows.
+	busy := dialJSON(t, addr)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if resp := busy.do(t, &WireRequest{Op: "ping"}); !resp.OK {
+			t.Fatalf("ping on busy conn failed: %s", resp.Err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+
+	// A silent connection is closed by the server.
+	idle := dialJSON(t, addr)
+	if resp := idle.do(t, &WireRequest{Op: "ping"}); !resp.OK {
+		t.Fatalf("ping: %s", resp.Err)
+	}
+	idle.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := idle.br.ReadByte(); err == nil {
+		t.Fatal("idle connection still open after the timeout")
+	}
+}
+
+// TestServerCloseDrainsInFlight: Close must not cut a connection out
+// from under a request that is already dispatching — the response
+// still reaches the client. The gateStore (engine_test.go) holds the
+// demand read in the store while Close races it.
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	const blockSize = 256
+	gate := newGateStore(NewMemStore(blockSize, 0), 0)
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 16, Store: gate,
+	}, nil)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(&WireRequest{
+		Op: "read", File: 1, Size: 1, WantData: true,
+	}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	<-gate.started // the read is now in dispatch, parked in the store
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	// Give Close time to set the connection deadlines, then let the
+	// store finish. The response must still arrive intact.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was still in flight")
+	default:
+	}
+	gate.Release()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := wire.ReadLine(bufio.NewReader(conn), wire.MaxFrame)
+	if err != nil {
+		t.Fatalf("in-flight response lost at shutdown: %v", err)
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.OK || len(resp.Data) != blockSize {
+		t.Fatalf("drained response wrong: ok=%v len=%d err=%q", resp.OK, len(resp.Data), resp.Err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the in-flight request drained")
+	}
+}
+
+// TestServerCloseNotWedgedBySlowClient: a client that stops reading
+// while a large response is mid-flush cannot hold Close hostage past
+// DrainGrace.
+func TestServerCloseNotWedgedBySlowClient(t *testing.T) {
+	const blockSize = 8192
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 512,
+	}, func(s *Server) { s.DrainGrace = 200 * time.Millisecond })
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// A ~4 MiB base64 response: far past any socket buffer, so the
+	// handler wedges in Flush when we never read a byte.
+	if err := json.NewEncoder(conn).Encode(&WireRequest{
+		Op: "read", File: 1, Size: 384, WantData: true,
+	}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the handler hit the stalled flush
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged behind a client that stopped reading")
+	}
+}
+
+// TestServerBinaryUpgradeRoundTrip drives the upgrade handshake and
+// framed ops raw, independent of the lapclient implementation.
+func TestServerBinaryUpgradeRoundTrip(t *testing.T) {
+	const blockSize = 512
+	_, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 64,
+	}, nil)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+
+	if err := enc.Encode(&WireRequest{Op: "ping"}); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	line, err := wire.ReadLine(br, wire.MaxFrame)
+	if err != nil {
+		t.Fatalf("ping response: %v", err)
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("decode ping: %v", err)
+	}
+	if resp.ProtoMax < wire.ProtoBinary {
+		t.Fatalf("ping proto_max = %d, want >= %d", resp.ProtoMax, wire.ProtoBinary)
+	}
+
+	if err := enc.Encode(&WireRequest{Op: "upgrade", Proto: wire.ProtoBinary}); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	line, err = wire.ReadLine(br, wire.MaxFrame)
+	if err != nil {
+		t.Fatalf("upgrade response: %v", err)
+	}
+	if err := json.Unmarshal(line, &resp); err != nil || !resp.OK {
+		t.Fatalf("upgrade refused: %v %q", err, resp.Err)
+	}
+
+	// The connection is binary from here on.
+	if err := wire.WriteFrame(conn, wire.Header{
+		Op: wire.OpRead, Flags: wire.FlagWantData, Seq: 7, File: 2, Offset: 5, Size: 2,
+	}, nil); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	var scratch [wire.HeaderSize]byte
+	h, err := wire.ReadHeader(br, scratch[:])
+	if err != nil {
+		t.Fatalf("read header: %v", err)
+	}
+	if h.Seq != 7 || h.Flags&wire.FlagOK == 0 {
+		t.Fatalf("response header = %+v", h)
+	}
+	payload, err := wire.ReadPayload(br, h, nil)
+	if err != nil {
+		t.Fatalf("read payload: %v", err)
+	}
+	if len(payload) != 2*blockSize {
+		t.Fatalf("payload %d bytes, want %d", len(payload), 2*blockSize)
+	}
+	want := make([]byte, blockSize)
+	FillPattern(blockdev.BlockID{File: 2, Block: 5}, want)
+	if !bytes.Equal(payload[:blockSize], want) {
+		t.Error("first block corrupted crossing the binary wire")
+	}
+	FillPattern(blockdev.BlockID{File: 2, Block: 6}, want)
+	if !bytes.Equal(payload[blockSize:], want) {
+		t.Error("second block corrupted crossing the binary wire")
+	}
+}

@@ -1,7 +1,8 @@
 // Package lapclient is the client side of the lapcache wire protocol:
-// a thin connection wrapper plus a trace replayer that drives a live
-// lapcached server with the simulator's workloads — each traced
-// process becomes a goroutine with its own connection running the
+// a thin JSON connection wrapper (the legacy protocol, kept for old
+// servers and debugging), a pipelined binary connection with a pooled
+// front end, and a trace replayer that drives a live lapcached server
+// with the simulator's workloads — each traced process runs the
 // closed loop (think, request, wait) the paper models.
 package lapclient
 
@@ -10,37 +11,51 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"sync"
-	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/lapcache"
-	"repro/internal/workload"
+	"repro/internal/wire"
 )
 
-// Client is one connection to a lapcached server. It is not safe for
-// concurrent use; the replayer opens one per process.
+// PingInfo is what a server reports about itself.
+type PingInfo struct {
+	Alg       string
+	BlockSize int
+	// ProtoMax is the newest wire protocol the server speaks; 0 or
+	// wire.ProtoJSON means a legacy JSON-only server.
+	ProtoMax int
+}
+
+// Client is one JSON-protocol connection to a lapcached server. It is
+// not safe for concurrent use; for a concurrent, pipelined connection
+// upgrade to Conn (see DialConn / DialPool).
 type Client struct {
 	conn net.Conn
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	bw   *bufio.Writer
 	enc  *json.Encoder
 }
 
-// Dial connects to a server.
+// Dial connects to a server in the JSON protocol.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return newClient(conn), nil
+}
+
+func newClient(conn net.Conn) *Client {
 	c := &Client{
 		conn: conn,
-		sc:   bufio.NewScanner(conn),
-		bw:   bufio.NewWriter(conn),
+		// Lines are bounded by wire.MaxFrame, not the 64 KiB
+		// bufio.Scanner default that used to kill multi-block
+		// WantData reads.
+		br: bufio.NewReaderSize(conn, 64<<10),
+		bw: bufio.NewWriter(conn),
 	}
-	c.sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	c.enc = json.NewEncoder(c.bw)
-	return c, nil
+	return c
 }
 
 // Close tears the connection down.
@@ -54,14 +69,12 @@ func (c *Client) do(req *lapcache.WireRequest) (*lapcache.WireResponse, error) {
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("lapclient: connection closed mid-request")
+	line, err := wire.ReadLine(c.br, wire.MaxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("lapclient: reading response: %w", err)
 	}
 	var resp lapcache.WireResponse
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(line, &resp); err != nil {
 		return nil, err
 	}
 	if !resp.OK {
@@ -70,13 +83,13 @@ func (c *Client) do(req *lapcache.WireRequest) (*lapcache.WireResponse, error) {
 	return &resp, nil
 }
 
-// Ping returns the server's algorithm name and block size.
-func (c *Client) Ping() (alg string, blockSize int, err error) {
+// Ping returns the server's self-description.
+func (c *Client) Ping() (PingInfo, error) {
 	resp, err := c.do(&lapcache.WireRequest{Op: "ping"})
 	if err != nil {
-		return "", 0, err
+		return PingInfo{}, err
 	}
-	return resp.Alg, resp.BlockSize, nil
+	return PingInfo{Alg: resp.Alg, BlockSize: resp.BlockSize, ProtoMax: resp.ProtoMax}, nil
 }
 
 // Read requests nblocks blocks of f starting at block off. hit
@@ -117,126 +130,4 @@ func (c *Client) Stats() (lapcache.Snapshot, error) {
 		return lapcache.Snapshot{}, fmt.Errorf("lapclient: stats response without stats")
 	}
 	return *resp.Stats, nil
-}
-
-// ReplayResult summarizes a trace replay from the client's side.
-type ReplayResult struct {
-	Procs    int
-	Requests int
-	Reads    int
-	ReadHits int
-	Writes   int
-	Closes   int
-	Elapsed  time.Duration
-}
-
-// HitRatio returns the fraction of reads fully served from cache.
-func (r ReplayResult) HitRatio() float64 {
-	if r.Reads == 0 {
-		return 0
-	}
-	return float64(r.ReadHits) / float64(r.Reads)
-}
-
-// ReplayTrace drives a server with a workload trace: one goroutine and
-// one connection per traced process, each running its closed loop in
-// order. Think times are multiplied by thinkScale (0 disables thinking
-// entirely — the usual choice, since the trace's virtual think times
-// are far longer than a live server's service times).
-func ReplayTrace(addr string, tr *workload.Trace, thinkScale float64) (ReplayResult, error) {
-	probe, err := Dial(addr)
-	if err != nil {
-		return ReplayResult{}, err
-	}
-	_, blockSize, err := probe.Ping()
-	probe.Close()
-	if err != nil {
-		return ReplayResult{}, err
-	}
-	if blockSize <= 0 {
-		return ReplayResult{}, fmt.Errorf("lapclient: server reports block size %d", blockSize)
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		res      ReplayResult
-		firstErr error
-	)
-	res.Procs = len(tr.Procs)
-	start := time.Now()
-	for pi := range tr.Procs {
-		wg.Add(1)
-		go func(p *workload.Process) {
-			defer wg.Done()
-			c, err := Dial(addr)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			defer c.Close()
-			var local ReplayResult
-			for _, s := range p.Steps {
-				if thinkScale > 0 && s.Think > 0 {
-					time.Sleep(time.Duration(float64(s.Think) * thinkScale))
-				}
-				local.Requests++
-				switch s.Kind {
-				case workload.OpRead:
-					span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, int64(blockSize))
-					_, hit, err := c.Read(span.File, span.Start, span.Count, false)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					local.Reads++
-					if hit {
-						local.ReadHits++
-					}
-				case workload.OpWrite:
-					span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, int64(blockSize))
-					if err := c.Write(span.File, span.Start, span.Count, nil); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					local.Writes++
-				case workload.OpClose:
-					if err := c.CloseFile(s.File); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					local.Closes++
-				}
-			}
-			mu.Lock()
-			res.Requests += local.Requests
-			res.Reads += local.Reads
-			res.ReadHits += local.ReadHits
-			res.Writes += local.Writes
-			res.Closes += local.Closes
-			mu.Unlock()
-		}(&tr.Procs[pi])
-	}
-	wg.Wait()
-	res.Elapsed = time.Since(start)
-	if firstErr != nil {
-		return res, firstErr
-	}
-	return res, nil
 }

@@ -1,14 +1,19 @@
 package lapclient
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/lapcache"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -46,12 +51,15 @@ func TestClientBasicOps(t *testing.T) {
 	}
 	defer c.Close()
 
-	alg, bs, err := c.Ping()
+	info, err := c.Ping()
 	if err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	if alg != "NP" || bs != 256 {
-		t.Errorf("ping = %q/%d, want NP/256", alg, bs)
+	if info.Alg != "NP" || info.BlockSize != 256 {
+		t.Errorf("ping = %q/%d, want NP/256", info.Alg, info.BlockSize)
+	}
+	if info.ProtoMax < wire.ProtoBinary {
+		t.Errorf("ping proto_max = %d, want >= %d", info.ProtoMax, wire.ProtoBinary)
 	}
 
 	payload := bytes.Repeat([]byte{0x7E}, 256)
@@ -103,9 +111,12 @@ func TestReplayCharismaEndToEnd(t *testing.T) {
 		StrictLinear: true,
 	})
 
-	res, err := ReplayTrace(addr, tr, 0)
+	res, err := ReplayTrace(addr, tr, ReplayOptions{})
 	if err != nil {
 		t.Fatalf("replay: %v", err)
+	}
+	if res.Proto != "binary" {
+		t.Errorf("replay negotiated %q, want binary against a new server", res.Proto)
 	}
 	if res.Requests != tr.TotalSteps() {
 		t.Errorf("replayed %d requests, trace has %d", res.Requests, tr.TotalSteps())
@@ -144,6 +155,254 @@ func TestReplayCharismaEndToEnd(t *testing.T) {
 	}
 	t.Logf("replay: %d reqs in %v, client hit ratio %.3f; server: %s",
 		res.Requests, res.Elapsed, res.HitRatio(), snap)
+}
+
+// startLegacyServer emulates a pre-binary lapcached: JSON lines only,
+// no proto_max in the ping response, and "upgrade" is an unknown op.
+// It exercises the new-client/old-server cell of the negotiation
+// matrix without keeping the old server code around.
+func startLegacyServer(t *testing.T, cfg lapcache.Config) string {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = lapcache.NewMemStore(cfg.BlockSize, 0)
+	}
+	e, err := lapcache.New(cfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		e.Shutdown()
+	})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				enc := json.NewEncoder(conn)
+				for {
+					line, err := wire.ReadLine(br, wire.MaxFrame)
+					if err != nil {
+						return
+					}
+					var req lapcache.WireRequest
+					if err := json.Unmarshal(line, &req); err != nil {
+						return
+					}
+					resp := lapcache.WireResponse{OK: true}
+					switch req.Op {
+					case "ping":
+						resp.Alg = e.AlgName()
+						resp.BlockSize = e.BlockSize()
+						// No ProtoMax: old servers predate negotiation.
+					case "read":
+						data, hit, err := e.Read(blockdev.FileID(req.File), blockdev.BlockNo(req.Offset), req.Size)
+						if err != nil {
+							resp = lapcache.WireResponse{Err: err.Error()}
+						} else {
+							resp.Hit = hit
+							if req.WantData {
+								resp.Data = data
+							}
+						}
+					case "write":
+						if err := e.Write(blockdev.FileID(req.File), blockdev.BlockNo(req.Offset), req.Size, req.Data); err != nil {
+							resp = lapcache.WireResponse{Err: err.Error()}
+						}
+					case "close":
+						e.CloseFile(blockdev.FileID(req.File))
+					case "stats":
+						snap := e.Snapshot()
+						resp.Stats = &snap
+					default:
+						resp = lapcache.WireResponse{Err: "unknown op: " + req.Op}
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestProtocolNegotiationMatrix pins every pairing of old/new client
+// and old/new server:
+//
+//   - old JSON client ↔ new server: JSON keeps working (TestClientBasicOps
+//     plus the explicit check here).
+//   - new client ↔ new server: the ping advertises binary and DialConn
+//     upgrades.
+//   - new client ↔ old server: DialConn reports ErrNoBinary and
+//     ReplayTrace silently falls back to JSON.
+func TestProtocolNegotiationMatrix(t *testing.T) {
+	cfg := lapcache.Config{Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 32}
+
+	t.Run("old-client-new-server", func(t *testing.T) {
+		addr := startServer(t, cfg)
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		// A legacy client just never sends "upgrade"; the connection
+		// stays JSON and every op works.
+		if err := c.Write(1, 0, 2, nil); err != nil {
+			t.Fatalf("json write: %v", err)
+		}
+		data, hit, err := c.Read(1, 0, 2, true)
+		if err != nil {
+			t.Fatalf("json read: %v", err)
+		}
+		if !hit || len(data) != 256 {
+			t.Errorf("json read: hit=%v len=%d, want hit 256 bytes", hit, len(data))
+		}
+	})
+
+	t.Run("new-client-new-server", func(t *testing.T) {
+		addr := startServer(t, cfg)
+		bc, err := DialConn(addr, 0)
+		if err != nil {
+			t.Fatalf("binary dial: %v", err)
+		}
+		defer bc.Close()
+		info, err := bc.Ping()
+		if err != nil {
+			t.Fatalf("binary ping: %v", err)
+		}
+		if info.Alg != "NP" || info.BlockSize != 128 || info.ProtoMax < wire.ProtoBinary {
+			t.Errorf("binary ping = %+v", info)
+		}
+	})
+
+	t.Run("new-client-old-server", func(t *testing.T) {
+		addr := startLegacyServer(t, cfg)
+		if _, err := DialConn(addr, 0); err != ErrNoBinary {
+			t.Fatalf("DialConn against legacy server: err = %v, want ErrNoBinary", err)
+		}
+		// The replayer negotiates down instead of failing.
+		tr, err := workload.GenerateCharisma(experiment.TinyScale().Charisma)
+		if err != nil {
+			t.Fatalf("generate trace: %v", err)
+		}
+		res, err := ReplayTrace(addr, tr, ReplayOptions{})
+		if err != nil {
+			t.Fatalf("replay vs legacy server: %v", err)
+		}
+		if res.Proto != "json" {
+			t.Errorf("replay negotiated %q against legacy server, want json", res.Proto)
+		}
+		if res.Requests != tr.TotalSteps() {
+			t.Errorf("replayed %d requests, trace has %d", res.Requests, tr.TotalSteps())
+		}
+	})
+}
+
+// TestBinaryConnDataIntegrity pushes real payloads through the framed
+// protocol: what a Conn writes must come back byte-identical, and
+// unwritten blocks must arrive as the server-side fill pattern.
+func TestBinaryConnDataIntegrity(t *testing.T) {
+	const blockSize = 512
+	addr := startServer(t, lapcache.Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 64,
+	})
+	c, err := DialConn(addr, 0)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	payload := make([]byte, 3*blockSize)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := c.Write(9, 2, 3, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, hit, err := c.Read(9, 2, 3, true)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !hit {
+		t.Error("read of just-written blocks missed")
+	}
+	if !bytes.Equal(data, payload) {
+		t.Error("binary read returned different bytes than written")
+	}
+
+	data, _, err = c.Read(9, 100, 1, true)
+	if err != nil {
+		t.Fatalf("read unwritten: %v", err)
+	}
+	want := make([]byte, blockSize)
+	lapcache.FillPattern(blockdev.BlockID{File: 9, Block: 100}, want)
+	if !bytes.Equal(data, want) {
+		t.Error("unwritten block did not arrive as the fill pattern")
+	}
+
+	// Metadata-only read: no payload, but the hit flag still flows.
+	data, hit, err = c.Read(9, 2, 3, false)
+	if err != nil {
+		t.Fatalf("read nodata: %v", err)
+	}
+	if len(data) != 0 {
+		t.Errorf("nodata read returned %d bytes", len(data))
+	}
+	if !hit {
+		t.Error("nodata read of cached blocks missed")
+	}
+}
+
+// TestPipelinedConnConcurrency hammers one Conn from many goroutines:
+// sequence matching must route every response to its caller.
+func TestPipelinedConnConcurrency(t *testing.T) {
+	const blockSize = 256
+	addr := startServer(t, lapcache.Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 256,
+	})
+	c, err := DialConn(addr, 8)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := blockdev.FileID(g + 1)
+			for i := 0; i < 20; i++ {
+				off := blockdev.BlockNo(i % 8)
+				data, _, err := c.Read(f, off, 1, true)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := make([]byte, blockSize)
+				lapcache.FillPattern(blockdev.BlockID{File: f, Block: off}, want)
+				if !bytes.Equal(data, want) {
+					errs <- fmt.Errorf("goroutine %d got bytes for a different block", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
 }
 
 // TestReplayTraceDataIntegrity replays a tiny hand-made trace with

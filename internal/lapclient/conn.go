@@ -1,0 +1,248 @@
+package lapclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blockdev"
+	"repro/internal/lapcache"
+	"repro/internal/wire"
+)
+
+// ErrNoBinary reports a server that only speaks the JSON protocol.
+var ErrNoBinary = errors.New("lapclient: server does not speak the binary protocol")
+
+// DefaultWindow is the per-connection in-flight request cap when the
+// caller passes 0.
+const DefaultWindow = 32
+
+// Conn is one binary-protocol connection. Unlike Client it is safe
+// for concurrent use and pipelined: up to window requests ride the
+// wire at once, and a reader goroutine matches responses to waiters
+// by the frame sequence number — so one slow round trip no longer
+// head-of-line blocks every other caller on the connection.
+type Conn struct {
+	conn net.Conn
+	info PingInfo
+
+	wmu sync.Mutex // serializes frame writes + flushes
+	bw  *bufio.Writer
+
+	seq    atomic.Uint32
+	window chan struct{} // in-flight slots
+
+	pmu     sync.Mutex
+	pending map[uint32]chan binResp
+	readErr error
+	dead    chan struct{} // closed when the reader goroutine exits
+}
+
+// binResp is one matched response frame.
+type binResp struct {
+	h       wire.Header
+	payload []byte // owned by the receiver
+}
+
+// DialConn connects, negotiates through the JSON ping, and upgrades
+// the connection to the binary protocol. window bounds in-flight
+// requests (0 = DefaultWindow). Servers without binary support yield
+// ErrNoBinary; callers that must work against old servers fall back
+// to Dial.
+func DialConn(addr string, window int) (*Conn, error) {
+	jc, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	info, err := jc.Ping()
+	if err != nil {
+		jc.Close()
+		return nil, err
+	}
+	if info.ProtoMax < wire.ProtoBinary {
+		jc.Close()
+		return nil, ErrNoBinary
+	}
+	if _, err := jc.do(&lapcache.WireRequest{Op: "upgrade", Proto: wire.ProtoBinary}); err != nil {
+		jc.Close()
+		return nil, fmt.Errorf("lapclient: upgrade refused: %w", err)
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	c := &Conn{
+		conn:    jc.conn,
+		info:    info,
+		bw:      jc.bw,
+		window:  make(chan struct{}, window),
+		pending: make(map[uint32]chan binResp),
+		dead:    make(chan struct{}),
+	}
+	// The JSON client's buffered reader carries over: the server sends
+	// nothing between the upgrade OK and our first binary frame, so no
+	// bytes are stranded behind the protocol switch.
+	go c.readLoop(jc.br)
+	return c, nil
+}
+
+// Info returns the server self-description captured at negotiation.
+func (c *Conn) Info() PingInfo { return c.info }
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// readLoop delivers response frames to their waiting callers.
+func (c *Conn) readLoop(br *bufio.Reader) {
+	var scratch [wire.HeaderSize]byte
+	for {
+		h, err := wire.ReadHeader(br, scratch[:])
+		if err != nil {
+			c.fail(fmt.Errorf("lapclient: connection lost: %w", err))
+			return
+		}
+		// Each response's payload is freshly allocated: it is handed
+		// to a concurrent caller, so the loop cannot reuse it.
+		payload, err := wire.ReadPayload(br, h, nil)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[h.Seq]
+		delete(c.pending, h.Seq)
+		c.pmu.Unlock()
+		if ch == nil {
+			c.fail(fmt.Errorf("lapclient: response for unknown seq %d", h.Seq))
+			return
+		}
+		ch <- binResp{h: h, payload: payload}
+	}
+}
+
+// fail poisons the connection: current and future callers get err.
+func (c *Conn) fail(err error) {
+	c.pmu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+		close(c.dead)
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]chan binResp)
+	c.pmu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// do runs one pipelined request/response exchange.
+func (c *Conn) do(h wire.Header, payload []byte) (binResp, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.dead:
+		return binResp{}, c.err()
+	}
+	defer func() { <-c.window }()
+
+	h.Seq = c.seq.Add(1)
+	ch := make(chan binResp, 1)
+	c.pmu.Lock()
+	if c.readErr != nil {
+		c.pmu.Unlock()
+		return binResp{}, c.err()
+	}
+	c.pending[h.Seq] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.bw, h, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, h.Seq)
+		c.pmu.Unlock()
+		return binResp{}, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return binResp{}, c.err()
+	}
+	if resp.h.Flags&wire.FlagOK == 0 {
+		return binResp{}, fmt.Errorf("lapclient: server error: %s", resp.payload)
+	}
+	return resp, nil
+}
+
+func (c *Conn) err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return errors.New("lapclient: connection closed")
+}
+
+// Ping re-queries the server over the binary protocol.
+func (c *Conn) Ping() (PingInfo, error) {
+	resp, err := c.do(wire.Header{Op: wire.OpPing}, nil)
+	if err != nil {
+		return PingInfo{}, err
+	}
+	var doc struct {
+		Alg       string `json:"alg"`
+		BlockSize int    `json:"block_size"`
+		ProtoMax  int    `json:"proto_max"`
+	}
+	if err := json.Unmarshal(resp.payload, &doc); err != nil {
+		return PingInfo{}, err
+	}
+	return PingInfo{Alg: doc.Alg, BlockSize: doc.BlockSize, ProtoMax: doc.ProtoMax}, nil
+}
+
+// Read requests nblocks blocks of f starting at block off; data is
+// nil unless wantData.
+func (c *Conn) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) (data []byte, hit bool, err error) {
+	h := wire.Header{Op: wire.OpRead, File: int32(f), Offset: int32(off), Size: nblocks}
+	if wantData {
+		h.Flags = wire.FlagWantData
+	}
+	resp, err := c.do(h, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.payload, resp.h.Flags&wire.FlagHit != 0, nil
+}
+
+// Write sends nblocks blocks starting at off; nil data writes the
+// deterministic fill pattern server-side.
+func (c *Conn) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	_, err := c.do(wire.Header{Op: wire.OpWrite, File: int32(f), Offset: int32(off), Size: nblocks}, data)
+	return err
+}
+
+// CloseFile tells the server this client is done with f for now.
+func (c *Conn) CloseFile(f blockdev.FileID) error {
+	_, err := c.do(wire.Header{Op: wire.OpClose, File: int32(f)}, nil)
+	return err
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Conn) Stats() (lapcache.Snapshot, error) {
+	resp, err := c.do(wire.Header{Op: wire.OpStats}, nil)
+	if err != nil {
+		return lapcache.Snapshot{}, err
+	}
+	var snap lapcache.Snapshot
+	if err := json.Unmarshal(resp.payload, &snap); err != nil {
+		return lapcache.Snapshot{}, err
+	}
+	return snap, nil
+}

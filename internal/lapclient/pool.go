@@ -1,0 +1,80 @@
+package lapclient
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/blockdev"
+	"repro/internal/lapcache"
+)
+
+// Pool is a fixed set of pipelined binary connections fronting one
+// server. Calls are spread round-robin across the connections; each
+// connection multiplexes its callers through the in-flight window.
+// Safe for concurrent use — the replayer shares one Pool across every
+// process goroutine.
+type Pool struct {
+	conns []*Conn
+	next  atomic.Uint32
+}
+
+// DialPool opens nconns binary connections (0 = 4) with the given
+// per-connection window (0 = DefaultWindow). It fails with ErrNoBinary
+// against a JSON-only server.
+func DialPool(addr string, nconns, window int) (*Pool, error) {
+	if nconns <= 0 {
+		nconns = 4
+	}
+	p := &Pool{conns: make([]*Conn, 0, nconns)}
+	for i := 0; i < nconns; i++ {
+		c, err := DialConn(addr, window)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("lapclient: pool conn %d: %w", i, err)
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// Info returns the server self-description from negotiation.
+func (p *Pool) Info() PingInfo { return p.conns[0].Info() }
+
+// Close tears down every connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pick selects the next connection round-robin.
+func (p *Pool) pick() *Conn {
+	return p.conns[int(p.next.Add(1))%len(p.conns)]
+}
+
+// Read requests nblocks blocks of f starting at block off.
+func (p *Pool) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) ([]byte, bool, error) {
+	return p.pick().Read(f, off, nblocks, wantData)
+}
+
+// Write sends nblocks blocks starting at off.
+func (p *Pool) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	return p.pick().Write(f, off, nblocks, data)
+}
+
+// CloseFile tells the server this client is done with f for now.
+func (p *Pool) CloseFile(f blockdev.FileID) error {
+	return p.pick().CloseFile(f)
+}
+
+// Stats fetches the server's counter snapshot.
+func (p *Pool) Stats() (lapcache.Snapshot, error) {
+	return p.pick().Stats()
+}

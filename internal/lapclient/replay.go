@@ -1,0 +1,190 @@
+package lapclient
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// session is what one replayed process needs from the wire: both the
+// legacy per-process JSON Client and the shared binary Pool satisfy
+// it.
+type session interface {
+	Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) ([]byte, bool, error)
+	Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error
+	CloseFile(f blockdev.FileID) error
+}
+
+// ReplayOptions tunes a trace replay.
+type ReplayOptions struct {
+	// ThinkScale multiplies trace think times (0 disables thinking
+	// entirely — the usual choice, since the trace's virtual think
+	// times are far longer than a live server's service times).
+	ThinkScale float64
+	// Conns is the binary connection pool size (0 = min(8, procs)).
+	Conns int
+	// Window is the per-connection in-flight cap (0 = DefaultWindow).
+	Window int
+	// JSON forces the legacy protocol: one JSON connection per traced
+	// process, one request in flight per connection (lapget -json).
+	JSON bool
+}
+
+// ReplayResult summarizes a trace replay from the client's side.
+type ReplayResult struct {
+	Proto    string // "binary" or "json"
+	Procs    int
+	Requests int
+	Reads    int
+	ReadHits int
+	Writes   int
+	Closes   int
+	Elapsed  time.Duration
+}
+
+// HitRatio returns the fraction of reads fully served from cache.
+func (r ReplayResult) HitRatio() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.ReadHits) / float64(r.Reads)
+}
+
+// ReplayTrace drives a server with a workload trace: one goroutine
+// per traced process, each running its closed loop in order. By
+// default the processes share a pool of pipelined binary connections,
+// so the replay runs at closed-loop concurrency without one slow
+// round trip head-of-line blocking every other process; against a
+// JSON-only server (or with opts.JSON) it falls back to the legacy
+// one-connection-per-process JSON protocol.
+func ReplayTrace(addr string, tr *workload.Trace, opts ReplayOptions) (ReplayResult, error) {
+	probe, err := Dial(addr)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	info, err := probe.Ping()
+	probe.Close()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	if info.BlockSize <= 0 {
+		return ReplayResult{}, fmt.Errorf("lapclient: server reports block size %d", info.BlockSize)
+	}
+
+	var res ReplayResult
+	res.Procs = len(tr.Procs)
+
+	// newSession yields the per-process wire handle; cleanup tears
+	// down whatever the protocol choice built.
+	var (
+		newSession func() (session, func(), error)
+		cleanup    func()
+	)
+	if !opts.JSON && info.ProtoMax >= wire.ProtoBinary {
+		nconns := opts.Conns
+		if nconns <= 0 {
+			nconns = len(tr.Procs)
+			if nconns > 8 {
+				nconns = 8
+			}
+		}
+		pool, err := DialPool(addr, nconns, opts.Window)
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		res.Proto = "binary"
+		newSession = func() (session, func(), error) { return pool, func() {}, nil }
+		cleanup = func() { pool.Close() }
+	} else {
+		if !opts.JSON && info.ProtoMax < wire.ProtoBinary {
+			// Old server: negotiate down, exactly like an old client.
+			opts.JSON = true
+		}
+		res.Proto = "json"
+		newSession = func() (session, func(), error) {
+			c, err := Dial(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, func() { c.Close() }, nil
+		}
+		cleanup = func() {}
+	}
+	defer cleanup()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for pi := range tr.Procs {
+		wg.Add(1)
+		go func(p *workload.Process) {
+			defer wg.Done()
+			sess, done, err := newSession()
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer done()
+			var local ReplayResult
+			for _, s := range p.Steps {
+				if opts.ThinkScale > 0 && s.Think > 0 {
+					time.Sleep(time.Duration(float64(s.Think) * opts.ThinkScale))
+				}
+				local.Requests++
+				switch s.Kind {
+				case workload.OpRead:
+					span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, int64(info.BlockSize))
+					_, hit, err := sess.Read(span.File, span.Start, span.Count, false)
+					if err != nil {
+						fail(err)
+						return
+					}
+					local.Reads++
+					if hit {
+						local.ReadHits++
+					}
+				case workload.OpWrite:
+					span := blockdev.ByteRangeToSpan(s.File, s.Offset, s.Size, int64(info.BlockSize))
+					if err := sess.Write(span.File, span.Start, span.Count, nil); err != nil {
+						fail(err)
+						return
+					}
+					local.Writes++
+				case workload.OpClose:
+					if err := sess.CloseFile(s.File); err != nil {
+						fail(err)
+						return
+					}
+					local.Closes++
+				}
+			}
+			mu.Lock()
+			res.Requests += local.Requests
+			res.Reads += local.Reads
+			res.ReadHits += local.ReadHits
+			res.Writes += local.Writes
+			res.Closes += local.Closes
+			mu.Unlock()
+		}(&tr.Procs[pi])
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,274 @@
+// Package wire defines the lapcache wire protocol shared by the
+// server (internal/lapcache) and the client (internal/lapclient).
+//
+// Two encodings travel over one TCP port:
+//
+//   - Protocol 1 (JSON): newline-delimited JSON objects, one request
+//     and one response per line, block payloads base64-inside-JSON.
+//     Every connection starts in this mode; it remains fully supported
+//     for old clients and for debugging (lapget -json).
+//   - Protocol 2 (binary): length-prefixed frames with a fixed
+//     little-endian header and raw block payloads — no base64, no
+//     per-request reflection. A client upgrades a connection by
+//     learning the server's "proto_max" from the JSON ping response
+//     and then sending a JSON {"op":"upgrade"}; everything after the
+//     server's OK line is binary frames in both directions.
+//
+// Binary frame layout (little-endian):
+//
+//	offset size field
+//	0      1    op       (Op; 1..5, never '{' so a JSON line is unambiguous)
+//	1      1    flags    (Flags bitfield)
+//	2      1    version  (must be Version)
+//	3      1    reserved (must be 0)
+//	4      4    seq      (echoed verbatim in the response; client-side matching)
+//	8      4    file     (int32 FileID)
+//	12     4    offset   (int32 first block)
+//	16     4    size     (int32 span length in blocks)
+//	20     4    payload  (uint32 byte length of the payload that follows)
+//
+// The payload carries raw block data for reads (FlagWantData) and
+// writes, a UTF-8 error message on failure frames, and a JSON document
+// for ping/stats responses (rare, so their encoding does not matter).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol versions negotiated through the JSON ping ("proto_max").
+const (
+	ProtoJSON   = 1
+	ProtoBinary = 2
+)
+
+// Version is the binary frame header version.
+const Version = 1
+
+// HeaderSize is the fixed byte length of a binary frame header.
+const HeaderSize = 24
+
+// MaxPayload caps a single frame's payload. The decoder rejects
+// larger length fields before allocating anything, so a corrupt or
+// hostile header cannot balloon memory.
+const MaxPayload = 1 << 24 // 16 MiB
+
+// MaxFrame bounds a full frame — and doubles as the cap on one JSON
+// line. This is the documented limit the old bufio.Scanner 64 KiB
+// default violated: a multi-block WantData read easily exceeds 64 KiB
+// once base64-inflated, so both ends size their line readers to
+// MaxFrame instead.
+const MaxFrame = HeaderSize + MaxPayload
+
+// MaxDataBytes caps the raw block payload of one read or write so
+// that even the base64-inflated JSON encoding of the same data fits a
+// MaxFrame line with envelope to spare.
+const MaxDataBytes = 11 << 20
+
+// Op identifies a request (and is echoed in its response).
+type Op uint8
+
+const (
+	OpPing  Op = 1
+	OpRead  Op = 2
+	OpWrite Op = 3
+	OpClose Op = 4
+	OpStats Op = 5
+
+	opMax = OpStats
+)
+
+// String renders the op for error messages.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpClose:
+		return "close"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Flags is the frame flag bitfield.
+type Flags uint8
+
+const (
+	// FlagWantData (requests) asks a read to return block payloads.
+	FlagWantData Flags = 1 << 0
+	// FlagOK (responses) marks success; absent, the payload is an
+	// error message.
+	FlagOK Flags = 1 << 1
+	// FlagHit (read responses) reports every requested block was
+	// cached on arrival.
+	FlagHit Flags = 1 << 2
+
+	flagsKnown = FlagWantData | FlagOK | FlagHit
+)
+
+// Header is a decoded binary frame header.
+type Header struct {
+	Op         Op
+	Flags      Flags
+	Seq        uint32
+	File       int32
+	Offset     int32
+	Size       int32
+	PayloadLen uint32
+}
+
+// ErrFrameTooLarge reports a length field beyond the protocol limits.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// PutHeader encodes h into dst, which must hold HeaderSize bytes.
+func PutHeader(dst []byte, h Header) {
+	_ = dst[HeaderSize-1]
+	dst[0] = byte(h.Op)
+	dst[1] = byte(h.Flags)
+	dst[2] = Version
+	dst[3] = 0
+	binary.LittleEndian.PutUint32(dst[4:], h.Seq)
+	binary.LittleEndian.PutUint32(dst[8:], uint32(h.File))
+	binary.LittleEndian.PutUint32(dst[12:], uint32(h.Offset))
+	binary.LittleEndian.PutUint32(dst[16:], uint32(h.Size))
+	binary.LittleEndian.PutUint32(dst[20:], h.PayloadLen)
+}
+
+// ParseHeader decodes and validates a frame header. It never panics
+// and performs no allocation regardless of input.
+func ParseHeader(src []byte) (Header, error) {
+	if len(src) < HeaderSize {
+		return Header{}, fmt.Errorf("wire: short header: %d bytes, need %d", len(src), HeaderSize)
+	}
+	var h Header
+	h.Op = Op(src[0])
+	if h.Op == 0 || h.Op > opMax {
+		return Header{}, fmt.Errorf("wire: unknown op %d", src[0])
+	}
+	h.Flags = Flags(src[1])
+	if h.Flags&^flagsKnown != 0 {
+		return Header{}, fmt.Errorf("wire: unknown flag bits %#x", src[1])
+	}
+	if src[2] != Version {
+		return Header{}, fmt.Errorf("wire: protocol version %d, want %d", src[2], Version)
+	}
+	if src[3] != 0 {
+		return Header{}, fmt.Errorf("wire: nonzero reserved byte %#x", src[3])
+	}
+	h.Seq = binary.LittleEndian.Uint32(src[4:])
+	h.File = int32(binary.LittleEndian.Uint32(src[8:]))
+	h.Offset = int32(binary.LittleEndian.Uint32(src[12:]))
+	h.Size = int32(binary.LittleEndian.Uint32(src[16:]))
+	h.PayloadLen = binary.LittleEndian.Uint32(src[20:])
+	if h.PayloadLen > MaxPayload {
+		return Header{}, fmt.Errorf("wire: payload length %d: %w", h.PayloadLen, ErrFrameTooLarge)
+	}
+	return h, nil
+}
+
+// ReadHeader reads and validates one frame header from r. scratch
+// must hold at least HeaderSize bytes (callers keep one per
+// connection so the read path does not allocate).
+func ReadHeader(r io.Reader, scratch []byte) (Header, error) {
+	if _, err := io.ReadFull(r, scratch[:HeaderSize]); err != nil {
+		return Header{}, err
+	}
+	return ParseHeader(scratch)
+}
+
+// ReadPayload reads h's payload into buf, growing it only as far as
+// the already-validated PayloadLen. A zero-length payload returns
+// buf[:0] without touching r.
+func ReadPayload(r io.Reader, h Header, buf []byte) ([]byte, error) {
+	n := int(h.PayloadLen)
+	if n == 0 {
+		return buf[:0], nil
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: payload truncated: %w", err)
+	}
+	return buf, nil
+}
+
+// DecodeFrame reads one complete frame (header + payload) from r.
+// buf is an optional reusable payload buffer. Any malformed input
+// yields an error — never a panic, never an allocation beyond the
+// validated payload length.
+func DecodeFrame(r io.Reader, buf []byte) (Header, []byte, error) {
+	var scratch [HeaderSize]byte
+	h, err := ReadHeader(r, scratch[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	payload, err := ReadPayload(r, h, buf)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return h, payload, nil
+}
+
+// WriteFrame writes a complete frame. h.PayloadLen is overwritten
+// with len(payload).
+func WriteFrame(w io.Writer, h Header, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	h.PayloadLen = uint32(len(payload))
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], h)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLine reads one newline-terminated JSON line from br, without
+// the trailing "\n" (or "\r\n"), refusing lines longer than max — the
+// bounded replacement for bufio.Scanner's default 64 KiB token limit
+// on both ends of the JSON protocol.
+func ReadLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		// ReadSlice returns bufio.ErrBufferFull with a partial chunk
+		// when the line outgrows the reader's internal buffer; keep
+		// accumulating until the newline or the cap.
+		if len(line)+len(chunk) > max {
+			return nil, ErrFrameTooLarge
+		}
+		line = append(line, chunk...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			if len(line) > 0 && err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	n := len(line) - 1 // strip '\n'
+	if n > 0 && line[n-1] == '\r' {
+		n--
+	}
+	return line[:n], nil
+}

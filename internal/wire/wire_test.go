@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	want := Header{
+		Op: OpRead, Flags: FlagWantData | FlagOK | FlagHit,
+		Seq: 0xDEADBEEF, File: -3, Offset: 1 << 30, Size: 42, PayloadLen: 8192,
+	}
+	var buf [HeaderSize]byte
+	PutHeader(buf[:], want)
+	got, err := ParseHeader(buf[:])
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	mk := func(mut func(b []byte)) []byte {
+		var b [HeaderSize]byte
+		PutHeader(b[:], Header{Op: OpPing})
+		mut(b[:])
+		return b[:]
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"short", make([]byte, HeaderSize-1)},
+		{"zero op", mk(func(b []byte) { b[0] = 0 })},
+		{"op out of range", mk(func(b []byte) { b[0] = byte(opMax) + 1 })},
+		{"garbage flags", mk(func(b []byte) { b[1] = 0xFF })},
+		{"bad version", mk(func(b []byte) { b[2] = 9 })},
+		{"reserved set", mk(func(b []byte) { b[3] = 1 })},
+		{"oversized payload", mk(func(b []byte) { b[20], b[21], b[22], b[23] = 0xFF, 0xFF, 0xFF, 0xFF })},
+	}
+	for _, tc := range cases {
+		if _, err := ParseHeader(tc.buf); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xA5}, 1000)
+	var net bytes.Buffer
+	h := Header{Op: OpWrite, Seq: 7, File: 1, Offset: 2, Size: 3}
+	if err := WriteFrame(&net, h, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, gotPayload, err := DecodeFrame(&net, nil)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if got.Op != OpWrite || got.Seq != 7 || int(got.PayloadLen) != len(payload) {
+		t.Errorf("header: %+v", got)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Error("payload mangled")
+	}
+}
+
+func TestDecodeFrameTruncatedPayload(t *testing.T) {
+	var net bytes.Buffer
+	if err := WriteFrame(&net, Header{Op: OpWrite, Seq: 1}, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	short := net.Bytes()[:net.Len()-40]
+	if _, _, err := DecodeFrame(bytes.NewReader(short), nil); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	if err := WriteFrame(io.Discard, Header{Op: OpWrite}, make([]byte, MaxPayload+1)); err == nil {
+		t.Error("oversized payload written")
+	}
+}
+
+func TestReadLine(t *testing.T) {
+	br := bufio.NewReaderSize(strings.NewReader("{\"op\":\"ping\"}\r\nnext\n"), 16)
+	line, err := ReadLine(br, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadLine: %v", err)
+	}
+	if string(line) != `{"op":"ping"}` {
+		t.Errorf("line = %q", line)
+	}
+	line, err = ReadLine(br, 1<<20)
+	if err != nil || string(line) != "next" {
+		t.Errorf("second line = %q, %v", line, err)
+	}
+	if _, err := ReadLine(br, 1<<20); err != io.EOF {
+		t.Errorf("EOF read: %v", err)
+	}
+}
+
+// TestReadLineLongerThanBufio covers the regression the old
+// bufio.Scanner default caused: a line far larger than the reader's
+// internal buffer must come through whole, and one over the cap must
+// be refused rather than silently truncated.
+func TestReadLineBounds(t *testing.T) {
+	big := strings.Repeat("x", 300<<10)
+	br := bufio.NewReaderSize(strings.NewReader(big+"\n"), 4096)
+	line, err := ReadLine(br, MaxFrame)
+	if err != nil {
+		t.Fatalf("300 KiB line: %v", err)
+	}
+	if len(line) != len(big) {
+		t.Errorf("got %d bytes, want %d", len(line), len(big))
+	}
+
+	br = bufio.NewReaderSize(strings.NewReader(big+"\n"), 4096)
+	if _, err := ReadLine(br, 1024); err != ErrFrameTooLarge {
+		t.Errorf("over-cap line: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzWireDecode feeds arbitrary bytes to the frame decoder: it must
+// error or succeed, never panic, and never allocate past the declared
+// payload length (enforced structurally: ReadPayload only allocates
+// after PayloadLen has been validated against MaxPayload).
+func FuzzWireDecode(f *testing.F) {
+	var seed [HeaderSize]byte
+	PutHeader(seed[:], Header{Op: OpRead, Flags: FlagWantData, Seq: 1, File: 2, Offset: 3, Size: 4})
+	f.Add(seed[:])
+	var framed bytes.Buffer
+	WriteFrame(&framed, Header{Op: OpWrite, Seq: 9}, []byte("payload")) //nolint:errcheck
+	f.Add(framed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	trunc := append([]byte(nil), seed[:]...)
+	trunc[20] = 0x80 // claims a payload that is not there
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := DecodeFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		// Success implies internal consistency.
+		if h.Op == 0 || h.Op > opMax {
+			t.Fatalf("decoder accepted op %d", h.Op)
+		}
+		if uint32(len(payload)) != h.PayloadLen {
+			t.Fatalf("payload length %d, header says %d", len(payload), h.PayloadLen)
+		}
+		if h.PayloadLen > MaxPayload {
+			t.Fatalf("decoder accepted payload length %d over MaxPayload", h.PayloadLen)
+		}
+		// Re-encode and re-decode: must be stable.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, h, payload); err != nil {
+			t.Fatalf("re-encode of accepted frame: %v", err)
+		}
+		h2, p2, err := DecodeFrame(bytes.NewReader(out.Bytes()), nil)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame: %v", err)
+		}
+		if h2 != h || !bytes.Equal(p2, payload) {
+			t.Fatal("frame round trip unstable")
+		}
+	})
+}
