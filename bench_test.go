@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"net"
 	"testing"
+	"time"
 
 	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/lapcache"
@@ -365,6 +367,120 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// BenchmarkClusterRead measures the cooperative tier's value
+// proposition end to end over loopback TCP, one 8 KiB block with data
+// per read: localHit is a block in this node's own cache (the floor);
+// remoteHit is a block missing locally but resident in the ring
+// owner's memory — the request crosses to the owner and back, two
+// wire hops; localDisk is the same miss with no peer tier, served by
+// a backing store with a disk-like 2 ms access time. The paper's
+// premise is the gap between the last two: a peer's memory is an
+// order of magnitude closer than the disk. BENCH_cluster.json records
+// a reference run (make bench).
+func BenchmarkClusterRead(b *testing.B) {
+	const blockSize = 8192
+	b.Run("localHit", func(b *testing.B) {
+		addr := startBenchServer(b)
+		c, err := lapclient.DialConn(addr, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := c.Read(1, 0, 1, true)
+			if err != nil || !hit || len(data) != blockSize {
+				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			}
+		}
+	})
+	b.Run("remoteHit", func(b *testing.B) {
+		// Node 0 gets a near-zero cache so every read misses locally
+		// and forwards; its peers hold the working set in memory.
+		const hot = 4096
+		nodes, stop, err := cluster.StartLocal(3, func(i int, addrs []string) lapcache.Config {
+			cacheBlocks := 2 * hot
+			if i == 0 {
+				cacheBlocks = 4
+			}
+			return lapcache.Config{
+				Alg:         core.SpecNP,
+				BlockSize:   blockSize,
+				CacheBlocks: cacheBlocks,
+				Store:       lapcache.NewMemStore(blockSize, 0),
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(stop)
+		var f blockdev.FileID
+		for f = 1; ; f++ {
+			if addr, self := nodes[0].Node.OwnerOf(f); !self && addr != "" {
+				break
+			}
+		}
+		owner, _ := nodes[0].Node.OwnerOf(f)
+		for _, m := range nodes {
+			if m.Addr == owner {
+				m.Engine.Preload(f, 0, hot, false)
+			}
+		}
+		c, err := lapclient.DialConn(nodes[0].Addr, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := c.Read(f, blockdev.BlockNo(i%hot), 1, true)
+			if err != nil || !hit || len(data) != blockSize {
+				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			}
+		}
+		b.StopTimer()
+		if s := nodes[0].Engine.Snapshot(); s.StoreReads != 0 {
+			b.Fatalf("remoteHit read the local store %d times", s.StoreReads)
+		}
+	})
+	b.Run("localDisk", func(b *testing.B) {
+		// The same miss stream with no peer tier: a 2 ms store access
+		// per read, the simulator's disk constant.
+		e, err := lapcache.New(lapcache.Config{
+			Alg:         core.SpecNP,
+			BlockSize:   blockSize,
+			CacheBlocks: 4,
+			Store:       lapcache.NewMemStore(blockSize, 2*time.Millisecond),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Shutdown)
+		srv := lapcache.NewServer(e)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		b.Cleanup(srv.Close)
+		c, err := lapclient.DialConn(ln.Addr().String(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := c.Read(1, blockdev.BlockNo(i%(1<<18)), 1, true)
+			if err != nil || hit || len(data) != blockSize {
+				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			}
+		}
 	})
 }
 

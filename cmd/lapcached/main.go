@@ -6,10 +6,20 @@
 //
 //	lapcached -addr :7020 -alg Ln_Agr_IS_PPM:3 [-cache-blocks N]
 //	          [-store mem|dir] [-latency 2ms] [-trace FILE] [-strict]
+//	          [-peers a:7020,b:7020,c:7020] [-advertise a:7020]
 //
 // A -trace file (in tracegen's text format) supplies the file table so
 // prefetch chains clip at each file's real end. -debug-addr exposes
 // the counter snapshot as expvar JSON over HTTP.
+//
+// With -peers, the daemon joins a cooperative peer group: the listed
+// members (which must include this node's own -advertise address)
+// form a consistent-hash ring assigning every file one owner. Misses
+// on files owned elsewhere are forwarded to the owner — a remote
+// memory hit instead of a local disk read — and only the owner runs a
+// file's prefetch chain, so the linear bound holds cluster-wide.
+// Every member must be started with the same -peers list (order does
+// not matter) and the same -block-size.
 package main
 
 import (
@@ -22,9 +32,11 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lapcache"
 	"repro/internal/workload"
@@ -47,6 +59,8 @@ func main() {
 		strict      = flag.Bool("strict", false, "panic if a file ever exceeds the linear outstanding limit")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP address for expvar counters (off when empty)")
+		peers       = flag.String("peers", "", "comma-separated cluster membership, self included (empty = single node)")
+		advertise   = flag.String("advertise", "", "address peers dial for this node (default -addr)")
 	)
 	flag.Parse()
 
@@ -106,6 +120,35 @@ func main() {
 		log.Fatalf("unknown store %q", *storeKind)
 	}
 
+	var node *cluster.Node
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		members := strings.Split(*peers, ",")
+		found := false
+		for i, m := range members {
+			members[i] = strings.TrimSpace(m)
+			if members[i] == self {
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("-peers %q does not include this node's advertise address %q", *peers, self)
+		}
+		n, err := cluster.NewNode(cluster.Config{
+			Self:  self,
+			Peers: members,
+			Logf:  log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		node = n
+		cfg.Remote = node
+	}
+
 	engine, err := lapcache.New(cfg)
 	if err != nil {
 		log.Fatalf("start engine: %v", err)
@@ -127,6 +170,11 @@ func main() {
 	}
 	srv := lapcache.NewServer(engine)
 	srv.IdleTimeout = *idleTimeout
+	if node != nil {
+		srv.Cluster = node
+		node.Start()
+		log.Printf("cluster: self=%s members=%v", node.Self(), node.MemberAddrs())
+	}
 	log.Printf("lapcached: alg=%s cache=%d blocks (%d B each) store=%s listening on %s",
 		alg.Name(), *cacheBlocks, *blockSize, *storeKind, ln.Addr())
 
@@ -140,6 +188,9 @@ func main() {
 
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
+	}
+	if node != nil {
+		node.Close()
 	}
 	engine.Shutdown()
 	if fileStore != nil {

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/lapcache"
+	"repro/internal/lapclient"
+	"repro/internal/workload"
+)
+
+const testBlockSize = 512
+
+// startCluster boots an n-node loopback cluster with a shared config
+// shape and registers teardown.
+func startCluster(t *testing.T, n int, tweak func(cfg *lapcache.Config)) []*LocalNode {
+	t.Helper()
+	nodes, stop, err := StartLocal(n, func(i int, addrs []string) lapcache.Config {
+		cfg := lapcache.Config{
+			Alg:          core.SpecNP,
+			BlockSize:    testBlockSize,
+			CacheBlocks:  2048,
+			StrictLinear: true,
+			PoisonBufs:   true,
+			Store:        lapcache.NewMemStore(testBlockSize, 0),
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		return cfg
+	})
+	if err != nil {
+		t.Fatalf("StartLocal(%d): %v", n, err)
+	}
+	t.Cleanup(stop)
+	return nodes
+}
+
+// fileOwnedBy finds a file the given member owns; the ring spreads
+// files, so a short scan always finds one.
+func fileOwnedBy(t *testing.T, nodes []*LocalNode, owner int) blockdev.FileID {
+	t.Helper()
+	for f := blockdev.FileID(1); f < 10000; f++ {
+		if addr, _ := nodes[0].Node.OwnerOf(f); addr == nodes[owner].Addr {
+			return f
+		}
+	}
+	t.Fatal("no file owned by target member in 10000 tries")
+	return 0
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClusterRemoteHit is the paper's core claim in miniature: a block
+// resident in a peer's memory is served to a non-owner as a remote
+// memory hit — no local disk read — and the owner's ledger records it
+// as peer service.
+func TestClusterRemoteHit(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	f := fileOwnedBy(t, nodes, 1)
+
+	// Warm the owner's cache directly, then read through a non-owner.
+	nodes[1].Engine.Preload(f, 0, 8, false)
+	data, hit, err := nodes[0].Engine.Read(f, 0, 8)
+	if err != nil {
+		t.Fatalf("read via non-owner: %v", err)
+	}
+	if !hit {
+		t.Error("owner had every block cached; non-owner read should report hit")
+	}
+	want := make([]byte, testBlockSize)
+	for i := 0; i < 8; i++ {
+		lapcache.FillPattern(blockdev.BlockID{File: f, Block: blockdev.BlockNo(i)}, want)
+		got := data[i*testBlockSize : (i+1)*testBlockSize]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("block %d byte %d = %#x, want %#x", i, j, got[j], want[j])
+			}
+		}
+	}
+
+	s0 := nodes[0].Engine.Snapshot()
+	if s0.RemoteReads != 8 || s0.RemoteHits != 8 {
+		t.Errorf("non-owner: RemoteReads=%d RemoteHits=%d, want 8/8", s0.RemoteReads, s0.RemoteHits)
+	}
+	if s0.StoreReads != 0 {
+		t.Errorf("non-owner read its local store %d times; the point was not to", s0.StoreReads)
+	}
+	s1 := nodes[1].Engine.Snapshot()
+	if s1.PeerReadsServed == 0 {
+		t.Error("owner served no peer reads")
+	}
+
+	// The fetched blocks are now cached locally: a re-read must not
+	// cross the network again.
+	if _, hit, err := nodes[0].Engine.Read(f, 0, 8); err != nil || !hit {
+		t.Fatalf("re-read: hit=%v err=%v, want local hit", hit, err)
+	}
+	if s := nodes[0].Engine.Snapshot(); s.RemoteReads != 8 {
+		t.Errorf("re-read went remote: RemoteReads=%d, want still 8", s.RemoteReads)
+	}
+}
+
+// TestClusterForwardedWrite: a non-owner's write lands on the owner
+// (so the owner's cache stays the file's one authority) and is also
+// installed write-through locally.
+func TestClusterForwardedWrite(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	f := fileOwnedBy(t, nodes, 2)
+
+	if err := nodes[0].Engine.Write(f, 4, 3, nil); err != nil {
+		t.Fatalf("forwarded write: %v", err)
+	}
+	s0 := nodes[0].Engine.Snapshot()
+	if s0.ForwardedWrites != 1 {
+		t.Errorf("ForwardedWrites=%d, want 1", s0.ForwardedWrites)
+	}
+	s2 := nodes[2].Engine.Snapshot()
+	if s2.PeerWritesServed != 1 {
+		t.Errorf("owner PeerWritesServed=%d, want 1", s2.PeerWritesServed)
+	}
+	// Owner now has the blocks in memory: a third node's read is a
+	// remote hit.
+	if _, hit, err := nodes[1].Engine.Read(f, 4, 3); err != nil || !hit {
+		t.Fatalf("read-after-forwarded-write: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestClusterFailover: killing an owner degrades its files to each
+// node's local store — reads keep succeeding (latency, not
+// availability) — and ownership does NOT move, because a second node
+// adopting the file's chain is the xFS over-prefetch failure mode.
+func TestClusterFailover(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	f := fileOwnedBy(t, nodes, 1)
+
+	// Prove the forward path works, then kill the owner.
+	if _, _, err := nodes[0].Engine.Read(f, 0, 2); err != nil {
+		t.Fatalf("read before failover: %v", err)
+	}
+	nodes[1].Server.Close()
+	nodes[1].Node.Close()
+	nodes[1].Engine.Shutdown()
+
+	// Reads of the dead owner's file must degrade, not fail. The first
+	// attempt may surface the transport fault, which marks the peer
+	// down; from then on every read goes straight to the local store.
+	waitFor(t, "degraded read", func() bool {
+		_, _, err := nodes[0].Engine.Read(f, 8, 4)
+		return err == nil
+	})
+	s0 := nodes[0].Engine.Snapshot()
+	if s0.RemoteFallbacks == 0 {
+		t.Error("no remote fallbacks recorded after owner death")
+	}
+	if s0.StoreReads == 0 {
+		t.Error("degraded read did not touch the local store")
+	}
+	waitFor(t, "peer marked down", func() bool {
+		return nodes[0].Node.PeerDown(nodes[1].Addr)
+	})
+	// Ownership must not have moved.
+	if addr, self := nodes[0].Node.OwnerOf(f); self || addr != nodes[1].Addr {
+		t.Errorf("ownership moved to %q after owner death", addr)
+	}
+	// Writes degrade the same way.
+	if err := nodes[2].Engine.Write(f, 0, 1, nil); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+}
+
+// TestClusterCharismaE2E is the cluster acceptance run: a synthetic
+// CHARISMA trace replayed against a live 3-node cooperative cache with
+// linear aggressive prefetching on, processes sharded across nodes the
+// way real clients would mount their nearest cache. It must finish,
+// move real traffic across the peer tier, and keep every file's
+// outstanding-prefetch high-water at exactly 1 CLUSTER-WIDE: only the
+// ring owner ever runs a file's chain, so joining the three ledgers
+// per file must never sum past 1 — the PAFS property xFS lacks.
+func TestClusterCharismaE2E(t *testing.T) {
+	p := experiment.TinyScale().Charisma
+	tr, err := workload.GenerateCharisma(p)
+	if err != nil {
+		t.Fatalf("generate trace: %v", err)
+	}
+
+	nodes := startCluster(t, 3, func(cfg *lapcache.Config) {
+		cfg.Alg = core.SpecLnAgrISPPM1
+		cfg.CacheBlocks = 4096
+		cfg.Workers = 8
+		cfg.QueueLen = 128
+		cfg.FileBlocks = tr.FileBlocks
+		cfg.PoisonBufs = false // the replay is bulk traffic; keep it honest but fast
+	})
+	addrs := make([]string, len(nodes))
+	for i, m := range nodes {
+		addrs[i] = m.Addr
+	}
+
+	res, err := lapclient.ReplayTraceMulti(addrs, tr, lapclient.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Proto != "binary" {
+		t.Errorf("replay negotiated %q, want binary", res.Proto)
+	}
+	if res.Requests != tr.TotalSteps() {
+		t.Errorf("replayed %d requests, trace has %d", res.Requests, tr.TotalSteps())
+	}
+
+	// The peer tier must actually have carried traffic: with files
+	// spread over three owners and processes over three mounts, both
+	// sides of the forward path see work.
+	var remoteReads, peerServed, fallbacks, violations uint64
+	for _, m := range nodes {
+		s := m.Engine.Snapshot()
+		remoteReads += s.RemoteReads
+		peerServed += s.PeerReadsServed
+		fallbacks += s.RemoteFallbacks
+		violations += uint64(s.LinearViolations)
+	}
+	if remoteReads == 0 {
+		t.Error("replay moved no remote reads through the peer tier")
+	}
+	if peerServed == 0 {
+		t.Error("no node served a peer read")
+	}
+	if fallbacks != 0 {
+		t.Errorf("%d remote fallbacks with every peer alive", fallbacks)
+	}
+	if violations != 0 {
+		t.Errorf("%d linear violations across the cluster", violations)
+	}
+
+	// Cluster-wide linearity: join the per-node ledgers. For every
+	// file, only the ring owner may have driven prefetches at all, and
+	// its high-water must be exactly 1.
+	prefetchedFiles := 0
+	for i, m := range nodes {
+		for f, hw := range m.Engine.Ledger().HighWaters() {
+			if hw == 0 {
+				continue
+			}
+			prefetchedFiles++
+			owner, _ := nodes[0].Node.OwnerOf(f)
+			if owner != m.Addr {
+				t.Errorf("node %d (%s) prefetched file %d owned by %s", i, m.Addr, f, owner)
+			}
+			if hw != 1 {
+				t.Errorf("file %d high-water %d on node %d, want exactly 1 cluster-wide", f, hw, i)
+			}
+			for j, other := range nodes {
+				if j != i && other.Engine.Ledger().FileHighWater(f) != 0 {
+					t.Errorf("file %d has outstanding-prefetch history on BOTH node %d and node %d", f, i, j)
+				}
+			}
+		}
+	}
+	if prefetchedFiles == 0 {
+		t.Error("prefetching never engaged anywhere in the cluster")
+	}
+	t.Logf("replay: %d reqs in %v across 3 nodes; %d remote reads, %d peer reads served, %d files prefetched (HW=1 each)",
+		res.Requests, res.Elapsed, remoteReads, peerServed, prefetchedFiles)
+}

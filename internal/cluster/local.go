@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/lapcache"
+)
+
+// LocalNode is one member of an in-process cluster started by
+// StartLocal: a real lapcached stack (engine, TCP server, cluster
+// node) on a loopback port.
+type LocalNode struct {
+	Addr   string
+	Engine *lapcache.Engine
+	Server *lapcache.Server
+	Node   *Node
+}
+
+// StartLocal boots an n-node cooperative cluster inside this process,
+// every node listening on its own loopback port and peered with the
+// others — the harness behind check-cluster, BenchmarkClusterRead and
+// the lapbench cluster demo. mkcfg builds node i's engine config given
+// the full member address list (Remote is filled in by the harness; a
+// Store must be provided). The returned stop function tears everything
+// down in reverse order and is safe to call after a partial failure
+// path has already cleaned up.
+//
+// Listeners are bound first so that every address is known before any
+// ring is built; then nodes, engines and servers come up, and finally
+// the peer meshes are dialed to readiness.
+func StartLocal(n int, mkcfg func(i int, addrs []string) lapcache.Config) ([]*LocalNode, func(), error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("cluster: StartLocal needs n > 0")
+	}
+	lns := make([]net.Listener, 0, n)
+	nodes := make([]*LocalNode, 0, n)
+	stop := func() {
+		for _, m := range nodes {
+			if m.Server != nil {
+				m.Server.Close()
+			}
+		}
+		for _, m := range nodes {
+			if m.Node != nil {
+				m.Node.Close()
+			}
+		}
+		for _, m := range nodes {
+			if m.Engine != nil {
+				m.Engine.Shutdown()
+			}
+		}
+		for _, ln := range lns {
+			ln.Close() // no-op for listeners a Server already owns
+		}
+	}
+
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+
+	for i := 0; i < n; i++ {
+		node, err := NewNode(Config{
+			Self:         addrs[i],
+			Peers:        addrs,
+			PingInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		cfg := mkcfg(i, addrs)
+		cfg.Remote = node
+		eng, err := lapcache.New(cfg)
+		if err != nil {
+			node.Close()
+			stop()
+			return nil, nil, err
+		}
+		srv := lapcache.NewServer(eng)
+		srv.Cluster = node
+		nodes = append(nodes, &LocalNode{Addr: addrs[i], Engine: eng, Server: srv, Node: node})
+		go srv.Serve(lns[i]) //nolint:errcheck // exits on Close
+	}
+
+	for _, m := range nodes {
+		m.Node.Start()
+	}
+	for _, m := range nodes {
+		if err := m.Node.WaitReady(5 * time.Second); err != nil {
+			stop()
+			return nil, nil, err
+		}
+	}
+	return nodes, stop, nil
+}

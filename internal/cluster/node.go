@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/lapclient"
+)
+
+// Config assembles a cluster node.
+type Config struct {
+	// Self is this node's advertise address — the address peers dial
+	// and the identity the ring hashes. It must appear in Peers (it is
+	// added if missing).
+	Self string
+	// Peers is the full static membership, self included or not.
+	Peers []string
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// Conns is the connection-pool size per peer (0 = 2); Window the
+	// per-connection in-flight cap (0 = lapclient.DefaultWindow).
+	Conns  int
+	Window int
+	// PingInterval paces the per-peer health loop: how often a live
+	// peer is pinged and how soon a dead one is first re-dialed
+	// (0 = 250ms). Consecutive dial failures back off exponentially
+	// from this interval up to BackoffMax (0 = 4s).
+	PingInterval time.Duration
+	BackoffMax   time.Duration
+	// Logf, when non-nil, receives peer up/down transitions.
+	Logf func(format string, args ...any)
+}
+
+// Node wires one lapcached process into the peer group. It implements
+// lapcache.RemoteFetcher (the engine's forward path) and
+// lapcache.ClusterInfo (the server's membership view); the two
+// interfaces are how the engine stays free of any cluster import.
+//
+// Each peer gets a pipelined binary connection pool and a health
+// goroutine: dial with exponential backoff while down, periodic pings
+// while up, and any transport error — from the health loop or from a
+// forward in flight — marks the peer down on the spot so subsequent
+// forwards degrade to the local store immediately instead of each
+// paying a TCP timeout.
+type Node struct {
+	cfg  Config
+	self string
+	ring *Ring
+
+	peers map[string]*peer // keyed by advertise address, self excluded
+
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	stop    sync.Once
+	started bool
+}
+
+// peer is one remote member and its connection state.
+type peer struct {
+	addr string
+
+	mu      sync.Mutex
+	pool    *lapclient.Pool // nil while down
+	down    bool            // true until the first successful dial
+	lastErr error
+}
+
+// NewNode validates the membership and builds the node. Call Start to
+// begin dialing peers; a node that is never started degrades every
+// remote file to the local store (all peers read as down).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: config needs a self address")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring, err := NewRing(members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 2
+	}
+	if cfg.PingInterval <= 0 {
+		cfg.PingInterval = 250 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 4 * time.Second
+	}
+	n := &Node{
+		cfg:   cfg,
+		self:  cfg.Self,
+		ring:  ring,
+		peers: make(map[string]*peer),
+		quit:  make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		if m != n.self {
+			n.peers[m] = &peer{addr: m, down: true}
+		}
+	}
+	return n, nil
+}
+
+// Start launches the per-peer health loops. Idempotent-hostile on
+// purpose: call it exactly once, after the local server is listening.
+func (n *Node) Start() {
+	if n.started {
+		panic("cluster: Node.Start called twice")
+	}
+	n.started = true
+	for _, p := range n.peers {
+		n.wg.Add(1)
+		go n.healthLoop(p)
+	}
+}
+
+// Close stops the health loops and tears down every peer pool.
+func (n *Node) Close() {
+	n.stop.Do(func() { close(n.quit) })
+	n.wg.Wait()
+	for _, p := range n.peers {
+		p.mu.Lock()
+		if p.pool != nil {
+			p.pool.Close()
+			p.pool = nil
+		}
+		p.down = true
+		p.mu.Unlock()
+	}
+}
+
+// WaitReady blocks until every peer is dialed and live, or the
+// timeout passes (error names the stragglers). Tests and the demo use
+// it to sequence startup; production callers can skip it — forwards
+// before readiness just degrade locally.
+func (n *Node) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var waiting []string
+		for addr, p := range n.peers {
+			p.mu.Lock()
+			ok := p.pool != nil && !p.down
+			p.mu.Unlock()
+			if !ok {
+				waiting = append(waiting, addr)
+			}
+		}
+		if len(waiting) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: peers not ready after %v: %v", timeout, waiting)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// logf reports a peer transition when logging is configured.
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// healthLoop keeps one peer dialed: exponential backoff while down,
+// periodic liveness pings while up.
+func (n *Node) healthLoop(p *peer) {
+	defer n.wg.Done()
+	backoff := n.cfg.PingInterval
+	for {
+		p.mu.Lock()
+		live := p.pool != nil && !p.down
+		p.mu.Unlock()
+
+		if live {
+			backoff = n.cfg.PingInterval
+		} else {
+			pool, err := lapclient.DialPool(p.addr, n.cfg.Conns, n.cfg.Window)
+			if err == nil {
+				p.mu.Lock()
+				if p.pool != nil {
+					p.pool.Close()
+				}
+				p.pool = pool
+				p.down = false
+				p.lastErr = nil
+				p.mu.Unlock()
+				n.logf("cluster: peer %s up", p.addr)
+				backoff = n.cfg.PingInterval
+			} else {
+				p.mu.Lock()
+				p.lastErr = err
+				p.mu.Unlock()
+				backoff *= 2
+				if backoff > n.cfg.BackoffMax {
+					backoff = n.cfg.BackoffMax
+				}
+			}
+		}
+
+		select {
+		case <-n.quit:
+			return
+		case <-time.After(backoff):
+		}
+
+		p.mu.Lock()
+		pool, live := p.pool, !p.down
+		p.mu.Unlock()
+		if pool != nil && live {
+			if _, err := pool.Ping(); err != nil {
+				n.fault(p, err)
+			}
+		}
+	}
+}
+
+// livePool returns the peer's pool if it is up.
+func (p *peer) livePool() (*lapclient.Pool, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pool == nil || p.down {
+		return nil, false
+	}
+	return p.pool, true
+}
+
+// fault marks a peer down after a transport error; the health loop
+// owns the redial. The pool is closed so every caller blocked inside
+// it fails fast instead of waiting out the kernel.
+func (n *Node) fault(p *peer, err error) {
+	p.mu.Lock()
+	wasUp := !p.down
+	p.down = true
+	p.lastErr = err
+	if p.pool != nil {
+		p.pool.Close()
+		p.pool = nil
+	}
+	p.mu.Unlock()
+	if wasUp {
+		n.logf("cluster: peer %s down: %v", p.addr, err)
+	}
+}
+
+// forwardErr classifies a peer-RPC failure: a ServerError means the
+// owner was reached and refused (propagate it — the request itself is
+// bad); anything else is transport, which faults the peer and tells
+// the engine to degrade to its local store.
+func (n *Node) forwardErr(p *peer, err error) (ok bool, out error) {
+	var se *lapclient.ServerError
+	if errors.As(err, &se) {
+		return true, err
+	}
+	n.fault(p, err)
+	return false, nil
+}
+
+// ownerPeer resolves f's owner to its peer entry; ok=false means the
+// owner is this node (callers should not have forwarded) or unknown.
+func (n *Node) ownerPeer(f blockdev.FileID) (*peer, bool) {
+	p := n.peers[n.ring.Owner(f)]
+	return p, p != nil
+}
+
+// --- lapcache.RemoteFetcher ---
+
+// Owned implements lapcache.RemoteFetcher.
+func (n *Node) Owned(f blockdev.FileID) bool { return n.ring.Owner(f) == n.self }
+
+// FetchSpan implements lapcache.RemoteFetcher: one pipelined
+// peer-flagged read RPC whose payload lands directly in dsts.
+func (n *Node) FetchSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit, ok bool, err error) {
+	p, found := n.ownerPeer(f)
+	if !found {
+		return false, false, nil
+	}
+	pool, up := p.livePool()
+	if !up {
+		return false, false, nil
+	}
+	hit, err = pool.ReadPeer(f, off, nblocks, dsts)
+	if err != nil {
+		ok, err := n.forwardErr(p, err)
+		return false, ok, err
+	}
+	return hit, true, nil
+}
+
+// ForwardWrite implements lapcache.RemoteFetcher.
+func (n *Node) ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (bool, error) {
+	p, found := n.ownerPeer(f)
+	if !found {
+		return false, nil
+	}
+	pool, up := p.livePool()
+	if !up {
+		return false, nil
+	}
+	if err := pool.WritePeer(f, off, nblocks, data); err != nil {
+		return n.forwardErr(p, err)
+	}
+	return true, nil
+}
+
+// ForwardClose implements lapcache.RemoteFetcher.
+func (n *Node) ForwardClose(f blockdev.FileID) (bool, error) {
+	p, found := n.ownerPeer(f)
+	if !found {
+		return false, nil
+	}
+	pool, up := p.livePool()
+	if !up {
+		return false, nil
+	}
+	if err := pool.ClosePeer(f); err != nil {
+		return n.forwardErr(p, err)
+	}
+	return true, nil
+}
+
+// --- lapcache.ClusterInfo ---
+
+// Self implements lapcache.ClusterInfo.
+func (n *Node) Self() string { return n.self }
+
+// OwnerOf implements lapcache.ClusterInfo.
+func (n *Node) OwnerOf(f blockdev.FileID) (string, bool) {
+	owner := n.ring.Owner(f)
+	return owner, owner == n.self
+}
+
+// MemberAddrs implements lapcache.ClusterInfo.
+func (n *Node) MemberAddrs() []string { return n.ring.Members() }
+
+// PeerDown reports whether addr is currently marked down (false for
+// self and unknown addresses); tests and the demo read it.
+func (n *Node) PeerDown(addr string) bool {
+	p := n.peers[addr]
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+// TestRingDeterministic: every node must compute identical ownership
+// from the same membership, whatever order the addresses arrived in —
+// the property that lets the cluster skip a coordination protocol.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"10.0.0.3:970", "10.0.0.1:970", "10.0.0.2:970"}
+	perms := [][]string{
+		{members[0], members[1], members[2]},
+		{members[2], members[0], members[1]},
+		{members[1], members[2], members[0]},
+		// Duplicates must not shift ownership either.
+		{members[0], members[1], members[2], members[1]},
+	}
+	rings := make([]*Ring, len(perms))
+	for i, p := range perms {
+		r, err := NewRing(p, 0)
+		if err != nil {
+			t.Fatalf("ring %d: %v", i, err)
+		}
+		rings[i] = r
+	}
+	for f := blockdev.FileID(0); f < 2000; f++ {
+		want := rings[0].Owner(f)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].Owner(f); got != want {
+				t.Fatalf("file %d: ring %d says owner %s, ring 0 says %s", f, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, a 3-member ring should spread
+// files within a reasonable factor of even — no member starved, none
+// hoarding.
+func TestRingBalance(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const files = 30000
+	for f := blockdev.FileID(0); f < files; f++ {
+		counts[r.Owner(f)]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / files
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("member %s owns %.1f%% of files, want roughly a third (counts %v)",
+				m, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingSingleMember: a ring of one owns everything (the degenerate
+// single-node cluster must behave like no cluster at all).
+func TestRingSingleMember(t *testing.T) {
+	r, err := NewRing([]string{"solo:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := blockdev.FileID(0); f < 100; f++ {
+		if got := r.Owner(f); got != "solo:1" {
+			t.Fatalf("file %d owned by %q", f, got)
+		}
+	}
+}
+
+// TestRingErrors: empty membership and empty addresses are rejected.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Error("empty member address accepted")
+	}
+}
+
+// TestRingMembersSorted: Members is the canonical (sorted, deduped)
+// view regardless of input order, and mutating the returned slice must
+// not corrupt the ring.
+func TestRingMembersSorted(t *testing.T) {
+	r, err := NewRing([]string{"c:1", "a:1", "b:1", "a:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Members()
+	want := []string{"a:1", "b:1", "c:1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Members() = %v, want %v", got, want)
+	}
+	got[0] = "clobbered"
+	if r.Members()[0] != "a:1" {
+		t.Fatal("Members() returned interior slice")
+	}
+}

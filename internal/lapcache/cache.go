@@ -45,6 +45,9 @@ type cacheShard struct {
 type blockCache struct {
 	shards []cacheShard
 	mask   uint32
+	// entries recycles centry shells between eviction and insertion, so
+	// a steady-state miss (evict one, insert one) allocates nothing.
+	entries sync.Pool
 }
 
 // newBlockCache builds a cache of capacity blocks striped over nShards
@@ -144,20 +147,30 @@ func (c *blockCache) Put(b blockdev.BlockID, buf *blockbuf.Buf, prefetched bool)
 		old.Release()
 		return 0
 	}
-	var freed []*blockbuf.Buf
+	// One insert evicts at most one block in steady state; the stack
+	// array keeps the common case allocation-free (append spills to the
+	// heap only in the never-expected many-victim case).
+	var freedArr [4]*blockbuf.Buf
+	freed := freedArr[:0]
 	for sh.lru.Len() >= sh.cap {
 		victim := sh.lru.Front()
 		if victim == nil {
 			break
 		}
-		sh.lru.Remove(victim)
+		sh.lru.Remove(victim) // clears the intrusive links
 		delete(sh.blocks, victim.id)
 		if victim.prefetched {
 			wastedEvictions++
 		}
 		freed = append(freed, victim.buf)
+		victim.buf = nil
+		c.entries.Put(victim)
 	}
-	e := &centry{id: b, buf: buf, prefetched: prefetched}
+	e, _ := c.entries.Get().(*centry)
+	if e == nil {
+		e = &centry{}
+	}
+	e.id, e.buf, e.prefetched = b, buf, prefetched
 	sh.blocks[b] = e
 	sh.lru.PushBack(e)
 	sh.mu.Unlock()

@@ -18,6 +18,7 @@ package lapcache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockbuf"
 	"repro/internal/blockdev"
@@ -60,15 +61,31 @@ type Config struct {
 	// writes through a stale reference panics instead of corrupting a
 	// later block. Costs a full-block write per recycle; tests only.
 	PoisonBufs bool
+	// Remote, when non-nil, puts the engine in cooperative-cluster
+	// mode: reads and writes of files this node does not own are
+	// forwarded to the ring owner, and drivers are only created for
+	// owned files (the PAFS one-server-per-file rule, applied
+	// cluster-wide). nil is a single-node engine that owns everything.
+	Remote RemoteFetcher
 }
 
-// fetchOp is one in-flight block fetch, demand or speculative. It is
-// the singleflight rendezvous: whoever registers it reads the store,
-// everyone else waits on done. err is written before done is closed.
+// fetchOp is one in-flight fetch, demand or speculative; on the
+// remote-forward path a single op can cover a whole span, registered
+// in the inflight map under every block it will produce. It is the
+// singleflight rendezvous: whoever registers it performs the fetch,
+// everyone else waits on wg; err is written before wg.Done.
+//
+// Ops are recycled through Engine.fops (a demand miss used to cost an
+// op plus a done-channel allocation). refs counts the registrant plus
+// every waiter; the last releaseFetchOp returns the op to the pool.
+// Reuse is safe because the registrant deletes the map entries before
+// calling Done — no waiter can join after that — and every waiter's
+// Wait has returned (and err been read) before refs can reach zero.
 type fetchOp struct {
 	prefetch bool
 	err      error
-	done     chan struct{}
+	refs     atomic.Int32
+	wg       sync.WaitGroup
 }
 
 // prefetchOp is one queued speculative fetch. The callbacks belong to
@@ -98,13 +115,15 @@ type fileState struct {
 // store reads and channel sends happen under no lock or fileState.mu
 // only.
 type Engine struct {
-	cfg   Config
-	cache *blockCache
-	store BackingStore
-	pool  *blockbuf.Pool
+	cfg    Config
+	cache  *blockCache
+	store  BackingStore
+	pool   *blockbuf.Pool
+	remote RemoteFetcher // nil on a single-node engine
 
 	m      Metrics
 	ledger *Ledger
+	fops   sync.Pool // recycled *fetchOp
 
 	filesMu    sync.RWMutex
 	files      map[blockdev.FileID]*fileState
@@ -151,6 +170,7 @@ func New(cfg Config) (*Engine, error) {
 		cache:      newBlockCache(cfg.CacheBlocks, cfg.Shards),
 		store:      cfg.Store,
 		pool:       blockbuf.NewPool(cfg.BlockSize),
+		remote:     cfg.Remote,
 		ledger:     NewLedger(cfg.Alg.MaxOutstanding, cfg.StrictLinear),
 		files:      make(map[blockdev.FileID]*fileState),
 		fileBlocks: make(map[blockdev.FileID]blockdev.BlockNo, len(cfg.FileBlocks)),
@@ -202,7 +222,11 @@ func (e *Engine) fileState(f blockdev.FileID) *fileState {
 		return fl
 	}
 	fl = &fileState{}
-	if e.cfg.Alg.Prefetches() {
+	// In a cluster only the ring owner runs a file's driver: the
+	// whole point of per-file ownership is that exactly one chain
+	// walker exists per file, so "≤ 1 outstanding prefetch" holds
+	// across every node, not merely within each (PAFS vs. xFS, §4).
+	if e.cfg.Alg.Prefetches() && (e.remote == nil || e.remote.Owned(f)) {
 		blocks := e.fileBlocks[f]
 		if blocks <= 0 {
 			blocks = e.cfg.DefaultFileBlocks
@@ -244,15 +268,53 @@ func (e *Engine) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32) (d
 // slice; pass bufs[:0]) and returning the extended slice. The caller
 // owns one reference to every appended buffer and must Release each;
 // the buffers stay valid even if the cache evicts or overwrites the
-// blocks meanwhile. hit reports that every block was already cached
-// on arrival — the satisfaction criterion fed to the driver (§3.1).
+// blocks meanwhile. hit reports that every block was served from
+// memory on arrival — this node's cache or, for a forwarded span, the
+// ring owner's — the satisfaction criterion fed to the driver (§3.1).
 //
 // On error the appended buffers are released and bufs is returned at
 // its original length.
 func (e *Engine) ReadInto(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.BlockNo, nblocks int32) ([]*blockbuf.Buf, bool, error) {
+	return e.readSpan(bufs, f, off, nblocks, false)
+}
+
+// PeerReadInto is ReadInto for a request forwarded by a cluster peer:
+// it serves strictly locally (cache, then backing store) and never
+// re-forwards, whatever the ring says — the wire-level FlagPeer
+// contract that keeps forwarding loop-free. The span still feeds this
+// node's driver: the owner sees every peer's accesses to its files as
+// (offset, size) requests, which is exactly what lets it model the
+// cluster-wide access stream and run the one true prefetch chain.
+func (e *Engine) PeerReadInto(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.BlockNo, nblocks int32) ([]*blockbuf.Buf, bool, error) {
+	e.m.peerReads.Add(1)
+	return e.readSpan(bufs, f, off, nblocks, true)
+}
+
+// readSpan is the shared demand-read body: route to the owner when the
+// file is remote (unless localOnly pins service here), then feed the
+// request to the file's driver.
+func (e *Engine) readSpan(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.BlockNo, nblocks int32, localOnly bool) ([]*blockbuf.Buf, bool, error) {
 	if nblocks <= 0 || off < 0 {
 		return bufs, false, fmt.Errorf("lapcache: invalid read %d:[%d,+%d]", f, off, nblocks)
 	}
+	var (
+		hit bool
+		err error
+	)
+	if e.remote != nil && !localOnly && !e.remote.Owned(f) {
+		bufs, hit, err = e.readSpanRemote(bufs, f, off, nblocks)
+	} else {
+		bufs, hit, err = e.readSpanLocal(bufs, f, off, nblocks)
+	}
+	if err != nil {
+		return bufs, false, err
+	}
+	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, hit)
+	return bufs, hit, nil
+}
+
+// readSpanLocal serves a span from the local cache and backing store.
+func (e *Engine) readSpanLocal(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.BlockNo, nblocks int32) ([]*blockbuf.Buf, bool, error) {
 	base := len(bufs)
 	hit := true
 	for i := int32(0); i < nblocks; i++ {
@@ -272,9 +334,173 @@ func (e *Engine) ReadInto(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.
 			hit = false
 		}
 	}
-	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, hit)
 	return bufs, hit, nil
 }
+
+// readSpanRemote serves a span of a file this node does not own:
+// locally cached blocks are served from the client cache, and each
+// maximal run of missing blocks becomes one span RPC to the ring
+// owner, whose memory stands in for the disk — the cooperative-cache
+// fast path the paper is built on. Concurrent misses on the same
+// blocks join the in-flight fetch through the same singleflight map
+// the local path uses, so one node never issues duplicate peer RPCs
+// for a block. If no live owner is reachable the run degrades to the
+// local backing store: a dead owner costs latency, not availability.
+func (e *Engine) readSpanRemote(bufs []*blockbuf.Buf, f blockdev.FileID, off blockdev.BlockNo, nblocks int32) ([]*blockbuf.Buf, bool, error) {
+	base := len(bufs)
+	spanHit := true
+	waited := false // true while re-checking a block we waited on
+	fail := func(err error) ([]*blockbuf.Buf, bool, error) {
+		for _, held := range bufs[base:] {
+			held.Release()
+		}
+		return bufs[:base], false, err
+	}
+	for i := int32(0); i < nblocks; {
+		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
+		if buf, wasPrefetched, ok := e.cache.Get(b); ok {
+			if wasPrefetched && !waited {
+				e.m.prefetchTimely.Add(1)
+			}
+			bufs = append(bufs, buf)
+			if waited {
+				e.m.demandMisses.Add(1)
+				spanHit = false
+			} else {
+				e.m.demandHits.Add(1)
+			}
+			i++
+			waited = false
+			continue
+		}
+
+		e.flightMu.Lock()
+		if fo := e.inflight[b]; fo != nil {
+			fo.join()
+			e.flightMu.Unlock()
+			if fo.prefetch && !waited {
+				e.m.prefetchLate.Add(1)
+			}
+			waited = true
+			fo.wg.Wait()
+			err := fo.err
+			e.releaseFetchOp(fo)
+			if err != nil {
+				return fail(err)
+			}
+			continue // re-check the cache for this block
+		}
+		if e.cache.Contains(b) {
+			e.flightMu.Unlock()
+			continue
+		}
+		// Claim the maximal run of missing, unclaimed blocks under one
+		// fetchOp registered per block, then fetch the whole run in one
+		// RPC. Runs keep the owner seeing spans, not per-block chatter:
+		// its predictor models (offset, size) request pairs.
+		n := int32(1)
+		for i+n < nblocks {
+			nb := blockdev.BlockID{File: f, Block: b.Block + blockdev.BlockNo(n)}
+			if e.inflight[nb] != nil || e.cache.Contains(nb) {
+				break
+			}
+			n++
+		}
+		fo := e.newFetchOp(false)
+		for k := int32(0); k < n; k++ {
+			e.inflight[blockdev.BlockID{File: f, Block: b.Block + blockdev.BlockNo(k)}] = fo
+		}
+		e.flightMu.Unlock()
+
+		run := make([]*blockbuf.Buf, n)
+		dsts := make([][]byte, n)
+		for k := range run {
+			run[k] = e.pool.Get()
+			dsts[k] = run[k].Bytes()
+		}
+		remHit, ok, err := e.remote.FetchSpan(f, b.Block, n, dsts)
+		// A run the owner served wholly from its memory is a
+		// cooperative-cache hit: the client avoided every disk, which
+		// is the cluster-wide satisfaction the paper measures. Only an
+		// owner miss (its disk turned) or a degraded local-store read
+		// clears the span's hit.
+		servedFromMemory := false
+		if ok && err == nil {
+			e.m.remoteReads.Add(uint64(n))
+			if remHit {
+				e.m.remoteHits.Add(uint64(n))
+				servedFromMemory = true
+			} else {
+				e.m.remoteMisses.Add(uint64(n))
+			}
+		} else if !ok {
+			// No live owner: serve the run from the local store.
+			e.m.remoteFallbacks.Add(1)
+			err = nil
+			for k := int32(0); k < n && err == nil; k++ {
+				bk := blockdev.BlockID{File: f, Block: b.Block + blockdev.BlockNo(k)}
+				if err = e.store.ReadBlock(bk, dsts[k]); err == nil {
+					e.m.storeReads.Add(1)
+				}
+			}
+		}
+		if err == nil {
+			for k := int32(0); k < n; k++ {
+				bk := blockdev.BlockID{File: f, Block: b.Block + blockdev.BlockNo(k)}
+				// One reference transfers to the cache, one stays here.
+				e.m.prefetchWasted.Add(uint64(e.cache.Put(bk, run[k].Retain(), false)))
+			}
+		}
+		fo.err = err
+		e.flightMu.Lock()
+		for k := int32(0); k < n; k++ {
+			delete(e.inflight, blockdev.BlockID{File: f, Block: b.Block + blockdev.BlockNo(k)})
+		}
+		e.flightMu.Unlock()
+		fo.wg.Done()
+		e.releaseFetchOp(fo)
+		if err != nil {
+			for _, r := range run {
+				r.Release()
+			}
+			return fail(err)
+		}
+		bufs = append(bufs, run...)
+		e.m.demandMisses.Add(uint64(n)) // miss for the LOCAL cache either way
+		if !servedFromMemory {
+			spanHit = false
+		}
+		i += n
+		waited = false
+	}
+	return bufs, spanHit, nil
+}
+
+// newFetchOp takes a recycled (or fresh) fetchOp armed for one fetch:
+// one reference for the registrant, wg primed for waiters.
+func (e *Engine) newFetchOp(prefetch bool) *fetchOp {
+	fo, _ := e.fops.Get().(*fetchOp)
+	if fo == nil {
+		fo = &fetchOp{}
+	}
+	fo.prefetch = prefetch
+	fo.err = nil
+	fo.refs.Store(1)
+	fo.wg.Add(1)
+	return fo
+}
+
+// releaseFetchOp drops one reference; the last holder recycles the op.
+func (e *Engine) releaseFetchOp(fo *fetchOp) {
+	if fo.refs.Add(-1) == 0 {
+		e.fops.Put(fo)
+	}
+}
+
+// join registers the caller as a waiter on fo. Must be called with
+// flightMu held (so the registrant cannot complete-and-recycle the op
+// between the map lookup and the reference bump).
+func (fo *fetchOp) join() { fo.refs.Add(1) }
 
 // readBlockBuf fetches one block, consulting the cache, joining any
 // in-flight fetch, or reading the store into a pooled buffer. The
@@ -295,6 +521,7 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 
 		e.flightMu.Lock()
 		if fo := e.inflight[b]; fo != nil {
+			fo.join()
 			e.flightMu.Unlock()
 			if fo.prefetch && !waited {
 				// The predictor chose this block, but its fetch is
@@ -302,9 +529,11 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 				e.m.prefetchLate.Add(1)
 			}
 			waited = true
-			<-fo.done
-			if fo.err != nil {
-				return nil, false, fo.err
+			fo.wg.Wait()
+			err := fo.err
+			e.releaseFetchOp(fo)
+			if err != nil {
+				return nil, false, err
 			}
 			continue // the block should be cached now; re-check
 		}
@@ -313,7 +542,7 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 			e.flightMu.Unlock()
 			continue
 		}
-		fo := &fetchOp{done: make(chan struct{})}
+		fo := e.newFetchOp(false)
 		e.inflight[b] = fo
 		e.flightMu.Unlock()
 
@@ -329,7 +558,8 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 		e.flightMu.Lock()
 		delete(e.inflight, b)
 		e.flightMu.Unlock()
-		close(fo.done)
+		fo.wg.Done()
+		e.releaseFetchOp(fo)
 		if err != nil {
 			buf.Release()
 			return nil, false, err
@@ -340,8 +570,43 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 
 // Write persists nblocks blocks starting at off and installs them in
 // the cache as demand fills. A nil data writes each block's
-// deterministic fill pattern (the replay client's payload).
+// deterministic fill pattern (the replay client's payload). On a
+// cluster node the write of a non-owned file goes to the ring owner —
+// its store is the file's store — with write-through copies kept in
+// the local cache; only if no owner is reachable does the write land
+// in the local store.
 func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	if err := e.checkWrite(f, off, nblocks, data); err != nil {
+		return err
+	}
+	if e.remote != nil && !e.remote.Owned(f) {
+		ok, err := e.remote.ForwardWrite(f, off, nblocks, data)
+		if ok {
+			if err != nil {
+				return err // the owner itself refused: propagate
+			}
+			e.m.forwardedWrites.Add(1)
+			e.m.writes.Add(1)
+			e.installWriteThrough(f, off, nblocks, data)
+			return nil
+		}
+		e.m.remoteFallbacks.Add(1)
+	}
+	return e.writeLocal(f, off, nblocks, data)
+}
+
+// PeerWrite is Write for a request forwarded by a cluster peer:
+// strictly local, never re-forwarded, and fed to this node's driver
+// (the owner models peers' writes as part of the access stream).
+func (e *Engine) PeerWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	if err := e.checkWrite(f, off, nblocks, data); err != nil {
+		return err
+	}
+	e.m.peerWrites.Add(1)
+	return e.writeLocal(f, off, nblocks, data)
+}
+
+func (e *Engine) checkWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
 	if nblocks <= 0 || off < 0 {
 		return fmt.Errorf("lapcache: invalid write %d:[%d,+%d]", f, off, nblocks)
 	}
@@ -349,6 +614,28 @@ func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, d
 		return fmt.Errorf("lapcache: write payload is %d bytes, want %d",
 			len(data), int(nblocks)*e.cfg.BlockSize)
 	}
+	return nil
+}
+
+// installWriteThrough caches local copies of blocks whose authoritative
+// write landed on the owner, so this node's next reads of them are
+// local hits rather than forwards.
+func (e *Engine) installWriteThrough(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) {
+	for i := int32(0); i < nblocks; i++ {
+		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
+		buf := e.pool.Get()
+		if data != nil {
+			copy(buf.Bytes(), data[int(i)*e.cfg.BlockSize:int(i+1)*e.cfg.BlockSize])
+		} else {
+			FillPattern(b, buf.Bytes())
+		}
+		e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf, false)))
+	}
+}
+
+// writeLocal is the single-node write body: store write-through plus
+// cache install, then the driver sees the request.
+func (e *Engine) writeLocal(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
 	for i := int32(0); i < nblocks; i++ {
 		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
 		buf := e.pool.Get()
@@ -374,8 +661,23 @@ func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, d
 }
 
 // CloseFile stops f's prefetch chain until its next request, as the
-// simulator does on trace close steps. The learned model is kept.
+// simulator does on trace close steps. The learned model is kept. On
+// a cluster node the close of a non-owned file is relayed to the ring
+// owner — the only node with a chain to park — best-effort: a dead
+// owner has nothing running for the file anyway.
 func (e *Engine) CloseFile(f blockdev.FileID) {
+	if e.remote != nil && !e.remote.Owned(f) {
+		e.remote.ForwardClose(f) //nolint:errcheck // best-effort
+		return
+	}
+	e.closeLocal(f)
+}
+
+// PeerCloseFile is CloseFile for a peer-forwarded close: strictly
+// local, never re-forwarded.
+func (e *Engine) PeerCloseFile(f blockdev.FileID) { e.closeLocal(f) }
+
+func (e *Engine) closeLocal(f blockdev.FileID) {
 	fl := e.fileState(f)
 	if fl.driver == nil {
 		return
@@ -432,6 +734,13 @@ func (e *Engine) Snapshot() Snapshot {
 		PrefetchUnused:       e.cache.UnusedPrefetched(),
 		StoreReads:           e.m.storeReads.Load(),
 		StoreWrites:          e.m.storeWrites.Load(),
+		RemoteReads:          e.m.remoteReads.Load(),
+		RemoteHits:           e.m.remoteHits.Load(),
+		RemoteMisses:         e.m.remoteMisses.Load(),
+		RemoteFallbacks:      e.m.remoteFallbacks.Load(),
+		ForwardedWrites:      e.m.forwardedWrites.Load(),
+		PeerReadsServed:      e.m.peerReads.Load(),
+		PeerWritesServed:     e.m.peerWrites.Load(),
 		MaxFileOutstandingHW: e.ledger.MaxHighWater(),
 		LinearViolations:     e.ledger.Violations(),
 		CachedBlocks:         e.cache.Len(),
@@ -486,7 +795,7 @@ func (e *Engine) runPrefetch(op prefetchOp) {
 		e.complete(op)
 		return
 	}
-	fo := &fetchOp{prefetch: true, done: make(chan struct{})}
+	fo := e.newFetchOp(true)
 	e.inflight[op.b] = fo
 	e.flightMu.Unlock()
 
@@ -503,7 +812,8 @@ func (e *Engine) runPrefetch(op prefetchOp) {
 	e.flightMu.Lock()
 	delete(e.inflight, op.b)
 	e.flightMu.Unlock()
-	close(fo.done)
+	fo.wg.Done()
+	e.releaseFetchOp(fo)
 	e.m.prefetchCompleted.Add(1)
 	e.complete(op)
 }

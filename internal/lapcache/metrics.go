@@ -30,6 +30,15 @@ type Metrics struct {
 
 	storeReads  atomic.Uint64
 	storeWrites atomic.Uint64
+
+	// Cooperative peer tier (zero on a single-node engine).
+	remoteReads     atomic.Uint64
+	remoteHits      atomic.Uint64
+	remoteMisses    atomic.Uint64
+	remoteFallbacks atomic.Uint64
+	forwardedWrites atomic.Uint64
+	peerReads       atomic.Uint64
+	peerWrites      atomic.Uint64
 }
 
 // Snapshot is a frozen, JSON-exportable view of the engine's counters
@@ -64,6 +73,20 @@ type Snapshot struct {
 	// Backing store traffic.
 	StoreReads  uint64 `json:"store_reads"`
 	StoreWrites uint64 `json:"store_writes"`
+
+	// Cooperative peer tier. RemoteReads counts blocks fetched from a
+	// file's owner node; RemoteHits/RemoteMisses classify those
+	// forward RPCs by whether the owner served entirely from memory.
+	// RemoteFallbacks counts spans degraded to the local store because
+	// no live owner was reachable. PeerReadsServed/PeerWritesServed
+	// are the owner side: forwarded requests served for peers.
+	RemoteReads      uint64 `json:"remote_reads,omitempty"`
+	RemoteHits       uint64 `json:"remote_hits,omitempty"`
+	RemoteMisses     uint64 `json:"remote_misses,omitempty"`
+	RemoteFallbacks  uint64 `json:"remote_fallbacks,omitempty"`
+	ForwardedWrites  uint64 `json:"forwarded_writes,omitempty"`
+	PeerReadsServed  uint64 `json:"peer_reads_served,omitempty"`
+	PeerWritesServed uint64 `json:"peer_writes_served,omitempty"`
 
 	// Buffer pool traffic: fills served by allocating a new block
 	// buffer vs. recycling a released one. A steady-state ratio near
@@ -164,6 +187,20 @@ func (l *Ledger) FileHighWater(f blockdev.FileID) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.highWater[f]
+}
+
+// HighWaters returns a copy of every file's high-water mark. Cluster
+// tests join these maps across nodes to assert the paper's invariant
+// globally: in linear mode each file's marks, summed over the whole
+// cluster, never exceed 1 — only the ring owner ever prefetches it.
+func (l *Ledger) HighWaters() map[blockdev.FileID]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[blockdev.FileID]int, len(l.highWater))
+	for f, n := range l.highWater {
+		out[f] = n
+	}
+	return out
 }
 
 // Violations returns how many updates exceeded the limit.

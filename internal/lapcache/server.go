@@ -57,6 +57,11 @@ type WireResponse struct {
 	// ProtoMax (on ping) is the newest protocol version this server
 	// speaks; a client upgrades past JSON only after seeing it.
 	ProtoMax int `json:"proto_max,omitempty"`
+	// Owner and OwnerSelf answer an "owner" request on a clustered
+	// server: the advertise address of the file's ring owner and
+	// whether that owner is the answering node.
+	Owner     string `json:"owner,omitempty"`
+	OwnerSelf bool   `json:"owner_self,omitempty"`
 }
 
 // pingPayload is the JSON document carried by binary ping and stats
@@ -65,11 +70,27 @@ type pingPayload struct {
 	Alg       string `json:"alg"`
 	BlockSize int    `json:"block_size"`
 	ProtoMax  int    `json:"proto_max"`
+	// Self and Members describe cluster membership on a clustered
+	// server; absent on a single node.
+	Self    string   `json:"self,omitempty"`
+	Members []string `json:"members,omitempty"`
+}
+
+// ownerPayload is the JSON document answering an ownership query.
+type ownerPayload struct {
+	Owner string `json:"owner"`
+	Self  bool   `json:"self"`
 }
 
 // Server fronts an Engine over TCP.
 type Server struct {
 	e *Engine
+
+	// Cluster, when non-nil, exposes ring membership through the
+	// "owner" op and lets peers address this node as part of a
+	// cooperative cache. nil on a single-node server, which answers
+	// ownership queries with an error.
+	Cluster ClusterInfo
 
 	// IdleTimeout, when positive, closes a connection that sends no
 	// request for the duration (lapcached -idle-timeout). Zero keeps
@@ -280,11 +301,39 @@ func (h *connHandler) serveBinary() {
 			return
 		}
 		ok := true
+		// Version-skew guard: a structurally sound frame whose op or
+		// flags this build does not define gets an error frame, not a
+		// dropped connection — the payload has already been consumed, so
+		// the stream stays framed and the client can fall back.
+		if !hd.Op.Known() || !hd.Flags.Known() {
+			if !fail(hd, fmt.Sprintf("unsupported op %s flags %#x", hd.Op, uint8(hd.Flags))) {
+				return
+			}
+			if err := h.bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		peer := hd.Flags&wire.FlagPeer != 0
 		switch hd.Op {
 		case wire.OpPing:
-			doc, _ := json.Marshal(pingPayload{
+			pp := pingPayload{
 				Alg: s.e.AlgName(), BlockSize: s.e.BlockSize(), ProtoMax: wire.ProtoBinary,
-			})
+			}
+			if s.Cluster != nil {
+				pp.Self = s.Cluster.Self()
+				pp.Members = s.Cluster.MemberAddrs()
+			}
+			doc, _ := json.Marshal(pp)
+			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
+
+		case wire.OpOwner:
+			if s.Cluster == nil {
+				ok = fail(hd, "server is not clustered")
+				break
+			}
+			addr, self := s.Cluster.OwnerOf(blockdev.FileID(hd.File))
+			doc, _ := json.Marshal(ownerPayload{Owner: addr, Self: self})
 			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
 
 		case wire.OpRead:
@@ -296,7 +345,13 @@ func (h *connHandler) serveBinary() {
 			}
 			bufs = bufs[:0]
 			var hit bool
-			bufs, hit, err = s.e.ReadInto(bufs, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
+			if peer {
+				// Peer-forwarded read: serve strictly locally, never
+				// re-forward (the loop-free contract of FlagPeer).
+				bufs, hit, err = s.e.PeerReadInto(bufs, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
+			} else {
+				bufs, hit, err = s.e.ReadInto(bufs, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
+			}
 			if err != nil {
 				ok = fail(hd, err.Error())
 				break
@@ -328,20 +383,35 @@ func (h *connHandler) serveBinary() {
 			if hd.PayloadLen > 0 {
 				data = payload
 			}
-			if err := s.e.Write(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data); err != nil {
-				ok = fail(hd, err.Error())
+			werr := error(nil)
+			if peer {
+				werr = s.e.PeerWrite(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+			} else {
+				werr = s.e.Write(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+			}
+			if werr != nil {
+				ok = fail(hd, werr.Error())
 				break
 			}
 			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) == nil
 
 		case wire.OpClose:
-			s.e.CloseFile(blockdev.FileID(hd.File))
+			if peer {
+				s.e.PeerCloseFile(blockdev.FileID(hd.File))
+			} else {
+				s.e.CloseFile(blockdev.FileID(hd.File))
+			}
 			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) == nil
 
 		case wire.OpStats:
 			snap := s.e.Snapshot()
 			doc, _ := json.Marshal(&snap)
 			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
+
+		default:
+			// Unreachable while Known() covers every case above; kept so
+			// a future op added to wire but not here fails cleanly.
+			ok = fail(hd, fmt.Sprintf("unsupported op %s", hd.Op))
 		}
 		if !ok {
 			return
@@ -390,6 +460,12 @@ func (s *Server) dispatch(req *WireRequest) WireResponse {
 	case "stats":
 		snap := s.e.Snapshot()
 		return WireResponse{OK: true, Stats: &snap}
+	case "owner":
+		if s.Cluster == nil {
+			return WireResponse{Err: "server is not clustered"}
+		}
+		addr, self := s.Cluster.OwnerOf(blockdev.FileID(req.File))
+		return WireResponse{OK: true, Owner: addr, OwnerSelf: self}
 	default:
 		return WireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

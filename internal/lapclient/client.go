@@ -78,7 +78,7 @@ func (c *Client) do(req *lapcache.WireRequest) (*lapcache.WireResponse, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("lapclient: server error: %s", resp.Err)
+		return nil, &ServerError{Msg: resp.Err}
 	}
 	return &resp, nil
 }

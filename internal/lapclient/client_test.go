@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
@@ -305,6 +307,134 @@ func TestProtocolNegotiationMatrix(t *testing.T) {
 			t.Errorf("replayed %d requests, trace has %d", res.Requests, tr.TotalSteps())
 		}
 	})
+
+	// Version skew within the binary protocol: a peer from a future
+	// build may send ops or flags this server has never heard of. The
+	// server must answer each with a clean error frame and keep the
+	// connection alive — never wedge it — so a mixed-version cluster
+	// degrades per-request instead of per-connection.
+	t.Run("future-op-vs-new-server", func(t *testing.T) {
+		addr := startServer(t, cfg)
+		c, err := DialConn(addr, 0)
+		if err != nil {
+			t.Fatalf("binary dial: %v", err)
+		}
+		defer c.Close()
+
+		_, err = c.do(wire.Header{Op: wire.Op(200)}, nil)
+		var se *ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("future op: err = %v, want *ServerError", err)
+		}
+		if se.Op != wire.Op(200) {
+			t.Errorf("error frame echoes op %d, want 200", se.Op)
+		}
+
+		_, err = c.do(wire.Header{Op: wire.OpPing, Flags: wire.Flags(0x80)}, nil)
+		if !errors.As(err, &se) {
+			t.Fatalf("future flags: err = %v, want *ServerError", err)
+		}
+
+		// The connection survives both rejections.
+		if _, err := c.Ping(); err != nil {
+			t.Fatalf("ping after rejected frames: %v", err)
+		}
+	})
+
+	// Cluster ops against a single-node (non-clustered) server: the
+	// ownership query is refused cleanly, and a peer-flagged read is
+	// served locally — both without disturbing the connection.
+	t.Run("cluster-ops-vs-unclustered-server", func(t *testing.T) {
+		addr := startServer(t, cfg)
+		c, err := DialConn(addr, 0)
+		if err != nil {
+			t.Fatalf("binary dial: %v", err)
+		}
+		defer c.Close()
+
+		_, _, err = c.Owner(3)
+		var se *ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("owner query: err = %v, want *ServerError", err)
+		}
+
+		if err := c.WritePeer(3, 0, 1, nil); err != nil {
+			t.Fatalf("peer write: %v", err)
+		}
+		dst := make([]byte, cfg.BlockSize)
+		hit, err := c.ReadPeer(3, 0, 1, [][]byte{dst})
+		if err != nil {
+			t.Fatalf("peer read: %v", err)
+		}
+		if !hit {
+			t.Error("peer read of just-written block missed")
+		}
+		want := make([]byte, cfg.BlockSize)
+		lapcache.FillPattern(blockdev.BlockID{File: 3, Block: 0}, want)
+		if !bytes.Equal(dst, want) {
+			t.Error("peer read payload wrong")
+		}
+		if err := c.ClosePeer(3); err != nil {
+			t.Fatalf("peer close: %v", err)
+		}
+	})
+}
+
+// TestPoolSkipsDeadConns kills connections out from under a pool and
+// asserts the round-robin routes around them: a pool degrades from N
+// connections to however many survive, and only errors with
+// ErrNoLiveConn once every peer connection is gone.
+func TestPoolSkipsDeadConns(t *testing.T) {
+	addr := startServer(t, lapcache.Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 32,
+	})
+	p, err := DialPool(addr, 3, 0)
+	if err != nil {
+		t.Fatalf("dial pool: %v", err)
+	}
+	defer p.Close()
+	if err := p.Write(1, 0, 1, nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// Tear down two of the three connections, as a dying peer would.
+	killConn := func(c *Conn) {
+		t.Helper()
+		c.Close()
+		waitFor(t, "connection to report dead", c.Dead)
+	}
+	killConn(p.conns[0])
+	killConn(p.conns[2])
+	if live := p.Live(); live != 1 {
+		t.Fatalf("Live() = %d after killing 2 of 3, want 1", live)
+	}
+
+	// Every pick must land on the one survivor, round-robin included.
+	for i := 0; i < 10; i++ {
+		if _, _, err := p.Read(1, 0, 1, false); err != nil {
+			t.Fatalf("read %d with 1 live conn: %v", i, err)
+		}
+	}
+
+	killConn(p.conns[1])
+	if _, _, err := p.Read(1, 0, 1, false); !errors.Is(err, ErrNoLiveConn) {
+		t.Fatalf("read with 0 live conns: err = %v, want ErrNoLiveConn", err)
+	}
+	if _, err := p.Stats(); !errors.Is(err, ErrNoLiveConn) {
+		t.Fatalf("stats with 0 live conns: err = %v, want ErrNoLiveConn", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // TestBinaryConnDataIntegrity pushes real payloads through the framed

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,19 @@ import (
 
 // ErrNoBinary reports a server that only speaks the JSON protocol.
 var ErrNoBinary = errors.New("lapclient: server does not speak the binary protocol")
+
+// ServerError is an error frame (or JSON error response) from the
+// server: the request was delivered and the server refused it. Every
+// other failure mode — dial, write, torn connection — surfaces as a
+// plain error. The cluster layer leans on the distinction: a refusal
+// propagates to the caller, a transport error marks the peer down and
+// degrades service to the local store.
+type ServerError struct {
+	Op  wire.Op // zero on the JSON protocol
+	Msg string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("lapclient: server error: %s", e.Msg) }
 
 // DefaultWindow is the per-connection in-flight request cap when the
 // caller passes 0.
@@ -37,15 +51,26 @@ type Conn struct {
 	window chan struct{} // in-flight slots
 
 	pmu     sync.Mutex
-	pending map[uint32]chan binResp
+	pending map[uint32]*pendingCall
 	readErr error
 	dead    chan struct{} // closed when the reader goroutine exits
+}
+
+// pendingCall is one in-flight request awaiting its response frame.
+// When dsts is non-nil and the response is a successful read whose
+// payload length matches, the reader lands the payload directly into
+// the caller's buffers — the zero-copy half of peer forwarding: block
+// bytes go socket → blockbuf with no intermediate allocation.
+type pendingCall struct {
+	ch   chan binResp
+	dsts [][]byte
 }
 
 // binResp is one matched response frame.
 type binResp struct {
 	h       wire.Header
-	payload []byte // owned by the receiver
+	payload []byte // owned by the receiver; nil when filled
+	filled  bool   // payload landed in the caller's dsts
 }
 
 // DialConn connects, negotiates through the JSON ping, and upgrades
@@ -79,7 +104,7 @@ func DialConn(addr string, window int) (*Conn, error) {
 		info:    info,
 		bw:      jc.bw,
 		window:  make(chan struct{}, window),
-		pending: make(map[uint32]chan binResp),
+		pending: make(map[uint32]*pendingCall),
 		dead:    make(chan struct{}),
 	}
 	// The JSON client's buffered reader carries over: the server sends
@@ -95,7 +120,10 @@ func (c *Conn) Info() PingInfo { return c.info }
 // Close tears the connection down; in-flight calls fail.
 func (c *Conn) Close() error { return c.conn.Close() }
 
-// readLoop delivers response frames to their waiting callers.
+// readLoop delivers response frames to their waiting callers. The
+// sequence number is matched before the payload is read, so a caller
+// that registered destination buffers gets the bytes streamed straight
+// off the socket into them.
 func (c *Conn) readLoop(br *bufio.Reader) {
 	var scratch [wire.HeaderSize]byte
 	for {
@@ -104,23 +132,44 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 			c.fail(fmt.Errorf("lapclient: connection lost: %w", err))
 			return
 		}
-		// Each response's payload is freshly allocated: it is handed
-		// to a concurrent caller, so the loop cannot reuse it.
-		payload, err := wire.ReadPayload(br, h, nil)
-		if err != nil {
-			c.fail(err)
-			return
-		}
 		c.pmu.Lock()
-		ch := c.pending[h.Seq]
+		call := c.pending[h.Seq]
 		delete(c.pending, h.Seq)
 		c.pmu.Unlock()
-		if ch == nil {
+		if call == nil {
 			c.fail(fmt.Errorf("lapclient: response for unknown seq %d", h.Seq))
 			return
 		}
-		ch <- binResp{h: h, payload: payload}
+		resp := binResp{h: h}
+		if call.dsts != nil && h.Flags&wire.FlagOK != 0 && int(h.PayloadLen) == payloadLen(call.dsts) {
+			for _, d := range call.dsts {
+				if _, err = io.ReadFull(br, d); err != nil {
+					break
+				}
+			}
+			resp.filled = err == nil
+		} else {
+			// Error frames (and length mismatches) take the allocating
+			// path: an error message must never land in a block buffer.
+			// The payload is freshly allocated — it is handed to a
+			// concurrent caller, so the loop cannot reuse it.
+			resp.payload, err = wire.ReadPayload(br, h, nil)
+		}
+		if err != nil {
+			c.fail(fmt.Errorf("lapclient: connection lost: %w", err))
+			return
+		}
+		call.ch <- resp
 	}
+}
+
+// payloadLen sums the destination buffer lengths.
+func payloadLen(dsts [][]byte) int {
+	n := 0
+	for _, d := range dsts {
+		n += len(d)
+	}
+	return n
 }
 
 // fail poisons the connection: current and future callers get err.
@@ -131,16 +180,33 @@ func (c *Conn) fail(err error) {
 		close(c.dead)
 	}
 	pending := c.pending
-	c.pending = make(map[uint32]chan binResp)
+	c.pending = make(map[uint32]*pendingCall)
 	c.pmu.Unlock()
 	c.conn.Close()
-	for _, ch := range pending {
-		close(ch)
+	for _, call := range pending {
+		close(call.ch)
+	}
+}
+
+// Dead reports that the connection's reader has exited — it can never
+// carry another request. Pools skip dead connections when picking.
+func (c *Conn) Dead() bool {
+	select {
+	case <-c.dead:
+		return true
+	default:
+		return false
 	}
 }
 
 // do runs one pipelined request/response exchange.
 func (c *Conn) do(h wire.Header, payload []byte) (binResp, error) {
+	return c.doCall(h, payload, nil)
+}
+
+// doCall is do with optional destination buffers for a read's payload
+// (see pendingCall).
+func (c *Conn) doCall(h wire.Header, payload []byte, dsts [][]byte) (binResp, error) {
 	select {
 	case c.window <- struct{}{}:
 	case <-c.dead:
@@ -149,13 +215,13 @@ func (c *Conn) do(h wire.Header, payload []byte) (binResp, error) {
 	defer func() { <-c.window }()
 
 	h.Seq = c.seq.Add(1)
-	ch := make(chan binResp, 1)
+	call := &pendingCall{ch: make(chan binResp, 1), dsts: dsts}
 	c.pmu.Lock()
 	if c.readErr != nil {
 		c.pmu.Unlock()
 		return binResp{}, c.err()
 	}
-	c.pending[h.Seq] = ch
+	c.pending[h.Seq] = call
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
@@ -171,12 +237,12 @@ func (c *Conn) do(h wire.Header, payload []byte) (binResp, error) {
 		return binResp{}, err
 	}
 
-	resp, ok := <-ch
+	resp, ok := <-call.ch
 	if !ok {
 		return binResp{}, c.err()
 	}
 	if resp.h.Flags&wire.FlagOK == 0 {
-		return binResp{}, fmt.Errorf("lapclient: server error: %s", resp.payload)
+		return binResp{}, &ServerError{Op: resp.h.Op, Msg: string(resp.payload)}
 	}
 	return resp, nil
 }
@@ -232,6 +298,66 @@ func (c *Conn) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dat
 func (c *Conn) CloseFile(f blockdev.FileID) error {
 	_, err := c.do(wire.Header{Op: wire.OpClose, File: int32(f)}, nil)
 	return err
+}
+
+// ReadPeer is the cluster forward path: a peer-flagged read whose
+// block payload lands directly in dsts (one pre-sized slice per
+// block), served strictly locally by the owner. hit reports the owner
+// had every block in memory.
+func (c *Conn) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit bool, err error) {
+	h := wire.Header{
+		Op: wire.OpRead, Flags: wire.FlagWantData | wire.FlagPeer,
+		File: int32(f), Offset: int32(off), Size: nblocks,
+	}
+	resp, err := c.doCall(h, nil, dsts)
+	if err != nil {
+		return false, err
+	}
+	if !resp.filled {
+		// The reader fell back to an allocated payload (length
+		// mismatch); salvage the copy if it fits, else report it.
+		if len(resp.payload) != payloadLen(dsts) {
+			return false, fmt.Errorf("lapclient: peer read returned %d bytes, want %d",
+				len(resp.payload), payloadLen(dsts))
+		}
+		o := 0
+		for _, d := range dsts {
+			o += copy(d, resp.payload[o:])
+		}
+	}
+	return resp.h.Flags&wire.FlagHit != 0, nil
+}
+
+// WritePeer is a peer-flagged write: served strictly locally by the
+// receiver, never re-forwarded.
+func (c *Conn) WritePeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	_, err := c.do(wire.Header{
+		Op: wire.OpWrite, Flags: wire.FlagPeer,
+		File: int32(f), Offset: int32(off), Size: nblocks,
+	}, data)
+	return err
+}
+
+// ClosePeer is a peer-flagged close: parks the receiver's local chain.
+func (c *Conn) ClosePeer(f blockdev.FileID) error {
+	_, err := c.do(wire.Header{Op: wire.OpClose, Flags: wire.FlagPeer, File: int32(f)}, nil)
+	return err
+}
+
+// Owner asks a clustered server which node owns f on the ring.
+func (c *Conn) Owner(f blockdev.FileID) (addr string, self bool, err error) {
+	resp, err := c.do(wire.Header{Op: wire.OpOwner, File: int32(f)}, nil)
+	if err != nil {
+		return "", false, err
+	}
+	var doc struct {
+		Owner string `json:"owner"`
+		Self  bool   `json:"self"`
+	}
+	if err := json.Unmarshal(resp.payload, &doc); err != nil {
+		return "", false, err
+	}
+	return doc.Owner, doc.Self, nil
 }
 
 // Stats fetches the server's counter snapshot.

@@ -1,6 +1,7 @@
 package lapclient
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -8,11 +9,17 @@ import (
 	"repro/internal/lapcache"
 )
 
+// ErrNoLiveConn reports that every connection in a pool is dead.
+var ErrNoLiveConn = errors.New("lapclient: no live connection in pool")
+
 // Pool is a fixed set of pipelined binary connections fronting one
 // server. Calls are spread round-robin across the connections; each
 // connection multiplexes its callers through the in-flight window.
-// Safe for concurrent use — the replayer shares one Pool across every
-// process goroutine.
+// A connection whose reader has died is skipped — the pool degrades
+// from N connections to however many survive, and only errors with
+// ErrNoLiveConn once none do. Safe for concurrent use — the replayer
+// shares one Pool across every process goroutine, and the cluster
+// layer keeps one per peer.
 type Pool struct {
 	conns []*Conn
 	next  atomic.Uint32
@@ -54,27 +61,107 @@ func (p *Pool) Close() error {
 	return first
 }
 
-// pick selects the next connection round-robin.
-func (p *Pool) pick() *Conn {
-	return p.conns[int(p.next.Add(1))%len(p.conns)]
+// Live returns how many connections can still carry requests.
+func (p *Pool) Live() int {
+	n := 0
+	for _, c := range p.conns {
+		if !c.Dead() {
+			n++
+		}
+	}
+	return n
+}
+
+// pick selects the next live connection round-robin, skipping
+// connections whose peer has torn them down.
+func (p *Pool) pick() (*Conn, error) {
+	n := len(p.conns)
+	start := int(p.next.Add(1))
+	for i := 0; i < n; i++ {
+		if c := p.conns[(start+i)%n]; !c.Dead() {
+			return c, nil
+		}
+	}
+	return nil, ErrNoLiveConn
+}
+
+// Ping re-queries the server over the binary protocol.
+func (p *Pool) Ping() (PingInfo, error) {
+	c, err := p.pick()
+	if err != nil {
+		return PingInfo{}, err
+	}
+	return c.Ping()
 }
 
 // Read requests nblocks blocks of f starting at block off.
 func (p *Pool) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) ([]byte, bool, error) {
-	return p.pick().Read(f, off, nblocks, wantData)
+	c, err := p.pick()
+	if err != nil {
+		return nil, false, err
+	}
+	return c.Read(f, off, nblocks, wantData)
+}
+
+// ReadPeer forwards a peer read, landing block payloads in dsts.
+func (p *Pool) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (bool, error) {
+	c, err := p.pick()
+	if err != nil {
+		return false, err
+	}
+	return c.ReadPeer(f, off, nblocks, dsts)
 }
 
 // Write sends nblocks blocks starting at off.
 func (p *Pool) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
-	return p.pick().Write(f, off, nblocks, data)
+	c, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return c.Write(f, off, nblocks, data)
+}
+
+// WritePeer forwards a peer write.
+func (p *Pool) WritePeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	c, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return c.WritePeer(f, off, nblocks, data)
 }
 
 // CloseFile tells the server this client is done with f for now.
 func (p *Pool) CloseFile(f blockdev.FileID) error {
-	return p.pick().CloseFile(f)
+	c, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return c.CloseFile(f)
+}
+
+// ClosePeer forwards a peer close.
+func (p *Pool) ClosePeer(f blockdev.FileID) error {
+	c, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return c.ClosePeer(f)
+}
+
+// Owner asks a clustered server which node owns f on the ring.
+func (p *Pool) Owner(f blockdev.FileID) (string, bool, error) {
+	c, err := p.pick()
+	if err != nil {
+		return "", false, err
+	}
+	return c.Owner(f)
 }
 
 // Stats fetches the server's counter snapshot.
 func (p *Pool) Stats() (lapcache.Snapshot, error) {
-	return p.pick().Stats()
+	c, err := p.pick()
+	if err != nil {
+		return lapcache.Snapshot{}, err
+	}
+	return c.Stats()
 }

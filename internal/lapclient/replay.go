@@ -54,6 +54,62 @@ func (r ReplayResult) HitRatio() float64 {
 	return float64(r.ReadHits) / float64(r.Reads)
 }
 
+// endpoint is one server's session factory for a replay.
+type endpoint struct {
+	proto      string
+	blockSize  int
+	newSession func() (session, func(), error)
+	cleanup    func()
+}
+
+// dialEndpoint probes addr and builds its per-process session factory:
+// a shared binary pool when the server speaks it, per-process JSON
+// connections otherwise (or when forced).
+func dialEndpoint(addr string, nprocs int, opts ReplayOptions) (*endpoint, error) {
+	probe, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	info, err := probe.Ping()
+	probe.Close()
+	if err != nil {
+		return nil, err
+	}
+	if info.BlockSize <= 0 {
+		return nil, fmt.Errorf("lapclient: server reports block size %d", info.BlockSize)
+	}
+	ep := &endpoint{blockSize: info.BlockSize}
+	if !opts.JSON && info.ProtoMax >= wire.ProtoBinary {
+		nconns := opts.Conns
+		if nconns <= 0 {
+			nconns = nprocs
+			if nconns > 8 {
+				nconns = 8
+			}
+		}
+		pool, err := DialPool(addr, nconns, opts.Window)
+		if err != nil {
+			return nil, err
+		}
+		ep.proto = "binary"
+		ep.newSession = func() (session, func(), error) { return pool, func() {}, nil }
+		ep.cleanup = func() { pool.Close() }
+	} else {
+		// Old server (or forced): negotiate down, exactly like an old
+		// client.
+		ep.proto = "json"
+		ep.newSession = func() (session, func(), error) {
+			c, err := Dial(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, func() { c.Close() }, nil
+		}
+		ep.cleanup = func() {}
+	}
+	return ep, nil
+}
+
 // ReplayTrace drives a server with a workload trace: one goroutine
 // per traced process, each running its closed loop in order. By
 // default the processes share a pool of pipelined binary connections,
@@ -62,59 +118,42 @@ func (r ReplayResult) HitRatio() float64 {
 // JSON-only server (or with opts.JSON) it falls back to the legacy
 // one-connection-per-process JSON protocol.
 func ReplayTrace(addr string, tr *workload.Trace, opts ReplayOptions) (ReplayResult, error) {
-	probe, err := Dial(addr)
-	if err != nil {
-		return ReplayResult{}, err
+	return ReplayTraceMulti([]string{addr}, tr, opts)
+}
+
+// ReplayTraceMulti replays a trace against a cluster: traced processes
+// are sharded round-robin across the given node addresses, the way a
+// real workload's clients would each mount whichever cache node is
+// nearest. Every node must report the same block size. With one
+// address it is exactly ReplayTrace.
+func ReplayTraceMulti(addrs []string, tr *workload.Trace, opts ReplayOptions) (ReplayResult, error) {
+	if len(addrs) == 0 {
+		return ReplayResult{}, fmt.Errorf("lapclient: replay needs at least one address")
 	}
-	info, err := probe.Ping()
-	probe.Close()
-	if err != nil {
-		return ReplayResult{}, err
+	eps := make([]*endpoint, len(addrs))
+	defer func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.cleanup()
+			}
+		}
+	}()
+	for i, addr := range addrs {
+		ep, err := dialEndpoint(addr, len(tr.Procs), opts)
+		if err != nil {
+			return ReplayResult{}, fmt.Errorf("lapclient: node %s: %w", addr, err)
+		}
+		eps[i] = ep
+		if ep.blockSize != eps[0].blockSize {
+			return ReplayResult{}, fmt.Errorf("lapclient: node %s block size %d != %d",
+				addr, ep.blockSize, eps[0].blockSize)
+		}
 	}
-	if info.BlockSize <= 0 {
-		return ReplayResult{}, fmt.Errorf("lapclient: server reports block size %d", info.BlockSize)
-	}
+	info := PingInfo{BlockSize: eps[0].blockSize}
 
 	var res ReplayResult
 	res.Procs = len(tr.Procs)
-
-	// newSession yields the per-process wire handle; cleanup tears
-	// down whatever the protocol choice built.
-	var (
-		newSession func() (session, func(), error)
-		cleanup    func()
-	)
-	if !opts.JSON && info.ProtoMax >= wire.ProtoBinary {
-		nconns := opts.Conns
-		if nconns <= 0 {
-			nconns = len(tr.Procs)
-			if nconns > 8 {
-				nconns = 8
-			}
-		}
-		pool, err := DialPool(addr, nconns, opts.Window)
-		if err != nil {
-			return ReplayResult{}, err
-		}
-		res.Proto = "binary"
-		newSession = func() (session, func(), error) { return pool, func() {}, nil }
-		cleanup = func() { pool.Close() }
-	} else {
-		if !opts.JSON && info.ProtoMax < wire.ProtoBinary {
-			// Old server: negotiate down, exactly like an old client.
-			opts.JSON = true
-		}
-		res.Proto = "json"
-		newSession = func() (session, func(), error) {
-			c, err := Dial(addr)
-			if err != nil {
-				return nil, nil, err
-			}
-			return c, func() { c.Close() }, nil
-		}
-		cleanup = func() {}
-	}
-	defer cleanup()
+	res.Proto = eps[0].proto
 
 	var (
 		wg       sync.WaitGroup
@@ -131,9 +170,9 @@ func ReplayTrace(addr string, tr *workload.Trace, opts ReplayOptions) (ReplayRes
 	start := time.Now()
 	for pi := range tr.Procs {
 		wg.Add(1)
-		go func(p *workload.Process) {
+		go func(pi int, p *workload.Process) {
 			defer wg.Done()
-			sess, done, err := newSession()
+			sess, done, err := eps[pi%len(eps)].newSession()
 			if err != nil {
 				fail(err)
 				return
@@ -179,7 +218,7 @@ func ReplayTrace(addr string, tr *workload.Trace, opts ReplayOptions) (ReplayRes
 			res.Writes += local.Writes
 			res.Closes += local.Closes
 			mu.Unlock()
-		}(&tr.Procs[pi])
+		}(pi, &tr.Procs[pi])
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)

@@ -17,7 +17,7 @@
 // Binary frame layout (little-endian):
 //
 //	offset size field
-//	0      1    op       (Op; 1..5, never '{' so a JSON line is unambiguous)
+//	0      1    op       (Op; 1..6, never '{' so a JSON line is unambiguous)
 //	1      1    flags    (Flags bitfield)
 //	2      1    version  (must be Version)
 //	3      1    reserved (must be 0)
@@ -30,6 +30,19 @@
 // The payload carries raw block data for reads (FlagWantData) and
 // writes, a UTF-8 error message on failure frames, and a JSON document
 // for ping/stats responses (rare, so their encoding does not matter).
+//
+// # Version skew
+//
+// The header layout is frozen by the version byte; ops and flags are
+// extension points. ParseHeader therefore validates only structure —
+// version, reserved byte, payload bound, a nonzero op — and leaves
+// unknown op and flag values to the dispatch layer, which answers an
+// unrecognized request with an error frame instead of dropping the
+// connection. That is what lets a newer peer talk to an older server
+// during a rolling upgrade: the new op fails cleanly, the connection
+// stays usable, and the caller can fall back. (Peer forwards between
+// lapcached nodes rely on this: a mixed-version cluster degrades to
+// local service rather than wedging connections.)
 package wire
 
 import (
@@ -78,9 +91,19 @@ const (
 	OpWrite Op = 3
 	OpClose Op = 4
 	OpStats Op = 5
+	// OpOwner asks a clustered server which node owns the frame's file
+	// on the consistent-hash ring. The response payload is a JSON
+	// document {"owner": addr, "self": bool}; a non-clustered server
+	// answers with an error frame.
+	OpOwner Op = 6
 
-	opMax = OpStats
+	opMax = OpOwner
 )
+
+// Known reports whether this implementation dispatches the op. Unknown
+// ops still parse (the header layout does not depend on them); the
+// dispatch layer answers them with an error frame.
+func (o Op) Known() bool { return o >= OpPing && o <= opMax }
 
 // String renders the op for error messages.
 func (o Op) String() string {
@@ -95,6 +118,8 @@ func (o Op) String() string {
 		return "close"
 	case OpStats:
 		return "stats"
+	case OpOwner:
+		return "owner"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -112,9 +137,19 @@ const (
 	// FlagHit (read responses) reports every requested block was
 	// cached on arrival.
 	FlagHit Flags = 1 << 2
+	// FlagPeer (requests) marks a request forwarded by a cluster peer:
+	// the receiver serves it strictly locally and never re-forwards,
+	// which is what makes forwarding loop-free even if two nodes
+	// momentarily disagree about ring membership.
+	FlagPeer Flags = 1 << 3
 
-	flagsKnown = FlagWantData | FlagOK | FlagHit
+	flagsKnown = FlagWantData | FlagOK | FlagHit | FlagPeer
 )
+
+// Known reports whether every set bit is a flag this implementation
+// defines. Unknown bits still parse; receivers decide per-op whether
+// to reject them.
+func (f Flags) Known() bool { return f&^flagsKnown == 0 }
 
 // Header is a decoded binary frame header.
 type Header struct {
@@ -144,21 +179,25 @@ func PutHeader(dst []byte, h Header) {
 	binary.LittleEndian.PutUint32(dst[20:], h.PayloadLen)
 }
 
-// ParseHeader decodes and validates a frame header. It never panics
-// and performs no allocation regardless of input.
+// ParseHeader decodes and validates a frame header structurally. It
+// never panics and performs no allocation regardless of input.
+//
+// Only layout-level properties are enforced here: the version byte,
+// the reserved byte, the payload bound and a nonzero op. Unknown op
+// and flag values parse successfully — the frame is still framed
+// correctly, so the connection can consume its payload and answer
+// with an error frame instead of wedging; use Op.Known and
+// Flags.Known at dispatch.
 func ParseHeader(src []byte) (Header, error) {
 	if len(src) < HeaderSize {
 		return Header{}, fmt.Errorf("wire: short header: %d bytes, need %d", len(src), HeaderSize)
 	}
 	var h Header
 	h.Op = Op(src[0])
-	if h.Op == 0 || h.Op > opMax {
-		return Header{}, fmt.Errorf("wire: unknown op %d", src[0])
+	if h.Op == 0 {
+		return Header{}, errors.New("wire: zero op")
 	}
 	h.Flags = Flags(src[1])
-	if h.Flags&^flagsKnown != 0 {
-		return Header{}, fmt.Errorf("wire: unknown flag bits %#x", src[1])
-	}
 	if src[2] != Version {
 		return Header{}, fmt.Errorf("wire: protocol version %d, want %d", src[2], Version)
 	}

@@ -37,8 +37,6 @@ func TestParseHeaderRejects(t *testing.T) {
 	}{
 		{"short", make([]byte, HeaderSize-1)},
 		{"zero op", mk(func(b []byte) { b[0] = 0 })},
-		{"op out of range", mk(func(b []byte) { b[0] = byte(opMax) + 1 })},
-		{"garbage flags", mk(func(b []byte) { b[1] = 0xFF })},
 		{"bad version", mk(func(b []byte) { b[2] = 9 })},
 		{"reserved set", mk(func(b []byte) { b[3] = 1 })},
 		{"oversized payload", mk(func(b []byte) { b[20], b[21], b[22], b[23] = 0xFF, 0xFF, 0xFF, 0xFF })},
@@ -47,6 +45,44 @@ func TestParseHeaderRejects(t *testing.T) {
 		if _, err := ParseHeader(tc.buf); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestParseHeaderSkewTolerance pins the version-skew contract: ops and
+// flags this implementation does not know still parse (the frame is
+// structurally sound, so the receiver can consume it and answer with
+// an error frame), and Known reports them as undispatchable.
+func TestParseHeaderSkewTolerance(t *testing.T) {
+	mk := func(mut func(b []byte)) []byte {
+		var b [HeaderSize]byte
+		PutHeader(b[:], Header{Op: OpPing})
+		mut(b[:])
+		return b[:]
+	}
+
+	h, err := ParseHeader(mk(func(b []byte) { b[0] = byte(opMax) + 37 }))
+	if err != nil {
+		t.Fatalf("future op rejected at parse: %v", err)
+	}
+	if h.Op.Known() {
+		t.Errorf("op %d reported as known", h.Op)
+	}
+	if got := h.Op.String(); got != "op(43)" {
+		t.Errorf("future op renders as %q", got)
+	}
+
+	h, err = ParseHeader(mk(func(b []byte) { b[1] = 0xF0 }))
+	if err != nil {
+		t.Fatalf("future flags rejected at parse: %v", err)
+	}
+	if h.Flags.Known() {
+		t.Errorf("flags %#x reported as known", h.Flags)
+	}
+	if !(FlagWantData | FlagPeer).Known() {
+		t.Error("defined flags reported as unknown")
+	}
+	if !OpOwner.Known() {
+		t.Error("OpOwner reported as unknown")
 	}
 }
 
@@ -147,8 +183,9 @@ func FuzzWireDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Success implies internal consistency.
-		if h.Op == 0 || h.Op > opMax {
+		// Success implies internal consistency. Unknown ops and flags
+		// are allowed through (skew tolerance); a zero op is not.
+		if h.Op == 0 {
 			t.Fatalf("decoder accepted op %d", h.Op)
 		}
 		if uint32(len(payload)) != h.PayloadLen {
