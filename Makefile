@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check check-runtime check-cluster vet build test race fuzz bench bench-all report
+.PHONY: check check-runtime check-cluster check-chaos soak vet build test race fuzz bench bench-all report
 
-check: vet build race fuzz check-runtime check-cluster
+check: vet build race fuzz check-runtime check-cluster check-chaos
 
 vet:
 	$(GO) vet ./...
@@ -34,11 +34,32 @@ check-runtime:
 check-cluster:
 	$(GO) test -race -count=1 ./internal/cluster/...
 
+# The fault-injection subsystem and the chaos harness under the race
+# detector: injector determinism/budget unit tests, the single-engine
+# faulty-store stress, and the 3-node CHARISMA chaos replay that must
+# hold every invariant with hundreds of injected faults.
+check-chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/chaos/...
+
+# Chaos soak: random seeds in a loop (SOAK_RUNS, default 20). Each run
+# prints its seed up front, so a failure names the exact seed to replay
+# with `go run ./cmd/lapbench -exp chaos -seed N`.
+SOAK_RUNS ?= 20
+soak:
+	@i=0; while [ $$i -lt $(SOAK_RUNS) ]; do \
+		seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
+		echo "== chaos soak run $$i seed=$$seed"; \
+		$(GO) run ./cmd/lapbench -exp chaos -seed $$seed || { \
+			echo "SOAK FAILURE: reproduce with: go run ./cmd/lapbench -exp chaos -seed $$seed"; exit 1; }; \
+		i=$$((i+1)); \
+	done
+
 # Run each fuzz target briefly; the seed corpus alone is covered by
 # plain `go test`, this also explores mutations for FUZZTIME.
 fuzz:
 	$(GO) test ./internal/workload/ -run FuzzDecode -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run FuzzWireDecode -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster/ -run FuzzRing -fuzz FuzzRing -fuzztime $(FUZZTIME)
 
 # The runtime micro-benchmarks: engine demand-read paths and the JSON
 # vs binary wire comparison (BENCH_wire.json), and the cooperative

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/experiment"
+)
+
+// runChaos executes one seeded chaos run: a live 3-node cluster
+// replaying the scale's CHARISMA trace under the default fault plan,
+// with the full invariant audit. The same seed reproduces the same
+// faulted-site set bit for bit (the digest printed in the report), so
+// a failing seed from `make soak` replays here directly.
+func runChaos(scale experiment.Scale, seed uint64) error {
+	res, err := chaos.Run(chaos.Config{
+		Seed:     seed,
+		Charisma: scale.Charisma,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Print(res.Report.String())
+	return res.Inv.Check()
+}

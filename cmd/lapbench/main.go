@@ -20,11 +20,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster")
+	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, chaos")
 	scaleName := flag.String("scale", "full", "experiment scale: full, small, tiny")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-cell diagnostics for the artifact's matrix")
 	format := flag.String("format", "text", "output format for a single figure: text, csv, json")
+	seed := flag.Uint64("seed", 1, "fault-plan and workload seed for -exp chaos")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -60,6 +61,10 @@ func main() {
 		fmt.Print(rep.Render())
 	case "cluster":
 		exitOn(runClusterDemo(scale))
+	case "chaos":
+		// Chaos runs at the tiny scale regardless of -scale: the point
+		// is fault density, not workload volume.
+		exitOn(runChaos(experiment.TinyScale(), *seed))
 	case "ablations":
 		// The unlimited-aggression variant churns explosively beyond
 		// the tiny scale; ablations always run there.

@@ -40,6 +40,7 @@ type Pool struct {
 
 	allocs   atomic.Uint64 // buffers newly allocated
 	recycles atomic.Uint64 // buffers reused from the pool
+	live     atomic.Int64  // buffers out of the pool (Get minus last Release)
 }
 
 // NewPool returns a pool of buffers of exactly size bytes.
@@ -66,6 +67,13 @@ func (p *Pool) Stats() (allocs, recycles uint64) {
 	return p.allocs.Load(), p.recycles.Load()
 }
 
+// Live returns how many buffers are currently out of the pool: Gets
+// minus final Releases. Every live buffer is held by someone — a
+// cache entry, an in-flight response, a caller — so once a system
+// built on the pool has quiesced and released its caches, a nonzero
+// Live is a leak. The chaos harness asserts Live()==0 after teardown.
+func (p *Pool) Live() int64 { return p.live.Load() }
+
 // Get returns a buffer with refcount 1. Contents are undefined (a
 // recycled buffer carries stale or poison bytes); the caller fills it.
 func (p *Pool) Get() *Buf {
@@ -76,9 +84,11 @@ func (p *Pool) Get() *Buf {
 		}
 		b.refs.Store(1)
 		p.recycles.Add(1)
+		p.live.Add(1)
 		return b
 	}
 	p.allocs.Add(1)
+	p.live.Add(1)
 	b := &Buf{pool: p, data: make([]byte, p.size)}
 	b.refs.Store(1)
 	return b
@@ -127,6 +137,7 @@ func (b *Buf) Release() {
 	if n > 0 {
 		return
 	}
+	b.pool.live.Add(-1)
 	if b.pool.poison.Load() {
 		for i := range b.data {
 			b.data[i] = poisonByte

@@ -1,0 +1,366 @@
+// Package chaos is the fault-injection harness for the lapcache
+// runtime: it boots a live in-process cluster, replays a CHARISMA
+// trace through it while a seeded faultinject.Plan misbehaves at the
+// store, wire and peer layers, and checks the invariants the system
+// claims to keep under failure:
+//
+//   - Linearity: per file, only the ring owner ever drives prefetches,
+//     with an outstanding high-water of at most 1 — faults included.
+//   - Buffer lifecycle: with poison mode on, no buffer is written
+//     after release, and after teardown the pool's live count is zero
+//     (no leak survived any error path).
+//   - Error integrity: every error a client sees is either an
+//     expected injection (it carries the faultinject marker) or a
+//     tolerated transport failure on a link the plan targets; reads
+//     that succeed return bit-exact oracle data (the deterministic
+//     fill pattern), and the run terminates — no wedge, ever.
+//
+// Determinism: the faulted-site set is a pure function of the plan
+// seed (see faultinject), so a failing run is replayed bit for bit by
+// rerunning its seed — `lapbench -exp chaos -seed N`.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/lapcache"
+	"repro/internal/lapclient"
+	"repro/internal/workload"
+)
+
+// Config describes one chaos run.
+type Config struct {
+	// Seed drives everything: the workload generator, the fault plan
+	// (when Plan is nil) and therefore the whole faulted-site set.
+	Seed uint64
+	// Nodes is the cluster size (0 = 3).
+	Nodes int
+	// Charisma generates the replayed trace; its Seed field is
+	// overridden with Seed.
+	Charisma workload.CharismaParams
+	// Plan is the fault schedule (nil = DefaultPlan(Seed)).
+	Plan *faultinject.Plan
+	// Timeout bounds the whole replay (0 = 60s); exceeding it is the
+	// wedge invariant failing.
+	Timeout time.Duration
+	// BlockSize (0 = 512) and CacheBlocks (0 = 4096) size each node.
+	BlockSize   int
+	CacheBlocks int
+	// RedialBudget bounds client redials per node (0 = 64).
+	RedialBudget int
+}
+
+// Invariants is the harness's verdict, one field per claim.
+type Invariants struct {
+	// Linearity.
+	MaxOwnerHW       int      `json:"max_owner_hw"`       // must be <= 1
+	NonOwnerDriven   []string `json:"non_owner_driven"`   // must be empty
+	LinearViolations uint64   `json:"linear_violations"`  // must be 0
+	// Buffer lifecycle.
+	BufLive      int64 `json:"buf_live"`      // must be 0 after teardown
+	DrainedBufs  int   `json:"drained_bufs"`  // informational
+	// Determinism: observed fault sites that the plan's pure selection
+	// function would not pick — any entry is a selection-determinism
+	// bug in the injector.
+	UnselectedObserved []string `json:"unselected_observed"` // must be empty
+	// Error/data integrity.
+	DataMismatches   int      `json:"data_mismatches"`   // must be 0
+	UnexpectedErrors []string `json:"unexpected_errors"` // must be empty
+	InjectedErrors   int      `json:"injected_errors"`   // informational
+	TransportErrors  int      `json:"transport_errors"`  // tolerated iff plan targets the wire
+	DegradedReads    uint64   `json:"degraded_reads"`    // informational
+	Wedged           bool     `json:"wedged"`            // must be false
+}
+
+// Check returns an error naming every violated invariant, or nil.
+func (v Invariants) Check() error {
+	var bad []string
+	if v.Wedged {
+		bad = append(bad, "replay wedged (timeout exceeded)")
+	}
+	if v.MaxOwnerHW > 1 {
+		bad = append(bad, fmt.Sprintf("owner prefetch high-water %d > 1", v.MaxOwnerHW))
+	}
+	if len(v.NonOwnerDriven) > 0 {
+		bad = append(bad, fmt.Sprintf("non-owner drove prefetches: %v", v.NonOwnerDriven))
+	}
+	if v.LinearViolations > 0 {
+		bad = append(bad, fmt.Sprintf("%d linearity violations", v.LinearViolations))
+	}
+	if v.BufLive != 0 {
+		bad = append(bad, fmt.Sprintf("%d block buffers leaked", v.BufLive))
+	}
+	if len(v.UnselectedObserved) > 0 {
+		bad = append(bad, fmt.Sprintf("%d observed faults outside the plan's selected set (first: %s)",
+			len(v.UnselectedObserved), v.UnselectedObserved[0]))
+	}
+	if v.DataMismatches > 0 {
+		bad = append(bad, fmt.Sprintf("%d data mismatches vs oracle", v.DataMismatches))
+	}
+	if len(v.UnexpectedErrors) > 0 {
+		bad = append(bad, fmt.Sprintf("%d unexpected errors (first: %s)",
+			len(v.UnexpectedErrors), v.UnexpectedErrors[0]))
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("chaos: invariants violated: %s", strings.Join(bad, "; "))
+}
+
+// Result is everything one chaos run produced.
+type Result struct {
+	Seed     uint64
+	Nodes    int
+	Requests int
+	Reads    int
+	ReadHits int
+	Writes   int
+	Redials  int
+	Elapsed  time.Duration
+
+	Injected int64
+	Report   faultinject.Report
+	// PlanDigest hashes the plan's full selected-site set over the
+	// run's universe — a pure function of (seed, plan, trace,
+	// topology). Two runs with the same seed report the same value, and
+	// every observed fault site belongs to the set it hashes; this is
+	// the token a failing seed is replayed against.
+	PlanDigest uint64
+	Close      map[lapcache.CloseReason]uint64
+	Inv        Invariants
+}
+
+// String renders the result for logs and EXPERIMENTS.md.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d nodes=%d requests=%d (reads=%d hits=%d writes=%d) redials=%d in %v\n",
+		r.Seed, r.Nodes, r.Requests, r.Reads, r.ReadHits, r.Writes, r.Redials, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "faults: injected=%d sites=%d plan_digest=%016x observed_digest=%016x\n",
+		r.Injected, len(r.Report.Sites), r.PlanDigest, r.Report.Digest())
+	reasons := make([]string, 0, len(r.Close))
+	for reason, n := range r.Close {
+		reasons = append(reasons, fmt.Sprintf("%s=%d", reason, n))
+	}
+	sort.Strings(reasons)
+	fmt.Fprintf(&b, "closes: %s\n", strings.Join(reasons, " "))
+	fmt.Fprintf(&b, "invariants: ownerHW=%d nonOwnerDriven=%d linearViol=%d bufLive=%d mismatches=%d unexpected=%d injectedErrs=%d transportErrs=%d degraded=%d wedged=%v\n",
+		r.Inv.MaxOwnerHW, len(r.Inv.NonOwnerDriven), r.Inv.LinearViolations, r.Inv.BufLive,
+		r.Inv.DataMismatches, len(r.Inv.UnexpectedErrors), r.Inv.InjectedErrors,
+		r.Inv.TransportErrors, r.Inv.DegradedReads, r.Inv.Wedged)
+	if err := r.Inv.Check(); err != nil {
+		fmt.Fprintf(&b, "VERDICT: FAIL — %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "VERDICT: all invariants held\n")
+	}
+	return b.String()
+}
+
+// Run executes one chaos run end to end: generate, boot, replay under
+// faults, tear down, audit. The returned error covers harness
+// failures (could not boot, could not dial); invariant verdicts live
+// in Result.Inv — callers decide how hard to fail via Inv.Check.
+func Run(cfg Config) (Result, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 512
+	}
+	if cfg.CacheBlocks <= 0 {
+		cfg.CacheBlocks = 4096
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.RedialBudget <= 0 {
+		cfg.RedialBudget = 64
+	}
+	plan := cfg.Plan
+	if plan == nil {
+		p := DefaultPlan(cfg.Seed)
+		plan = &p
+	}
+	inj, err := faultinject.New(*plan)
+	if err != nil {
+		return Result{}, err
+	}
+
+	params := cfg.Charisma
+	params.Seed = cfg.Seed
+	tr, err := workload.GenerateCharisma(params)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The trace speaks bytes in its own block units (CHARISMA's 8 KiB);
+	// the engines run on cfg.BlockSize. Convert each file's extent to
+	// engine blocks once — this map IS the runtime keyspace, so the
+	// engines and the selected-site enumeration must share it exactly.
+	fileBlocks := make(map[blockdev.FileID]blockdev.BlockNo, len(tr.FileBlocks))
+	for f, nb := range tr.FileBlocks {
+		bytes := int64(nb) * params.BlockSize
+		fileBlocks[f] = blockdev.BlockNo((bytes + int64(cfg.BlockSize) - 1) / int64(cfg.BlockSize))
+	}
+
+	res := Result{Seed: cfg.Seed, Nodes: cfg.Nodes}
+	selected, planDigest := selectedSites(inj, cfg.Nodes, fileBlocks)
+	res.PlanDigest = planDigest
+
+	// Node i's stable name is nI; every fault label derives from these,
+	// never from ephemeral ports, so site sets compare across runs.
+	nodeName := func(i int) string { return fmt.Sprintf("n%d", i) }
+
+	mkcfg := func(i int, addrs []string) lapcache.Config {
+		store := lapcache.NewMemStore(cfg.BlockSize, 0)
+		return lapcache.Config{
+			Alg:         core.SpecLnAgrISPPM1,
+			BlockSize:   cfg.BlockSize,
+			CacheBlocks: cfg.CacheBlocks,
+			Workers:     8,
+			QueueLen:    128,
+			FileBlocks:  fileBlocks,
+			// Not strict: a linearity breach must be reported as a
+			// failed invariant, not a panic that kills the harness.
+			StrictLinear: false,
+			PoisonBufs:   true,
+			Store:        inj.WrapStore(store, "store@"+nodeName(i)),
+		}
+	}
+	opts := cluster.StartLocalOpts{
+		TweakNode: func(i int, ncfg *cluster.Config) {
+			peers := append([]string(nil), ncfg.Peers...)
+			ncfg.PingInterval = 20 * time.Millisecond
+			ncfg.BackoffMax = 200 * time.Millisecond
+			ncfg.DialFunc = func(addr string, conns, window int) (*lapclient.Pool, error) {
+				to := -1
+				for j, a := range peers {
+					if a == addr {
+						to = j
+						break
+					}
+				}
+				link := fmt.Sprintf("peer:%s->%s", nodeName(i), nodeName(to))
+				if err := inj.DialFault(link); err != nil {
+					return nil, err
+				}
+				return lapclient.DialPoolWith(addr, conns, window, func(c net.Conn) net.Conn {
+					return inj.WrapConn(c, link)
+				})
+			}
+		},
+		TweakServer: func(i int, srv *lapcache.Server) {
+			srv.IdleTimeout = 2 * time.Second
+			srv.ConnWrap = func(c net.Conn) net.Conn {
+				return inj.WrapConn(c, "accept@"+nodeName(i))
+			}
+		},
+		// Replay while the mesh is still forming: forwards that outrun
+		// an (injected-fault-ridden) dial degrade to the local store,
+		// which is one of the paths this harness exists to exercise.
+		NoWaitReady: true,
+	}
+
+	nodes, stop, err := cluster.StartLocalWith(cfg.Nodes, mkcfg, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			stop()
+		}
+	}()
+
+	// Replay under a wedge watchdog: the run must terminate on its own
+	// inside the timeout, deadlines and degrade paths doing their job.
+	rep := newReplayer(nodes, inj, *plan, cfg, tr)
+	done := make(chan struct{})
+	start := time.Now()
+	go func() { rep.run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout):
+		res.Inv.Wedged = true
+	}
+	res.Elapsed = time.Since(start)
+	rep.closeClients()
+
+	var unexpectedN int
+	res.Requests, res.Reads, res.ReadHits, res.Writes, res.Redials,
+		res.Inv.DataMismatches, res.Inv.InjectedErrors, res.Inv.TransportErrors,
+		unexpectedN, res.Inv.UnexpectedErrors = rep.stats()
+	if unexpectedN > len(res.Inv.UnexpectedErrors) {
+		res.Inv.UnexpectedErrors = append(res.Inv.UnexpectedErrors,
+			fmt.Sprintf("... and %d more", unexpectedN-len(res.Inv.UnexpectedErrors)))
+	}
+
+	// Audit the live cluster before teardown: counters, ledgers,
+	// ownership.
+	res.Close = make(map[lapcache.CloseReason]uint64)
+	for _, m := range nodes {
+		snap := m.Engine.Snapshot()
+		res.Inv.DegradedReads += snap.RemoteFallbacks
+		res.Inv.LinearViolations += snap.LinearViolations
+		for reason, n := range m.Server.CloseCounts() {
+			res.Close[reason] += n
+		}
+		for f, hw := range m.Engine.Ledger().HighWaters() {
+			if hw == 0 {
+				continue
+			}
+			if !m.Node.Owned(f) {
+				res.Inv.NonOwnerDriven = append(res.Inv.NonOwnerDriven,
+					fmt.Sprintf("file %d on non-owner %s (hw=%d)", f, m.Addr, hw))
+			}
+			if hw > res.Inv.MaxOwnerHW {
+				res.Inv.MaxOwnerHW = hw
+			}
+		}
+	}
+	sort.Strings(res.Inv.NonOwnerDriven)
+
+	// Teardown, then the leak audit: with servers drained, engines
+	// stopped and caches cleared, every Get has seen its final Release.
+	stop()
+	stopped = true
+	for _, m := range nodes {
+		res.Inv.DrainedBufs += m.Engine.DrainCache()
+		res.Inv.BufLive += m.Engine.BufLive()
+	}
+
+	res.Injected = inj.Total()
+	res.Report = inj.Report()
+	res.Inv.UnselectedObserved = unselectedObserved(res.Report, selected)
+	return res, nil
+}
+
+// oracleCheck verifies data against the deterministic fill pattern,
+// returning the index of the first corrupt byte or -1. Every block of
+// every file always reads back as FillPattern(b): never-written blocks
+// synthesize it and replayed writes carry nil payloads, which the
+// server materializes as the same pattern.
+func oracleCheck(f blockdev.FileID, start blockdev.BlockNo, blockSize int, data []byte) int {
+	want := make([]byte, blockSize)
+	for i := 0; i*blockSize < len(data); i++ {
+		b := blockdev.BlockID{File: f, Block: start + blockdev.BlockNo(i)}
+		lapcache.FillPattern(b, want)
+		chunk := data[i*blockSize:]
+		if len(chunk) > blockSize {
+			chunk = chunk[:blockSize]
+		}
+		for j := range chunk {
+			if chunk[j] != want[j] {
+				return i*blockSize + j
+			}
+		}
+	}
+	return -1
+}

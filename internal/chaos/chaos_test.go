@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// runTiny executes one tiny-scale chaos run and fails the test on
+// harness errors (invariant verdicts are the caller's business).
+func runTiny(t *testing.T, seed uint64) Result {
+	t.Helper()
+	res, err := Run(Config{Seed: seed, Charisma: experiment.TinyScale().Charisma})
+	if err != nil {
+		t.Fatalf("chaos run (seed %d): %v", seed, err)
+	}
+	return res
+}
+
+// TestChaosAcceptance is the headline run: a 3-node cluster replaying
+// a CHARISMA trace under the default fault plan must hold every
+// invariant with a substantial injected-fault count — the ISSUE's
+// >=500 floor, with margin.
+func TestChaosAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-node cluster")
+	}
+	res := runTiny(t, 1)
+	if err := res.Inv.Check(); err != nil {
+		t.Fatalf("invariants violated:\n%v\nfull result:\n%s", err, res.String())
+	}
+	if res.Injected < 500 {
+		t.Errorf("only %d faults injected, want >= 500 for a meaningful run", res.Injected)
+	}
+	if res.Inv.DegradedReads == 0 {
+		t.Error("no degraded reads: peer faults never drove the fallback path")
+	}
+	if res.Inv.InjectedErrors == 0 {
+		t.Error("no injected error ever surfaced to a client")
+	}
+	if res.Requests == 0 || res.Reads == 0 || res.Writes == 0 {
+		t.Errorf("replay moved no traffic: %+v", res)
+	}
+}
+
+// TestChaosSeedReproducibility: the selection digest is a pure
+// function of (seed, trace, topology) — identical across runs of the
+// same seed, different across seeds — and every observed fault falls
+// inside the enumerated selected set both times.
+func TestChaosSeedReproducibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 3-node clusters")
+	}
+	a := runTiny(t, 5)
+	b := runTiny(t, 5)
+	if a.PlanDigest != b.PlanDigest {
+		t.Errorf("same seed, different plan digests: %016x vs %016x", a.PlanDigest, b.PlanDigest)
+	}
+	if len(a.Inv.UnselectedObserved) != 0 || len(b.Inv.UnselectedObserved) != 0 {
+		t.Errorf("observed faults outside the selected set: %v / %v",
+			a.Inv.UnselectedObserved, b.Inv.UnselectedObserved)
+	}
+	c := runTiny(t, 6)
+	if c.PlanDigest == a.PlanDigest {
+		t.Error("different seeds produced the same plan digest")
+	}
+	for _, r := range []Result{a, b, c} {
+		if err := r.Inv.Check(); err != nil {
+			t.Errorf("seed %d: %v", r.Seed, err)
+		}
+	}
+}
+
+// TestInvariantsCheck: the verdict function flags each violation class
+// and stays quiet on a clean result.
+func TestInvariantsCheck(t *testing.T) {
+	clean := Invariants{MaxOwnerHW: 1, InjectedErrors: 10}
+	if err := clean.Check(); err != nil {
+		t.Errorf("clean invariants flagged: %v", err)
+	}
+	bad := Invariants{
+		MaxOwnerHW:         3,
+		NonOwnerDriven:     []string{"n2 file 9"},
+		LinearViolations:   2,
+		BufLive:            4,
+		DataMismatches:     1,
+		UnexpectedErrors:   []string{"read f3: boom"},
+		UnselectedObserved: []string{"0|store.read|store@n0 f1:2"},
+		Wedged:             true,
+	}
+	err := bad.Check()
+	if err == nil {
+		t.Fatal("violated invariants passed Check")
+	}
+	for _, want := range []string{"high-water", "non-owner", "linear", "leaked", "mismatch", "unexpected", "selected set", "wedged"} {
+		if !contains(err.Error(), want) {
+			t.Errorf("Check verdict misses %q: %v", want, err)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -10,12 +10,36 @@ import (
 
 // LocalNode is one member of an in-process cluster started by
 // StartLocal: a real lapcached stack (engine, TCP server, cluster
-// node) on a loopback port.
+// node) on a loopback port. It remembers enough of its birth
+// configuration to be killed and restarted on the same advertise
+// address — the harness behind owner-failure/owner-return tests.
 type LocalNode struct {
 	Addr   string
+	Index  int
 	Engine *lapcache.Engine
 	Server *lapcache.Server
 	Node   *Node
+
+	addrs []string
+	mkcfg func(i int, addrs []string) lapcache.Config
+	opts  StartLocalOpts
+}
+
+// StartLocalOpts customises StartLocalWith's per-node assembly; the
+// zero value reproduces StartLocal exactly.
+type StartLocalOpts struct {
+	// TweakNode edits node i's cluster config before NewNode — the
+	// fault harness installs DialFunc here to interpose on peer links.
+	TweakNode func(i int, cfg *Config)
+	// TweakServer edits node i's server before it starts serving —
+	// ConnWrap, IdleTimeout, drain tuning.
+	TweakServer func(i int, srv *lapcache.Server)
+	// NoWaitReady returns as soon as every node is serving, without
+	// waiting for the peer mesh: forwards that outrun a dial degrade to
+	// the local store, which is exactly what a fault harness wants to
+	// exercise (under injected dial faults a full mesh may take many
+	// backoff rounds to form).
+	NoWaitReady bool
 }
 
 // StartLocal boots an n-node cooperative cluster inside this process,
@@ -31,6 +55,11 @@ type LocalNode struct {
 // ring is built; then nodes, engines and servers come up, and finally
 // the peer meshes are dialed to readiness.
 func StartLocal(n int, mkcfg func(i int, addrs []string) lapcache.Config) ([]*LocalNode, func(), error) {
+	return StartLocalWith(n, mkcfg, StartLocalOpts{})
+}
+
+// StartLocalWith is StartLocal with per-node assembly hooks.
+func StartLocalWith(n int, mkcfg func(i int, addrs []string) lapcache.Config, opts StartLocalOpts) ([]*LocalNode, func(), error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("cluster: StartLocal needs n > 0")
 	}
@@ -69,37 +98,86 @@ func StartLocal(n int, mkcfg func(i int, addrs []string) lapcache.Config) ([]*Lo
 	}
 
 	for i := 0; i < n; i++ {
-		node, err := NewNode(Config{
-			Self:         addrs[i],
-			Peers:        addrs,
-			PingInterval: 50 * time.Millisecond,
-		})
-		if err != nil {
+		m := &LocalNode{Addr: addrs[i], Index: i, addrs: addrs, mkcfg: mkcfg, opts: opts}
+		if err := m.boot(lns[i]); err != nil {
 			stop()
 			return nil, nil, err
 		}
-		cfg := mkcfg(i, addrs)
-		cfg.Remote = node
-		eng, err := lapcache.New(cfg)
-		if err != nil {
-			node.Close()
-			stop()
-			return nil, nil, err
-		}
-		srv := lapcache.NewServer(eng)
-		srv.Cluster = node
-		nodes = append(nodes, &LocalNode{Addr: addrs[i], Engine: eng, Server: srv, Node: node})
-		go srv.Serve(lns[i]) //nolint:errcheck // exits on Close
+		nodes = append(nodes, m)
 	}
 
 	for _, m := range nodes {
 		m.Node.Start()
 	}
-	for _, m := range nodes {
-		if err := m.Node.WaitReady(5 * time.Second); err != nil {
-			stop()
-			return nil, nil, err
+	if !opts.NoWaitReady {
+		for _, m := range nodes {
+			if err := m.Node.WaitReady(5 * time.Second); err != nil {
+				stop()
+				return nil, nil, err
+			}
 		}
 	}
 	return nodes, stop, nil
+}
+
+// boot assembles this member's stack on ln and starts serving (but
+// does not Start the health loops — StartLocalWith and Restart
+// sequence that themselves).
+func (m *LocalNode) boot(ln net.Listener) error {
+	ncfg := Config{
+		Self:         m.Addr,
+		Peers:        m.addrs,
+		PingInterval: 50 * time.Millisecond,
+	}
+	if m.opts.TweakNode != nil {
+		m.opts.TweakNode(m.Index, &ncfg)
+	}
+	node, err := NewNode(ncfg)
+	if err != nil {
+		return err
+	}
+	cfg := m.mkcfg(m.Index, m.addrs)
+	cfg.Remote = node
+	eng, err := lapcache.New(cfg)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	srv := lapcache.NewServer(eng)
+	srv.Cluster = node
+	if m.opts.TweakServer != nil {
+		m.opts.TweakServer(m.Index, srv)
+	}
+	m.Engine, m.Server, m.Node = eng, srv, node
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	return nil
+}
+
+// Kill tears this member down — server, health loops, engine — while
+// the rest of the cluster keeps running; peers mark it down and
+// degrade its files to their local stores. The fields stay set (their
+// Close/Shutdown are idempotent, so the cluster-wide stop function
+// remains safe); Restart replaces them.
+func (m *LocalNode) Kill() {
+	m.Server.Close()
+	m.Node.Close()
+	m.Engine.Shutdown()
+}
+
+// Restart boots a fresh stack — new engine, server and health loops —
+// on the same advertise address a Kill vacated, then waits for the
+// returned member to see its peers. The surviving nodes' health loops
+// redial it on their own (jittered backoff), so full mesh recovery
+// lags this call by up to one backoff interval.
+func (m *LocalNode) Restart(timeout time.Duration) error {
+	ln, err := net.Listen("tcp", m.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: restart rebind %s: %w", m.Addr, err)
+	}
+	if err := m.boot(ln); err != nil {
+		ln.Close()
+		return err
+	}
+	m.Node.Start()
+	return m.Node.WaitReady(timeout)
 }

@@ -27,12 +27,32 @@ type Config struct {
 	// PingInterval paces the per-peer health loop: how often a live
 	// peer is pinged and how soon a dead one is first re-dialed
 	// (0 = 250ms). Consecutive dial failures back off exponentially
-	// from this interval up to BackoffMax (0 = 4s).
+	// from this interval up to BackoffMax (0 = 4s), with ±25% jitter so
+	// peers that died together do not redial in lockstep; one success
+	// resets the backoff to PingInterval.
 	PingInterval time.Duration
 	BackoffMax   time.Duration
+	// DialFunc overrides how peer pools are dialed (nil =
+	// lapclient.DialPool). The fault-injection harness uses it to
+	// interpose transport faults and injected dial failures on peer
+	// links.
+	DialFunc func(addr string, conns, window int) (*lapclient.Pool, error)
+	// Clock overrides the health loop's timers (nil = real time);
+	// backoff tests drive the loop with a fake clock.
+	Clock Clock
 	// Logf, when non-nil, receives peer up/down transitions.
 	Logf func(format string, args ...any)
 }
+
+// Clock is the slice of time the health loop consumes; tests inject a
+// fake to step backoff schedules without sleeping.
+type Clock interface {
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
 // Node wires one lapcached process into the peer group. It implements
 // lapcache.RemoteFetcher (the engine's forward path) and
@@ -88,6 +108,12 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 4 * time.Second
+	}
+	if cfg.DialFunc == nil {
+		cfg.DialFunc = lapclient.DialPool
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
 	}
 	n := &Node{
 		cfg:   cfg,
@@ -165,20 +191,51 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
-// healthLoop keeps one peer dialed: exponential backoff while down,
-// periodic liveness pings while up.
+// NextBackoff returns the redial delay after `attempt` consecutive
+// dial failures to addr: PingInterval doubled per attempt, capped at
+// BackoffMax, then jittered ±25% by a hash of (addr, attempt). The
+// jitter is deterministic — the same peer retries on the same
+// schedule every run — but decorrelated across peers and attempts, so
+// a cluster-wide outage does not turn recovery into a redial storm.
+// attempt 0 (no failures yet) is PingInterval unjittered: the reset
+// value after a success.
+func (n *Node) NextBackoff(addr string, attempt int) time.Duration {
+	if attempt <= 0 {
+		return n.cfg.PingInterval
+	}
+	b := n.cfg.PingInterval
+	for i := 0; i < attempt && b < n.cfg.BackoffMax; i++ {
+		b *= 2
+	}
+	if b > n.cfg.BackoffMax {
+		b = n.cfg.BackoffMax
+	}
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	h = mix64(h ^ uint64(attempt))
+	// 53 uniform bits → factor in [0.75, 1.25).
+	f := 0.75 + 0.5*float64(h>>11)/float64(1<<53)
+	return time.Duration(float64(b) * f)
+}
+
+// healthLoop keeps one peer dialed: jittered exponential backoff while
+// down, periodic liveness pings while up. One successful dial resets
+// the backoff schedule to PingInterval.
 func (n *Node) healthLoop(p *peer) {
 	defer n.wg.Done()
-	backoff := n.cfg.PingInterval
+	attempt := 0
 	for {
 		p.mu.Lock()
 		live := p.pool != nil && !p.down
 		p.mu.Unlock()
 
 		if live {
-			backoff = n.cfg.PingInterval
+			attempt = 0
 		} else {
-			pool, err := lapclient.DialPool(p.addr, n.cfg.Conns, n.cfg.Window)
+			pool, err := n.cfg.DialFunc(p.addr, n.cfg.Conns, n.cfg.Window)
 			if err == nil {
 				p.mu.Lock()
 				if p.pool != nil {
@@ -189,22 +246,19 @@ func (n *Node) healthLoop(p *peer) {
 				p.lastErr = nil
 				p.mu.Unlock()
 				n.logf("cluster: peer %s up", p.addr)
-				backoff = n.cfg.PingInterval
+				attempt = 0
 			} else {
 				p.mu.Lock()
 				p.lastErr = err
 				p.mu.Unlock()
-				backoff *= 2
-				if backoff > n.cfg.BackoffMax {
-					backoff = n.cfg.BackoffMax
-				}
+				attempt++
 			}
 		}
 
 		select {
 		case <-n.quit:
 			return
-		case <-time.After(backoff):
+		case <-n.cfg.Clock.After(n.NextBackoff(p.addr, attempt)):
 		}
 
 		p.mu.Lock()

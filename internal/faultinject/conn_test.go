@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// frame builds a header-shaped wire frame with a payload.
+func frame(payload []byte) []byte {
+	buf := make([]byte, wire.HeaderSize+len(payload))
+	wire.PutHeader(buf, wire.Header{Op: wire.OpPing, PayloadLen: uint32(len(payload))})
+	copy(buf[wire.HeaderSize:], payload)
+	return buf
+}
+
+// pipeWith returns a faulted client side and the raw server side.
+func pipeWith(t *testing.T, plan Plan) (net.Conn, net.Conn) {
+	t.Helper()
+	in, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return in.WrapConn(a, "peer:n0->n1"), b
+}
+
+// TestConnCorruptFlipsValidatedHeaderByte: a corrupt rule flips the
+// version byte of a frame-shaped write — the receiver's ParseHeader is
+// guaranteed to reject it (detectable, never silent).
+func TestConnCorruptFlipsValidatedHeaderByte(t *testing.T) {
+	c, srv := pipeWith(t, Plan{Rules: []Rule{
+		{Site: SiteConnSend, Kind: KindCorrupt, P: 1, Count: 1},
+	}})
+	f := frame([]byte("hello"))
+	got := make([]byte, len(f))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(srv, got)
+		done <- err
+	}()
+	n, err := c.Write(f)
+	if err != nil || n != len(f) {
+		t.Fatalf("corrupt write: n=%d err=%v; corruption must look like success to the sender", n, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ParseHeader(got); err == nil {
+		t.Error("receiver parsed a corrupted header; the flip missed a validated byte")
+	}
+	if string(got[wire.HeaderSize:]) != "hello" {
+		t.Error("payload should arrive intact; only the header is corrupted")
+	}
+}
+
+// TestConnCorruptLeavesPayloadChunksIntact: non-frame-shaped writes
+// (mid-payload chunks) are delivered untouched even when the rule
+// fires — corrupting them would be silent damage.
+func TestConnCorruptLeavesPayloadChunksIntact(t *testing.T) {
+	c, srv := pipeWith(t, Plan{Rules: []Rule{
+		{Site: SiteConnSend, Kind: KindCorrupt, P: 1},
+	}})
+	chunk := []byte("raw payload bytes, no header")
+	got := make([]byte, len(chunk))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(srv, got)
+		done <- err
+	}()
+	if _, err := c.Write(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(chunk) {
+		t.Error("mid-payload chunk was altered")
+	}
+}
+
+// TestConnPartialTearsMidHeader: a partial rule on a frame-shaped
+// write delivers a strict prefix of the header and severs the
+// connection — unambiguous truncation at the receiver.
+func TestConnPartialTearsMidHeader(t *testing.T) {
+	c, srv := pipeWith(t, Plan{Rules: []Rule{
+		{Site: SiteConnSend, Kind: KindPartial, P: 1, Count: 1},
+	}})
+	f := frame([]byte("payload"))
+	read := make(chan int, 1)
+	go func() {
+		buf := make([]byte, len(f))
+		n, _ := io.ReadAtLeast(srv, buf, 1)
+		// Drain to EOF so we see the total delivered byte count.
+		for {
+			m, err := srv.Read(buf[n:])
+			n += m
+			if err != nil {
+				break
+			}
+		}
+		read <- n
+	}()
+	n, err := c.Write(f)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v, want ErrInjected", err)
+	}
+	if n <= 0 || n >= wire.HeaderSize {
+		t.Errorf("partial write delivered %d bytes, want a strict mid-header prefix", n)
+	}
+	if got := <-read; got != n {
+		t.Errorf("receiver saw %d bytes, sender reported %d", got, n)
+	}
+}
+
+// TestConnRecvDisconnect: a recv error rule severs the connection with
+// the injection marker; subsequent use fails too (the conn is dead).
+func TestConnRecvDisconnect(t *testing.T) {
+	c, srv := pipeWith(t, Plan{Rules: []Rule{
+		{Site: SiteConnRecv, Kind: KindError, P: 1, Count: 1},
+	}})
+	go srv.Write([]byte("x")) //nolint:errcheck // may fail after injected close
+	buf := make([]byte, 1)
+	_, err := c.Read(buf)
+	if err == nil || !strings.Contains(err.Error(), "faultinject") {
+		t.Fatalf("recv err = %v, want injection marker", err)
+	}
+}
+
+// TestConnUnselectedLinkPassesThrough: a rule with a Links selector
+// for another link never touches this one.
+func TestConnUnselectedLinkPassesThrough(t *testing.T) {
+	in, err := New(Plan{Rules: []Rule{
+		{Site: SiteConnSend, Kind: KindError, P: 1, Links: []string{"peer:n2->"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := in.WrapConn(a, "peer:n0->n1")
+	msg := []byte("clean link")
+	got := make([]byte, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(b, got)
+		done <- err
+	}()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Error("unselected link altered data")
+	}
+}

@@ -214,6 +214,33 @@ func (c *blockCache) Len() int {
 	return n
 }
 
+// Clear drops every cached block, releasing the cache's reference to
+// each buffer, and returns how many entries were dropped. It is the
+// teardown half of leak accounting: after Shutdown+Clear the buffer
+// pool's Live count should equal exactly the references still held by
+// in-flight callers (zero once they finish).
+func (c *blockCache) Clear() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		var freed []*blockbuf.Buf
+		for e := sh.lru.Front(); e != nil; e = sh.lru.Front() {
+			sh.lru.Remove(e)
+			delete(sh.blocks, e.id)
+			freed = append(freed, e.buf)
+			e.buf = nil
+			c.entries.Put(e)
+			n++
+		}
+		sh.mu.Unlock()
+		for _, f := range freed {
+			f.Release()
+		}
+	}
+	return n
+}
+
 // UnusedPrefetched counts cached blocks still flagged speculative;
 // end-of-run accounting adds them to the wasted count, mirroring
 // cachesim.UnusedPrefetchedCopies.

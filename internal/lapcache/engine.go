@@ -719,6 +719,7 @@ func (e *Engine) Snapshot() Snapshot {
 	return Snapshot{
 		BufAllocs:            bufAllocs,
 		BufRecycles:          bufRecycles,
+		BufLive:              e.pool.Live(),
 		DemandHits:           e.m.demandHits.Load(),
 		DemandMisses:         e.m.demandMisses.Load(),
 		Writes:               e.m.writes.Load(),
@@ -757,6 +758,22 @@ func (e *Engine) Shutdown() {
 	e.stop.Do(func() { close(e.quit) })
 	e.wg.Wait()
 }
+
+// DrainCache releases every cached block back to the buffer pool and
+// returns how many were dropped. Call it only after Shutdown (and
+// after every server fronting the engine has closed): with the cache
+// emptied and no requests in flight, Pool.Live()==0 — any other value
+// is a leaked or double-held buffer. The chaos harness asserts exactly
+// that after each run.
+func (e *Engine) DrainCache() int { return e.cache.Clear() }
+
+// BufLive reports the buffer pool's live count (see blockbuf.Pool.Live).
+func (e *Engine) BufLive() int64 { return e.pool.Live() }
+
+// SetPoisonBufs switches the engine's buffer pool into poison mode:
+// released buffers are overwritten and verified on recycle, catching
+// writes through stale references (see blockbuf.Pool.SetPoison).
+func (e *Engine) SetPoisonBufs(on bool) { e.pool.SetPoison(on) }
 
 // worker drains the prefetch queue.
 func (e *Engine) worker() {

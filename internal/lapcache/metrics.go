@@ -93,6 +93,10 @@ type Snapshot struct {
 	// all-recycles is the zero-copy data path working as intended.
 	BufAllocs   uint64 `json:"buf_allocs"`
 	BufRecycles uint64 `json:"buf_recycles"`
+	// BufLive is the number of buffers currently out of the pool (Gets
+	// minus final Releases). After Shutdown+DrainCache it must be 0 —
+	// the chaos harness's leak invariant.
+	BufLive int64 `json:"buf_live"`
 
 	// Linearity: the largest number of prefetches ever simultaneously
 	// in flight for any one file — exactly 1 on a linear run.

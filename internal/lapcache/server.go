@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -82,6 +83,36 @@ type ownerPayload struct {
 	Self  bool   `json:"self"`
 }
 
+// CloseReason classifies why one connection's serve loop ended. The
+// distinctions matter under faults: a client cut off in the middle of
+// a frame used to be indistinguishable from one that idled out, which
+// made injected disconnects invisible in drain accounting.
+type CloseReason string
+
+const (
+	// CloseEOF: the client disconnected cleanly at a frame boundary.
+	CloseEOF CloseReason = "eof"
+	// CloseIdle: no request arrived within IdleTimeout (the deadline
+	// fired at a frame boundary).
+	CloseIdle CloseReason = "idle_timeout"
+	// CloseMidFrame: the connection died or stalled out INSIDE a frame
+	// — a truncated header, a payload that never finished, an injected
+	// mid-stream disconnect. Never conflated with CloseIdle: the
+	// client was mid-request, not quiet.
+	CloseMidFrame CloseReason = "mid_frame"
+	// CloseShutdown: the server's drain path retired the connection.
+	CloseShutdown CloseReason = "shutdown"
+	// CloseProtocol: the client sent bytes that do not parse as a
+	// frame (bad version, nonzero reserved byte, oversized payload).
+	CloseProtocol CloseReason = "protocol"
+	// CloseWrite: a response write or flush failed (slow or gone
+	// client).
+	CloseWrite CloseReason = "write_error"
+	// CloseTransport: a non-EOF transport error at a frame boundary
+	// (connection reset between requests).
+	CloseTransport CloseReason = "transport"
+)
+
 // Server fronts an Engine over TCP.
 type Server struct {
 	e *Engine
@@ -100,6 +131,10 @@ type Server struct {
 	// response to flush to a slow client before the write is abandoned
 	// (default 2s).
 	DrainGrace time.Duration
+	// ConnWrap, when non-nil, interposes on every accepted connection
+	// before any protocol traffic; the chaos harness uses it to inject
+	// transport faults on the server side of the wire.
+	ConnWrap func(net.Conn) net.Conn
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -107,15 +142,52 @@ type Server struct {
 	closed  bool
 	closing chan struct{}
 	wg      sync.WaitGroup
+
+	reasonMu sync.Mutex
+	reasons  map[CloseReason]uint64
 }
 
 // NewServer returns a server around e.
 func NewServer(e *Engine) *Server {
-	return &Server{e: e, conns: make(map[net.Conn]struct{}), closing: make(chan struct{})}
+	return &Server{
+		e:       e,
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+		reasons: make(map[CloseReason]uint64),
+	}
 }
 
-// Serve accepts connections on ln until Close. It returns nil after a
-// Close-initiated shutdown and the accept error otherwise.
+// CloseCounts returns how many connections ended for each reason —
+// the drain path's audit trail (tests and the chaos harness assert
+// injected mid-frame disconnects land under CloseMidFrame, not
+// CloseIdle).
+func (s *Server) CloseCounts() map[CloseReason]uint64 {
+	s.reasonMu.Lock()
+	defer s.reasonMu.Unlock()
+	out := make(map[CloseReason]uint64, len(s.reasons))
+	for r, n := range s.reasons {
+		out[r] = n
+	}
+	return out
+}
+
+// noteClose records one connection's close reason.
+func (s *Server) noteClose(r CloseReason) {
+	s.reasonMu.Lock()
+	s.reasons[r]++
+	s.reasonMu.Unlock()
+}
+
+// acceptFailureBudget bounds consecutive accept-loop errors before
+// Serve gives up; transient failures (fd exhaustion, injected
+// listener faults) are retried with backoff instead of killing the
+// server.
+const acceptFailureBudget = 10
+
+// Serve accepts connections on ln until Close. Transient accept
+// errors are retried with capped backoff (up to acceptFailureBudget
+// consecutive failures); it returns nil after a Close-initiated
+// shutdown and the accept error once the retry budget is spent.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -125,6 +197,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	failures := 0
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -134,7 +207,26 @@ func (s *Server) Serve(ln net.Listener) error {
 			if closed {
 				return nil
 			}
-			return err
+			failures++
+			if failures >= acceptFailureBudget {
+				return err
+			}
+			// Back off before retrying; a torn-down listener fails every
+			// retry instantly, so the budget still bounds the loop.
+			backoff := 5 * time.Millisecond << uint(failures)
+			if backoff > 250*time.Millisecond {
+				backoff = 250 * time.Millisecond
+			}
+			select {
+			case <-s.closing:
+				return nil
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		failures = 0
+		if s.ConnWrap != nil {
+			conn = s.ConnWrap(conn)
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -219,7 +311,28 @@ func (s *Server) handle(conn net.Conn) {
 		br:   bufio.NewReaderSize(conn, 64<<10),
 		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
-	h.serveJSON()
+	s.noteClose(h.serveJSON())
+}
+
+// readReason classifies a failed read. midFrame reports the failure
+// happened inside a frame (a partial header, an unfinished payload, a
+// half-sent JSON line): that is always a mid-frame close, never an
+// idle timeout, whatever error the deadline machinery dressed it in.
+func (s *Server) readReason(err error, midFrame bool) CloseReason {
+	if midFrame {
+		return CloseMidFrame
+	}
+	if s.isClosing() {
+		return CloseShutdown
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return CloseIdle
+	}
+	if errors.Is(err, io.EOF) {
+		return CloseEOF
+	}
+	return CloseTransport
 }
 
 // connHandler runs one connection's request loop, starting in JSON
@@ -234,14 +347,16 @@ type connHandler struct {
 // serveJSON is the line-delimited JSON loop. Lines are bounded by
 // wire.MaxFrame (the documented frame cap — the old bufio.Scanner
 // 64 KiB default truncated multi-block WantData reads).
-func (h *connHandler) serveJSON() {
+func (h *connHandler) serveJSON() CloseReason {
 	s := h.s
 	enc := json.NewEncoder(h.bw)
 	for {
 		s.armRead(h.conn)
 		line, err := wire.ReadLine(h.br, wire.MaxFrame)
 		if err != nil {
-			return
+			// A half-sent line (unexpected EOF) is a mid-frame death,
+			// not an idle client.
+			return s.readReason(err, errors.Is(err, io.ErrUnexpectedEOF))
 		}
 		if len(line) == 0 {
 			continue
@@ -262,17 +377,16 @@ func (h *connHandler) serveJSON() {
 			resp = s.dispatch(&req)
 		}
 		if err := enc.Encode(&resp); err != nil {
-			return
+			return CloseWrite
 		}
 		if err := h.bw.Flush(); err != nil {
-			return
+			return CloseWrite
 		}
 		if upgrade {
-			h.serveBinary()
-			return
+			return h.serveBinary()
 		}
 		if s.isClosing() {
-			return
+			return CloseShutdown
 		}
 	}
 }
@@ -281,7 +395,7 @@ func (h *connHandler) serveJSON() {
 // stream block payloads directly from the cache's refcounted buffers
 // into the connection's write buffer — the zero-copy half of the
 // tentpole: no base64, no intermediate concatenation.
-func (h *connHandler) serveBinary() {
+func (h *connHandler) serveBinary() CloseReason {
 	s := h.s
 	var (
 		scratch [wire.HeaderSize]byte
@@ -293,12 +407,21 @@ func (h *connHandler) serveBinary() {
 	}
 	for {
 		s.armRead(h.conn)
-		hd, err := wire.ReadHeader(h.br, scratch[:])
+		// Read the header bytes directly (not wire.ReadHeader) so a
+		// death after SOME header bytes — a truncated frame — is
+		// distinguishable from a death at the frame boundary.
+		n, err := io.ReadFull(h.br, scratch[:])
 		if err != nil {
-			return
+			return s.readReason(err, n > 0)
+		}
+		hd, err := wire.ParseHeader(scratch[:])
+		if err != nil {
+			return CloseProtocol
 		}
 		if payload, err = wire.ReadPayload(h.br, hd, payload); err != nil {
-			return
+			// The header arrived but its payload did not: mid-frame by
+			// definition, whatever the underlying error.
+			return CloseMidFrame
 		}
 		ok := true
 		// Version-skew guard: a structurally sound frame whose op or
@@ -307,10 +430,10 @@ func (h *connHandler) serveBinary() {
 		// the stream stays framed and the client can fall back.
 		if !hd.Op.Known() || !hd.Flags.Known() {
 			if !fail(hd, fmt.Sprintf("unsupported op %s flags %#x", hd.Op, uint8(hd.Flags))) {
-				return
+				return CloseWrite
 			}
 			if err := h.bw.Flush(); err != nil {
-				return
+				return CloseWrite
 			}
 			continue
 		}
@@ -414,13 +537,13 @@ func (h *connHandler) serveBinary() {
 			ok = fail(hd, fmt.Sprintf("unsupported op %s", hd.Op))
 		}
 		if !ok {
-			return
+			return CloseWrite
 		}
 		if err := h.bw.Flush(); err != nil {
-			return
+			return CloseWrite
 		}
 		if s.isClosing() {
-			return
+			return CloseShutdown
 		}
 	}
 }

@@ -1,0 +1,191 @@
+package lapcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// waitClose polls the server's close ledger until reason reaches want
+// or the deadline passes.
+func waitClose(t *testing.T, s *Server, reason CloseReason, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if got := s.CloseCounts()[reason]; got >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("close reason %q never reached %d; ledger: %v", reason, want, s.CloseCounts())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertNoClose fails if the server recorded any of the given reasons.
+func assertNoClose(t *testing.T, s *Server, reasons ...CloseReason) {
+	t.Helper()
+	counts := s.CloseCounts()
+	for _, r := range reasons {
+		if counts[r] != 0 {
+			t.Errorf("close reason %q recorded %d times; ledger: %v", r, counts[r], counts)
+		}
+	}
+}
+
+// TestCloseReasonEOF: a client that finishes its business and hangs up
+// cleanly is an EOF — never an idle-timeout, never a mid-frame tear.
+func TestCloseReasonEOF(t *testing.T) {
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, func(s *Server) { s.IdleTimeout = time.Second })
+
+	c := dialJSON(t, addr)
+	if resp := c.do(t, &WireRequest{Op: "ping"}); !resp.OK {
+		t.Fatalf("ping: %s", resp.Err)
+	}
+	c.conn.Close()
+
+	waitClose(t, srv, CloseEOF, 1)
+	assertNoClose(t, srv, CloseIdle, CloseMidFrame, CloseProtocol, CloseTransport)
+}
+
+// TestCloseReasonMidFrameJSON: a connection that dies with half a
+// request line on the wire is a mid-frame tear — the drain path must
+// name it distinctly, not file it under idle or clean EOF.
+func TestCloseReasonMidFrameJSON(t *testing.T) {
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, func(s *Server) { s.IdleTimeout = time.Second })
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte(`{"op":"pi`)); err != nil { // no newline: half a frame
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	waitClose(t, srv, CloseMidFrame, 1)
+	assertNoClose(t, srv, CloseIdle, CloseEOF)
+}
+
+// TestCloseReasonMidFrameBinary: same contract after the binary
+// upgrade — a partial frame header followed by disconnect is
+// mid-frame, and a torn payload after a complete header is too.
+func TestCloseReasonMidFrameBinary(t *testing.T) {
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, nil)
+
+	upgrade := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		enc := json.NewEncoder(conn)
+		if err := enc.Encode(&WireRequest{Op: "upgrade", Proto: wire.ProtoBinary}); err != nil {
+			t.Fatal(err)
+		}
+		line, err := wire.ReadLine(br, wire.MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp WireResponse
+		if err := json.Unmarshal(line, &resp); err != nil || !resp.OK {
+			t.Fatalf("upgrade refused: %v %q", err, resp.Err)
+		}
+		return conn, br
+	}
+
+	// Half a header, then the connection dies.
+	conn, _ := upgrade()
+	var hdr [wire.HeaderSize]byte
+	wire.PutHeader(hdr[:], wire.Header{Op: wire.OpPing})
+	if _, err := conn.Write(hdr[:wire.HeaderSize/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitClose(t, srv, CloseMidFrame, 1)
+
+	// A complete header promising a payload that never arrives.
+	conn2, _ := upgrade()
+	wire.PutHeader(hdr[:], wire.Header{Op: wire.OpWrite, Size: 1, PayloadLen: 128})
+	if _, err := conn2.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+	waitClose(t, srv, CloseMidFrame, 2)
+
+	assertNoClose(t, srv, CloseIdle, CloseTransport)
+}
+
+// TestCloseReasonIdleVsEOF: the idle reaper files its kills under
+// idle-timeout, and ONLY the quiet connection lands there.
+func TestCloseReasonIdleVsEOF(t *testing.T) {
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, func(s *Server) { s.IdleTimeout = 80 * time.Millisecond })
+
+	quiet, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiet.Close()
+
+	waitClose(t, srv, CloseIdle, 1)
+	assertNoClose(t, srv, CloseMidFrame, CloseEOF, CloseTransport)
+}
+
+// TestCloseReasonShutdown: connections alive when the server drains
+// are recorded as shutdown, not blamed on the client.
+func TestCloseReasonShutdown(t *testing.T) {
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, nil)
+
+	c := dialJSON(t, addr)
+	if resp := c.do(t, &WireRequest{Op: "ping"}); !resp.OK {
+		t.Fatalf("ping: %s", resp.Err)
+	}
+	srv.Close()
+	waitClose(t, srv, CloseShutdown, 1)
+	assertNoClose(t, srv, CloseMidFrame, CloseEOF, CloseIdle, CloseTransport)
+}
+
+// TestCloseReasonProtocol: a structurally invalid binary header tears
+// the connection as a protocol error, distinct from transport noise.
+func TestCloseReasonProtocol(t *testing.T) {
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: 128, CacheBlocks: 16,
+	}, nil)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(&WireRequest{Op: "upgrade", Proto: wire.ProtoBinary}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadLine(br, wire.MaxFrame); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [wire.HeaderSize]byte
+	wire.PutHeader(hdr[:], wire.Header{Op: wire.OpPing})
+	hdr[2] ^= 0x80 // wrong version: ParseHeader must reject
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitClose(t, srv, CloseProtocol, 1)
+	assertNoClose(t, srv, CloseMidFrame, CloseTransport)
+}

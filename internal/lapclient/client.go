@@ -36,11 +36,24 @@ type Client struct {
 	enc  *json.Encoder
 }
 
+// ConnWrap intercepts a freshly dialed connection before any protocol
+// traffic; fault-injection harnesses use it to interpose transport
+// faults. nil means no interposition.
+type ConnWrap func(net.Conn) net.Conn
+
 // Dial connects to a server in the JSON protocol.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, nil)
+}
+
+// DialWith is Dial with a connection interposer (nil = none).
+func DialWith(addr string, wrap ConnWrap) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if wrap != nil {
+		conn = wrap(conn)
 	}
 	return newClient(conn), nil
 }

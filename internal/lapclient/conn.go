@@ -79,7 +79,13 @@ type binResp struct {
 // ErrNoBinary; callers that must work against old servers fall back
 // to Dial.
 func DialConn(addr string, window int) (*Conn, error) {
-	jc, err := Dial(addr)
+	return DialConnWith(addr, window, nil)
+}
+
+// DialConnWith is DialConn with a connection interposer (nil = none),
+// applied before negotiation so faults cover the JSON handshake too.
+func DialConnWith(addr string, window int, wrap ConnWrap) (*Conn, error) {
+	jc, err := DialWith(addr, wrap)
 	if err != nil {
 		return nil, err
 	}

@@ -29,12 +29,18 @@ type Pool struct {
 // per-connection window (0 = DefaultWindow). It fails with ErrNoBinary
 // against a JSON-only server.
 func DialPool(addr string, nconns, window int) (*Pool, error) {
+	return DialPoolWith(addr, nconns, window, nil)
+}
+
+// DialPoolWith is DialPool with a connection interposer applied to
+// every member connection (nil = none).
+func DialPoolWith(addr string, nconns, window int, wrap ConnWrap) (*Pool, error) {
 	if nconns <= 0 {
 		nconns = 4
 	}
 	p := &Pool{conns: make([]*Conn, 0, nconns)}
 	for i := 0; i < nconns; i++ {
-		c, err := DialConn(addr, window)
+		c, err := DialConnWith(addr, window, wrap)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("lapclient: pool conn %d: %w", i, err)
