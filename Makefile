@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check check-runtime check-cluster check-chaos soak vet build test race fuzz bench bench-all report
+.PHONY: check check-runtime check-cluster check-chaos check-load soak vet build test race fuzz bench bench-all report
 
-check: vet build race fuzz check-runtime check-cluster check-chaos
+check: vet build race fuzz check-runtime check-cluster check-chaos check-load
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,15 @@ check-cluster:
 check-chaos:
 	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/chaos/...
 
+# The open-loop load harness under the race detector: generator
+# distribution checks, histogram property tests, the pool-churn
+# no-lost-request regressions, and the 30k-request firehose e2e that
+# asserts zero dropped responses plus the leak/linearity invariants —
+# then a short low-rate lapbench smoke of the real CLI path.
+check-load:
+	$(GO) test -race -count=1 ./internal/loadgen/... ./internal/stats/...
+	$(GO) run ./cmd/lapbench -exp load -load-rates 200,400 -load-dur 1s
+
 # Chaos soak: random seeds in a loop (SOAK_RUNS, default 20). Each run
 # prints its seed up front, so a failure names the exact seed to replay
 # with `go run ./cmd/lapbench -exp chaos -seed N`.
@@ -60,6 +69,7 @@ fuzz:
 	$(GO) test ./internal/workload/ -run FuzzDecode -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run FuzzWireDecode -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster/ -run FuzzRing -fuzz FuzzRing -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stats/ -run FuzzHistogramRecord -fuzz FuzzHistogramRecord -fuzztime $(FUZZTIME)
 
 # The runtime micro-benchmarks: engine demand-read paths and the JSON
 # vs binary wire comparison (BENCH_wire.json), and the cooperative
@@ -75,6 +85,11 @@ bench:
 		-description "One 8 KiB block with data per read over loopback TCP: a block cached on the contacted node (localHit), a local miss forwarded to the ring owner holding it in memory (remoteHit, two wire hops), and the same miss against a backing store with a disk-like 2 ms access and no peer tier (localDisk)." \
 		-command "make bench" \
 		-notes "The paper's premise measured end to end: the remote memory hit is two orders of magnitude faster than the local disk read it replaces. remoteHit runs on a live 3-node cluster (cluster.StartLocal) with the contacted node's cache shrunk to 4 blocks so every read forwards."
+	$(GO) run ./cmd/lapbench -exp load -load-bench -load-rates 500,1000,2000,4000,8000,16000 -load-dur 1s | \
+		$(GO) run ./cmd/benchfmt -benchmark BenchmarkLoad -o BENCH_load.json \
+		-description "Open-loop throughput-vs-latency sweep against one in-process lapcached node: Poisson arrivals at each offered rate for 1s of virtual time, Zipf(1.1) popularity over 64 files, 4-block spans, latencies measured from each request's scheduled arrival (coordinated-omission corrected) into an HDR-style histogram." \
+		-command "make bench" \
+		-notes "req_per_s is achieved completion rate at that offered rate; p50/p99/p999 are end-to-end latency from scheduled arrival. BenchmarkLoadKnee marks the first swept rate past the knee criterion (p99 > 8x baseline or achieved < 0.9x offered). The sweep runs warm: each rate reuses the cache state the previous rates built."
 
 # Every benchmark in the repo, including the paper-figure regenerators
 # (minutes of simulation work).

@@ -29,6 +29,12 @@ type result struct {
 	MBPerS     float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp int64   `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+	// Load-harness units (lapbench -exp load -load-bench): achieved
+	// throughput and the latency tail quantiles per offered rate.
+	ReqPerS float64 `json:"req_per_s,omitempty"`
+	P50Ns   int64   `json:"p50_ns,omitempty"`
+	P99Ns   int64   `json:"p99_ns,omitempty"`
+	P999Ns  int64   `json:"p999_ns,omitempty"`
 }
 
 type record struct {
@@ -133,6 +139,14 @@ func parseLine(line string) (result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		case "req/s":
+			r.ReqPerS = v
+		case "p50-ns":
+			r.P50Ns = int64(v)
+		case "p99-ns":
+			r.P99Ns = int64(v)
+		case "p999-ns":
+			r.P999Ns = int64(v)
 		}
 	}
 	return r, r.NsPerOp > 0

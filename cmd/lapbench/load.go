@@ -1,0 +1,188 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/lapcache"
+	"repro/internal/loadgen"
+)
+
+// The -exp load knobs. They only matter when -exp load is selected,
+// so they live here rather than crowding main's flag block.
+var (
+	loadNodes   = flag.Int("load-nodes", 1, "nodes in the in-process target (1 = standalone, N = cooperative mesh)")
+	loadRates   = flag.String("load-rates", "500,1000,2000,4000,8000", "comma-separated offered rates (req/s), swept in order")
+	loadDur     = flag.Duration("load-dur", 2*time.Second, "virtual duration per swept rate")
+	loadArrival = flag.String("load-arrival", "poisson", "arrival process: poisson or fixed")
+	loadZipf    = flag.Float64("load-zipf", 1.1, "Zipf popularity exponent over the file population")
+	loadFiles   = flag.Int("load-files", 64, "file population size")
+	loadBlocks  = flag.Int("load-file-blocks", 256, "per-file length in blocks")
+	loadSpan    = flag.Int("load-span", 4, "blocks per request")
+	loadWrites  = flag.Float64("load-write-frac", 0, "fraction of requests that are writes")
+	loadCache   = flag.Int("load-cache", 8192, "per-node cache size in blocks")
+	loadConns   = flag.Int("load-conns", 4, "client connections per node")
+	loadWindow  = flag.Int("load-window", 0, "per-connection in-flight window (0 = client default)")
+	loadDeadln  = flag.Duration("load-deadline", 0, "per-request latency deadline (0 = none)")
+	loadChurn   = flag.Duration("load-churn", 0, "force-rotate one pool connection per interval (0 = off)")
+	loadFlash   = flag.String("load-flash", "", "hot-key flash crowd as start,end,share fractions (e.g. 0.3,0.5,0.8)")
+	loadHerd    = flag.String("load-herd", "", "cold-key thundering herd as atfrac,burst (e.g. 0.5,256)")
+	loadBench   = flag.Bool("load-bench", false, "emit go-bench-style result lines on stdout (tables go to stderr) for benchfmt")
+)
+
+// runLoad drives the open-loop harness at a live in-process target and
+// prints the throughput-vs-latency knee curve. With -load-bench the
+// per-rate results also come out as benchmark lines, which is how
+// `make bench` gets BENCH_load.json.
+func runLoad(seed uint64) error {
+	rates, err := parseRates(*loadRates)
+	if err != nil {
+		return err
+	}
+	arrival, err := loadgen.ParseArrival(*loadArrival)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		Seed:          seed,
+		Rate:          rates[0], // RunSweep overrides per point
+		Requests:      1,
+		Arrival:       arrival,
+		Files:         *loadFiles,
+		FileBlocks:    blockdev.BlockNo(*loadBlocks),
+		ZipfS:         *loadZipf,
+		SpanBlocks:    int32(*loadSpan),
+		WriteFraction: *loadWrites,
+	}
+	if cfg.Flash, err = parseFlash(*loadFlash); err != nil {
+		return err
+	}
+	if cfg.Herd, err = parseHerd(*loadHerd); err != nil {
+		return err
+	}
+	// Probe build: validates the config and materializes the file table
+	// the servers need before any real schedule exists.
+	probe, err := loadgen.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *loadBench {
+		out = os.Stderr
+	}
+
+	mkcfg := func(i int, addrs []string) lapcache.Config {
+		return lapcache.Config{
+			Alg:          core.SpecLnAgrISPPM1,
+			BlockSize:    512,
+			CacheBlocks:  *loadCache,
+			Workers:      8,
+			QueueLen:     128,
+			FileBlocks:   probe.FileTable,
+			StrictLinear: true,
+			Store:        lapcache.NewMemStore(512, 0),
+		}
+	}
+	var addrs []string
+	if *loadNodes <= 1 {
+		eng, err := lapcache.New(mkcfg(0, nil))
+		if err != nil {
+			return err
+		}
+		srv := lapcache.NewServer(eng)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln) //nolint:errcheck // exits on Close
+		defer func() {
+			srv.Close()
+			eng.Shutdown()
+		}()
+		addrs = []string{ln.Addr().String()}
+	} else {
+		nodes, stop, err := cluster.StartLocal(*loadNodes, mkcfg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		addrs = make([]string, len(nodes))
+		for i, m := range nodes {
+			addrs[i] = m.Addr
+		}
+	}
+
+	fmt.Fprintf(out, "load: %d node(s), arrival=%s zipf=%g files=%d span=%d writes=%g seed=%d\n",
+		len(addrs), arrival, *loadZipf, *loadFiles, *loadSpan, *loadWrites, seed)
+	rc := loadgen.RunConfig{
+		Addrs:      addrs,
+		Conns:      *loadConns,
+		Window:     *loadWindow,
+		Deadline:   *loadDeadln,
+		ChurnEvery: *loadChurn,
+	}
+	sw, err := loadgen.RunSweep(cfg, rates, *loadDur, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, sw.Table())
+
+	if *loadBench {
+		prefix := fmt.Sprintf("BenchmarkLoad/nodes=%d/arrival=%s", len(addrs), arrival)
+		for _, p := range sw.Points {
+			r := p.Res
+			fmt.Printf("%s/rate=%.0f %d %.1f ns/op %.1f req/s %d p50-ns %d p99-ns %d p999-ns\n",
+				prefix, p.Rate, r.Issued, r.Hist.Mean(), r.Achieved,
+				r.Hist.Quantile(0.50), r.Hist.Quantile(0.99), r.Hist.Quantile(0.999))
+		}
+		if sw.Knee >= 0 {
+			k := sw.Points[sw.Knee]
+			fmt.Printf("BenchmarkLoadKnee/nodes=%d/arrival=%s %d %.1f ns/op %.0f req/s %d p99-ns\n",
+				len(addrs), arrival, k.Res.Issued, k.Res.Hist.Mean(), k.Rate, k.Res.Hist.Quantile(0.99))
+		}
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("lapbench: bad rate %q in -load-rates", part)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+func parseFlash(s string) (*loadgen.FlashCrowd, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var f loadgen.FlashCrowd
+	if _, err := fmt.Sscanf(s, "%g,%g,%g", &f.StartFrac, &f.EndFrac, &f.Share); err != nil {
+		return nil, fmt.Errorf("lapbench: -load-flash wants start,end,share fractions: %v", err)
+	}
+	return &f, nil
+}
+
+func parseHerd(s string) (*loadgen.Herd, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var h loadgen.Herd
+	if _, err := fmt.Sscanf(s, "%g,%d", &h.AtFrac, &h.Burst); err != nil {
+		return nil, fmt.Errorf("lapbench: -load-herd wants atfrac,burst: %v", err)
+	}
+	return &h, nil
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/lapcache"
@@ -17,6 +18,24 @@ import (
 
 // ErrNoBinary reports a server that only speaks the JSON protocol.
 var ErrNoBinary = errors.New("lapclient: server does not speak the binary protocol")
+
+// ErrDeadline reports an async request whose per-request deadline
+// expired before the response frame arrived. The request is still on
+// the wire — its in-flight window slot is held until the response (or
+// the connection's death) retires it — so a deadline is a latency
+// verdict, not a cancellation.
+var ErrDeadline = errors.New("lapclient: request deadline exceeded")
+
+// notSentError marks an async failure that happened before the
+// request reached the wire: the connection died while the call was
+// queued for a window slot, or the frame write itself failed. The
+// server never saw a complete frame, so a pool may re-issue the
+// request on another connection without spending its mid-flight retry
+// budget — the request consumed no wire resources.
+type notSentError struct{ err error }
+
+func (e *notSentError) Error() string { return e.err.Error() }
+func (e *notSentError) Unwrap() error { return e.err }
 
 // ServerError is an error frame (or JSON error response) from the
 // server: the request was delivered and the server refused it. Every
@@ -61,9 +80,22 @@ type Conn struct {
 // payload length matches, the reader lands the payload directly into
 // the caller's buffers — the zero-copy half of peer forwarding: block
 // bytes go socket → blockbuf with no intermediate allocation.
+//
+// Synchronous callers wait on ch. Asynchronous callers (the open-loop
+// load path) set cb instead: the reader goroutine invokes it on
+// completion, and an optional deadline timer may invoke it early with
+// ErrDeadline — done arbitrates so exactly one of them fires the
+// callback. The in-flight window slot of a cb call is released only
+// when the call leaves the pending map (response delivered or the
+// connection failed), never by the deadline: a timed-out request is
+// still occupying the wire.
 type pendingCall struct {
 	ch   chan binResp
 	dsts [][]byte
+
+	cb    func(binResp, error)
+	timer *time.Timer
+	done  atomic.Bool
 }
 
 // binResp is one matched response frame.
@@ -162,11 +194,41 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 			resp.payload, err = wire.ReadPayload(br, h, nil)
 		}
 		if err != nil {
-			c.fail(fmt.Errorf("lapclient: connection lost: %w", err))
+			// The current call has already left the pending map, so fail's
+			// sweep cannot reach it — deliver its error explicitly.
+			lost := fmt.Errorf("lapclient: connection lost: %w", err)
+			c.fail(lost)
+			c.deliver(call, binResp{}, lost)
 			return
 		}
-		call.ch <- resp
+		c.deliver(call, resp, nil)
 	}
+}
+
+// deliver completes one call that has been removed from the pending
+// map: the sync path hands the response (or closes the channel) to the
+// waiter, the async path stops the deadline timer, fires the callback
+// if the deadline hasn't already, and releases the window slot the
+// issue path acquired.
+func (c *Conn) deliver(call *pendingCall, resp binResp, err error) {
+	if call.cb == nil {
+		if err != nil {
+			close(call.ch)
+		} else {
+			call.ch <- resp
+		}
+		return
+	}
+	if call.timer != nil {
+		call.timer.Stop()
+	}
+	if call.done.CompareAndSwap(false, true) {
+		if err == nil && resp.h.Flags&wire.FlagOK == 0 {
+			err = &ServerError{Op: resp.h.Op, Msg: string(resp.payload)}
+		}
+		call.cb(resp, err)
+	}
+	<-c.window
 }
 
 // payloadLen sums the destination buffer lengths.
@@ -190,7 +252,7 @@ func (c *Conn) fail(err error) {
 	c.pmu.Unlock()
 	c.conn.Close()
 	for _, call := range pending {
-		close(call.ch)
+		c.deliver(call, binResp{}, err)
 	}
 }
 
@@ -260,6 +322,114 @@ func (c *Conn) err() error {
 		return c.readErr
 	}
 	return errors.New("lapclient: connection closed")
+}
+
+// issueAsync puts one request on the wire without blocking the caller
+// on the response: cb fires later from the reader goroutine (or the
+// deadline timer). The caller's goroutine never waits on a round trip
+// — when the in-flight window is full, the send itself is queued on a
+// spawned goroutine, so an open-loop generator's dispatch clock is
+// never backpressured into a closed loop. cb must be quick (it runs on
+// the connection's reader goroutine) and is invoked exactly once.
+func (c *Conn) issueAsync(h wire.Header, payload []byte, deadline time.Duration, cb func(binResp, error)) {
+	call := &pendingCall{cb: cb}
+	select {
+	case c.window <- struct{}{}:
+		c.startAsync(h, payload, deadline, call)
+	case <-c.dead:
+		c.abortAsync(call, c.err())
+	default:
+		go func() {
+			select {
+			case c.window <- struct{}{}:
+				c.startAsync(h, payload, deadline, call)
+			case <-c.dead:
+				c.abortAsync(call, c.err())
+			}
+		}()
+	}
+}
+
+// abortAsync fails a call that never made it onto the wire; the error
+// is marked notSentError so pools can re-issue it for free.
+func (c *Conn) abortAsync(call *pendingCall, err error) {
+	if call.done.CompareAndSwap(false, true) {
+		call.cb(binResp{}, &notSentError{err: err})
+	}
+}
+
+// startAsync registers and writes an async call; its window slot is
+// already held and is released by deliver (or here, when the frame
+// never makes it onto the wire).
+func (c *Conn) startAsync(h wire.Header, payload []byte, deadline time.Duration, call *pendingCall) {
+	h.Seq = c.seq.Add(1)
+	c.pmu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.pmu.Unlock()
+		<-c.window
+		c.abortAsync(call, err)
+		return
+	}
+	c.pending[h.Seq] = call
+	c.pmu.Unlock()
+
+	if deadline > 0 {
+		call.timer = time.AfterFunc(deadline, func() {
+			if call.done.CompareAndSwap(false, true) {
+				call.cb(binResp{}, ErrDeadline)
+			}
+		})
+	}
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.bw, h, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		// Undo the registration — but a concurrent fail may have swapped
+		// the pending map and delivered (and released the slot) already;
+		// only the side that removes the call retires it.
+		c.pmu.Lock()
+		_, mine := c.pending[h.Seq]
+		delete(c.pending, h.Seq)
+		c.pmu.Unlock()
+		if mine {
+			if call.timer != nil {
+				call.timer.Stop()
+			}
+			<-c.window
+			c.abortAsync(call, err)
+		}
+	}
+}
+
+// ReadAsync issues a read open-loop: it returns once the request is on
+// (or queued for) the wire, and cb fires with the outcome — hit on
+// success, ErrDeadline if the response misses the deadline (0 = none),
+// a *ServerError on refusal, or a transport error. data is only
+// captured when wantData is set.
+func (c *Conn) ReadAsync(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool, deadline time.Duration, cb func(data []byte, hit bool, err error)) {
+	h := wire.Header{Op: wire.OpRead, File: int32(f), Offset: int32(off), Size: nblocks}
+	if wantData {
+		h.Flags = wire.FlagWantData
+	}
+	c.issueAsync(h, nil, deadline, func(resp binResp, err error) {
+		if err != nil {
+			cb(nil, false, err)
+			return
+		}
+		cb(resp.payload, resp.h.Flags&wire.FlagHit != 0, nil)
+	})
+}
+
+// WriteAsync issues a write open-loop; nil data writes the
+// deterministic fill pattern server-side.
+func (c *Conn) WriteAsync(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte, deadline time.Duration, cb func(err error)) {
+	h := wire.Header{Op: wire.OpWrite, File: int32(f), Offset: int32(off), Size: nblocks}
+	c.issueAsync(h, data, deadline, func(resp binResp, err error) { cb(err) })
 }
 
 // Ping re-queries the server over the binary protocol.

@@ -3,7 +3,9 @@ package lapclient
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/lapcache"
@@ -12,17 +14,39 @@ import (
 // ErrNoLiveConn reports that every connection in a pool is dead.
 var ErrNoLiveConn = errors.New("lapclient: no live connection in pool")
 
+// ErrPoolClosed reports an operation on a closed pool.
+var ErrPoolClosed = errors.New("lapclient: pool closed")
+
 // Pool is a fixed set of pipelined binary connections fronting one
 // server. Calls are spread round-robin across the connections; each
 // connection multiplexes its callers through the in-flight window.
-// A connection whose reader has died is skipped — the pool degrades
-// from N connections to however many survive, and only errors with
-// ErrNoLiveConn once none do. Safe for concurrent use — the replayer
-// shares one Pool across every process goroutine, and the cluster
-// layer keeps one per peer.
+//
+// The pool survives connection churn. A connection whose reader has
+// died is skipped on pick, and a request that fails with a transport
+// error — the connection died under it mid-flight — is re-issued on a
+// surviving connection, up to one attempt per pool slot, so churn
+// costs latency rather than losing the request. (Re-issue is safe
+// because every op is idempotent: reads don't mutate, writes install
+// the same bytes, closes park a chain that re-parks harmlessly.)
+// Server refusals (*ServerError) are never retried: the server
+// answered. Redial replaces dead connections with fresh dials, and
+// ChurnOne force-rotates a live one — the load harness's
+// connection-churn scenario. Only once every slot is dead and redial
+// is not used does the pool error with ErrNoLiveConn.
+//
+// Safe for concurrent use — the replayer shares one Pool across every
+// process goroutine, and the cluster layer keeps one per peer.
 type Pool struct {
-	conns []*Conn
+	addr   string
+	window int
+	wrap   ConnWrap
+
+	conns []atomic.Pointer[Conn]
 	next  atomic.Uint32
+	churn atomic.Uint32
+
+	mu     sync.Mutex // serializes Redial/ChurnOne slot replacement and Close
+	closed bool
 }
 
 // DialPool opens nconns binary connections (0 = 4) with the given
@@ -38,25 +62,44 @@ func DialPoolWith(addr string, nconns, window int, wrap ConnWrap) (*Pool, error)
 	if nconns <= 0 {
 		nconns = 4
 	}
-	p := &Pool{conns: make([]*Conn, 0, nconns)}
+	p := &Pool{addr: addr, window: window, wrap: wrap, conns: make([]atomic.Pointer[Conn], nconns)}
 	for i := 0; i < nconns; i++ {
 		c, err := DialConnWith(addr, window, wrap)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("lapclient: pool conn %d: %w", i, err)
 		}
-		p.conns = append(p.conns, c)
+		p.conns[i].Store(c)
 	}
 	return p, nil
 }
 
-// Info returns the server self-description from negotiation.
-func (p *Pool) Info() PingInfo { return p.conns[0].Info() }
+// conn returns slot i's current connection (may be nil after a failed
+// redial); tests reach individual members through it.
+func (p *Pool) conn(i int) *Conn { return p.conns[i].Load() }
+
+// Size returns the number of connection slots.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Info returns the server self-description from negotiation (from the
+// first live connection).
+func (p *Pool) Info() PingInfo {
+	for i := range p.conns {
+		if c := p.conns[i].Load(); c != nil {
+			return c.Info()
+		}
+	}
+	return PingInfo{}
+}
 
 // Close tears down every connection.
 func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
 	var first error
-	for _, c := range p.conns {
+	for i := range p.conns {
+		c := p.conns[i].Load()
 		if c == nil {
 			continue
 		}
@@ -70,104 +113,233 @@ func (p *Pool) Close() error {
 // Live returns how many connections can still carry requests.
 func (p *Pool) Live() int {
 	n := 0
-	for _, c := range p.conns {
-		if !c.Dead() {
+	for i := range p.conns {
+		if c := p.conns[i].Load(); c != nil && !c.Dead() {
 			n++
 		}
 	}
 	return n
 }
 
+// Redial replaces every dead (or empty) slot with a fresh connection,
+// returning how many were replaced. Slots whose dial fails stay dead;
+// the first dial error is reported alongside the count so a caller can
+// keep churning against a flapping server.
+func (p *Pool) Redial() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrPoolClosed
+	}
+	replaced := 0
+	var firstErr error
+	for i := range p.conns {
+		old := p.conns[i].Load()
+		if old != nil && !old.Dead() {
+			continue
+		}
+		nc, err := DialConnWith(p.addr, p.window, p.wrap)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p.conns[i].Store(nc)
+		if old != nil {
+			old.Close()
+		}
+		replaced++
+	}
+	return replaced, firstErr
+}
+
+// ChurnOne force-rotates one slot: it dials a replacement first, swaps
+// it in, then closes the old connection — in-flight requests on the
+// victim fail over to surviving slots through the pool's retry. The
+// load harness's connection-churn scenario calls this on a timer.
+func (p *Pool) ChurnOne() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	i := int(p.churn.Add(1)-1) % len(p.conns)
+	nc, err := DialConnWith(p.addr, p.window, p.wrap)
+	if err != nil {
+		return err
+	}
+	old := p.conns[i].Swap(nc)
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
 // pick selects the next live connection round-robin, skipping
 // connections whose peer has torn them down.
 func (p *Pool) pick() (*Conn, error) {
-	n := len(p.conns)
-	start := int(p.next.Add(1))
-	for i := 0; i < n; i++ {
-		if c := p.conns[(start+i)%n]; !c.Dead() {
+	n := uint32(len(p.conns))
+	start := p.next.Add(1)
+	for i := uint32(0); i < n; i++ {
+		if c := p.conns[(start+i)%n].Load(); c != nil && !c.Dead() {
 			return c, nil
 		}
 	}
 	return nil, ErrNoLiveConn
 }
 
-// Ping re-queries the server over the binary protocol.
-func (p *Pool) Ping() (PingInfo, error) {
-	c, err := p.pick()
-	if err != nil {
-		return PingInfo{}, err
+// retriable reports an error worth re-issuing on another connection: a
+// transport failure, where the server never answered. Refusals and
+// deadline verdicts are final.
+func retriable(err error) bool {
+	var se *ServerError
+	return !errors.As(err, &se) && !errors.Is(err, ErrDeadline)
+}
+
+// withConn runs fn against picked connections, re-issuing on transport
+// errors until the per-request budget (one attempt per slot, plus the
+// first) is spent.
+func (p *Pool) withConn(fn func(*Conn) error) error {
+	var last error
+	for attempt := 0; attempt <= len(p.conns); attempt++ {
+		c, err := p.pick()
+		if err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		if err := fn(c); err == nil || !retriable(err) {
+			return err
+		} else {
+			last = err
+		}
 	}
-	return c.Ping()
+	return last
+}
+
+// Ping re-queries the server over the binary protocol.
+func (p *Pool) Ping() (info PingInfo, err error) {
+	err = p.withConn(func(c *Conn) (e error) { info, e = c.Ping(); return })
+	return
 }
 
 // Read requests nblocks blocks of f starting at block off.
-func (p *Pool) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) ([]byte, bool, error) {
-	c, err := p.pick()
-	if err != nil {
-		return nil, false, err
-	}
-	return c.Read(f, off, nblocks, wantData)
+func (p *Pool) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool) (data []byte, hit bool, err error) {
+	err = p.withConn(func(c *Conn) (e error) { data, hit, e = c.Read(f, off, nblocks, wantData); return })
+	return
 }
 
 // ReadPeer forwards a peer read, landing block payloads in dsts.
-func (p *Pool) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (bool, error) {
-	c, err := p.pick()
-	if err != nil {
-		return false, err
-	}
-	return c.ReadPeer(f, off, nblocks, dsts)
+func (p *Pool) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit bool, err error) {
+	err = p.withConn(func(c *Conn) (e error) { hit, e = c.ReadPeer(f, off, nblocks, dsts); return })
+	return
 }
 
 // Write sends nblocks blocks starting at off.
 func (p *Pool) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
-	c, err := p.pick()
-	if err != nil {
-		return err
-	}
-	return c.Write(f, off, nblocks, data)
+	return p.withConn(func(c *Conn) error { return c.Write(f, off, nblocks, data) })
 }
 
 // WritePeer forwards a peer write.
 func (p *Pool) WritePeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
-	c, err := p.pick()
-	if err != nil {
-		return err
-	}
-	return c.WritePeer(f, off, nblocks, data)
+	return p.withConn(func(c *Conn) error { return c.WritePeer(f, off, nblocks, data) })
 }
 
 // CloseFile tells the server this client is done with f for now.
 func (p *Pool) CloseFile(f blockdev.FileID) error {
-	c, err := p.pick()
-	if err != nil {
-		return err
-	}
-	return c.CloseFile(f)
+	return p.withConn(func(c *Conn) error { return c.CloseFile(f) })
 }
 
 // ClosePeer forwards a peer close.
 func (p *Pool) ClosePeer(f blockdev.FileID) error {
-	c, err := p.pick()
-	if err != nil {
-		return err
-	}
-	return c.ClosePeer(f)
+	return p.withConn(func(c *Conn) error { return c.ClosePeer(f) })
 }
 
 // Owner asks a clustered server which node owns f on the ring.
-func (p *Pool) Owner(f blockdev.FileID) (string, bool, error) {
-	c, err := p.pick()
-	if err != nil {
-		return "", false, err
-	}
-	return c.Owner(f)
+func (p *Pool) Owner(f blockdev.FileID) (addr string, self bool, err error) {
+	err = p.withConn(func(c *Conn) (e error) { addr, self, e = c.Owner(f); return })
+	return
 }
 
 // Stats fetches the server's counter snapshot.
-func (p *Pool) Stats() (lapcache.Snapshot, error) {
+func (p *Pool) Stats() (snap lapcache.Snapshot, err error) {
+	err = p.withConn(func(c *Conn) (e error) { snap, e = c.Stats(); return })
+	return
+}
+
+// ReadAsync issues an open-loop read through the pool: it returns once
+// the request is on (or queued for) the wire, and cb fires exactly
+// once with the outcome. Transport failures re-issue on another
+// connection (fresh deadline per attempt, one attempt per slot);
+// ErrDeadline and server refusals are final. cb runs on a connection
+// reader goroutine — keep it quick.
+func (p *Pool) ReadAsync(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool, deadline time.Duration, cb func(hit bool, err error)) {
+	p.readAsyncAttempt(f, off, nblocks, wantData, deadline, p.asyncBudget(), cb)
+}
+
+func (p *Pool) readAsyncAttempt(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, wantData bool, deadline time.Duration, budget int, cb func(hit bool, err error)) {
 	c, err := p.pick()
 	if err != nil {
-		return lapcache.Snapshot{}, err
+		cb(false, err)
+		return
 	}
-	return c.Stats()
+	c.ReadAsync(f, off, nblocks, wantData, deadline, func(_ []byte, hit bool, err error) {
+		if next, ok := p.nextBudget(err, budget); ok {
+			p.readAsyncAttempt(f, off, nblocks, wantData, deadline, next, cb)
+			return
+		}
+		cb(hit, err)
+	})
+}
+
+// asyncBudget is the mid-flight retry allowance for async requests.
+// It is deliberately generous — under sustained churn a long-lived
+// request can be caught on a dying connection several times over, and
+// each catch is the churner's fault, not the request's. Termination
+// does not depend on it: once every slot is dead, pick fails the
+// request immediately.
+func (p *Pool) asyncBudget() int { return 4*len(p.conns) + 4 }
+
+// nextBudget decides whether an async failure is re-issued and with
+// what remaining budget. A request that never reached the wire
+// (notSentError — it died queued for a window slot, or its frame write
+// failed) retries for free: it consumed nothing, and each retry
+// re-picks round-robin so a burst queued behind a dying connection
+// drains onto survivors however many churn. Mid-flight transport
+// failures spend the budget. Refusals and deadline verdicts are final.
+func (p *Pool) nextBudget(err error, budget int) (int, bool) {
+	if err == nil || !retriable(err) {
+		return 0, false
+	}
+	var ns *notSentError
+	if errors.As(err, &ns) {
+		return budget, true
+	}
+	if budget > 0 {
+		return budget - 1, true
+	}
+	return 0, false
+}
+
+// WriteAsync issues an open-loop write through the pool, with the same
+// completion and retry contract as ReadAsync.
+func (p *Pool) WriteAsync(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte, deadline time.Duration, cb func(err error)) {
+	p.writeAsyncAttempt(f, off, nblocks, data, deadline, p.asyncBudget(), cb)
+}
+
+func (p *Pool) writeAsyncAttempt(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte, deadline time.Duration, budget int, cb func(err error)) {
+	c, err := p.pick()
+	if err != nil {
+		cb(err)
+		return
+	}
+	c.WriteAsync(f, off, nblocks, data, deadline, func(err error) {
+		if next, ok := p.nextBudget(err, budget); ok {
+			p.writeAsyncAttempt(f, off, nblocks, data, deadline, next, cb)
+			return
+		}
+		cb(err)
+	})
 }

@@ -1,0 +1,274 @@
+// Package loadgen is the open-loop load harness: it generates a
+// request schedule the way production traffic arrives — on its own
+// clock, indifferent to how fast the server answers — and fires it at
+// a live lapcached node or cluster over the binary wire protocol.
+//
+// The distinction from the trace replayer (lapclient.ReplayTrace)
+// matters for every latency claim this repo makes. The replayer is
+// closed-loop: each traced process waits for its response before
+// issuing the next request, so when the server slows down the offered
+// load politely slows down with it and queueing collapse is invisible.
+// An open-loop generator keeps sending at the configured rate; the
+// latency distribution then includes the queueing delay a saturated
+// server inflicts, which is what a production SLO sees. Latencies are
+// measured from each request's *scheduled* arrival on the virtual
+// clock, not from the moment the generator got around to sending it —
+// the standard correction for coordinated omission.
+//
+// The schedule itself is a pure function of Config (seeded PCG
+// streams, no wall clock), so a run is reproducible request for
+// request: same seed, same files, same offsets, same virtual arrival
+// times.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Arrival selects the inter-arrival process.
+type Arrival int
+
+const (
+	// ArrivalPoisson draws exponential gaps around the configured rate
+	// — memoryless arrivals, the usual open-traffic model and the one
+	// that exposes burst-queueing behaviour.
+	ArrivalPoisson Arrival = iota
+	// ArrivalFixed spaces requests exactly 1/rate apart — a metronome,
+	// useful for isolating the server's intrinsic latency curve from
+	// arrival burstiness.
+	ArrivalFixed
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalFixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("arrival(%d)", int(a))
+}
+
+// ParseArrival maps a flag string to an Arrival.
+func ParseArrival(s string) (Arrival, error) {
+	switch s {
+	case "poisson":
+		return ArrivalPoisson, nil
+	case "fixed":
+		return ArrivalFixed, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown arrival process %q (want poisson or fixed)", s)
+}
+
+// FlashCrowd redirects a share of requests inside a window of the
+// schedule onto the single hottest key — the "everyone loads the same
+// page" event. Fractions are of the schedule's request index, not
+// wall time, so the event scales with the run length.
+type FlashCrowd struct {
+	StartFrac float64 // window start as a fraction of requests, [0, 1)
+	EndFrac   float64 // window end, (StartFrac, 1]
+	Share     float64 // probability a window request hits the hot key
+}
+
+// Herd injects a thundering herd: Burst requests all scheduled at the
+// same virtual instant, every one a read of block 0 of a cold file no
+// other request touches — the worst case for demand-fetch dedup
+// (singleflight) and the prefetcher's cold-start path.
+type Herd struct {
+	AtFrac float64 // position in the schedule, [0, 1]
+	Burst  int
+}
+
+// Config parameterizes a schedule. The zero value is not runnable;
+// see Defaults for the knobs Build fills in.
+type Config struct {
+	Seed uint64
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// Requests is the schedule length (scenario bursts add to it).
+	Requests int
+	// Arrival is the inter-arrival process.
+	Arrival Arrival
+	// Files is the key population size; popularity is Zipf over it,
+	// file ID 1 hottest.
+	Files int
+	// FileBlocks is every file's length in blocks.
+	FileBlocks blockdev.BlockNo
+	// ZipfS is the Zipf exponent (default 1.1 — the web/CDN-ish skew
+	// of the PPE workload family).
+	ZipfS float64
+	// SpanBlocks is the number of blocks per request (default 4).
+	// Requests to one file walk it sequentially in SpanBlocks strides,
+	// wrapping at FileBlocks: Zipf popularity across files, linear
+	// runs within a file — skewed traffic the linear-aggressive
+	// prefetcher can still chew on.
+	SpanBlocks int32
+	// WriteFraction makes this share of requests writes (default 0).
+	WriteFraction float64
+	// Flash, when non-nil, adds a hot-key flash crowd.
+	Flash *FlashCrowd
+	// Herd, when non-nil, adds a cold-key thundering herd.
+	Herd *Herd
+}
+
+// withDefaults returns cfg with unset knobs filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Files <= 0 {
+		cfg.Files = 512
+	}
+	if cfg.FileBlocks <= 0 {
+		cfg.FileBlocks = 2048
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.SpanBlocks <= 0 {
+		cfg.SpanBlocks = 4
+	}
+	return cfg
+}
+
+// Request is one scheduled arrival.
+type Request struct {
+	// At is the virtual arrival offset from the run's start.
+	At time.Duration
+	// Write marks a write (nil payload: the server's fill pattern).
+	Write bool
+	File  blockdev.FileID
+	Off   blockdev.BlockNo
+	// Blocks is the span length.
+	Blocks int32
+}
+
+// Schedule is a fully materialized open-loop run: every request with
+// its virtual arrival time, plus the file table a server needs to
+// clip prefetch chains at end of file.
+type Schedule struct {
+	Cfg  Config // post-defaults
+	Reqs []Request
+	// FileTable maps every file the schedule can touch (including the
+	// herd's cold file) to its length — hand it to
+	// lapcache.Config.FileBlocks.
+	FileTable map[blockdev.FileID]blockdev.BlockNo
+}
+
+// Duration returns the virtual length of the schedule: the last
+// arrival offset.
+func (s *Schedule) Duration() time.Duration {
+	if len(s.Reqs) == 0 {
+		return 0
+	}
+	return s.Reqs[len(s.Reqs)-1].At
+}
+
+// herdFile returns the cold file ID the herd targets: one past the
+// population, untouched by the Zipf stream.
+func (cfg Config) herdFile() blockdev.FileID { return blockdev.FileID(cfg.Files + 1) }
+
+// Build materializes the schedule for cfg. It is deterministic: two
+// calls with equal Configs return identical schedules.
+func Build(cfg Config) (*Schedule, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: requests must be positive, got %d", cfg.Requests)
+	}
+	if cfg.WriteFraction < 0 || cfg.WriteFraction > 1 {
+		return nil, fmt.Errorf("loadgen: write fraction %v outside [0, 1]", cfg.WriteFraction)
+	}
+	if blockdev.BlockNo(cfg.SpanBlocks) > cfg.FileBlocks {
+		return nil, fmt.Errorf("loadgen: span of %d blocks exceeds file length %d", cfg.SpanBlocks, cfg.FileBlocks)
+	}
+	if f := cfg.Flash; f != nil {
+		if f.StartFrac < 0 || f.EndFrac > 1 || f.StartFrac >= f.EndFrac || f.Share < 0 || f.Share > 1 {
+			return nil, fmt.Errorf("loadgen: bad flash crowd %+v", *f)
+		}
+	}
+	if h := cfg.Herd; h != nil {
+		if h.AtFrac < 0 || h.AtFrac > 1 || h.Burst <= 0 {
+			return nil, fmt.Errorf("loadgen: bad herd %+v", *h)
+		}
+	}
+
+	// Independent streams per concern: adding or removing a scenario
+	// knob must not shift the draws of the others, so a flash-crowd A/B
+	// pair shares its baseline request stream.
+	root := sim.NewRNG(cfg.Seed)
+	arrivalRNG := root.Split()
+	fileRNG := root.Split()
+	opRNG := root.Split()
+	flashRNG := root.Split()
+
+	zipf := sim.NewZipfTable(cfg.Files, cfg.ZipfS)
+	gap := 1 / cfg.Rate // seconds
+
+	sched := &Schedule{
+		Cfg:       cfg,
+		Reqs:      make([]Request, 0, cfg.Requests),
+		FileTable: make(map[blockdev.FileID]blockdev.BlockNo, cfg.Files+1),
+	}
+	for f := 1; f <= cfg.Files; f++ {
+		sched.FileTable[blockdev.FileID(f)] = cfg.FileBlocks
+	}
+	sched.FileTable[cfg.herdFile()] = cfg.FileBlocks
+
+	cursors := make([]blockdev.BlockNo, cfg.Files+2) // per-file sequential cursor
+	herdAt := -1
+	if cfg.Herd != nil {
+		herdAt = int(cfg.Herd.AtFrac * float64(cfg.Requests-1))
+	}
+
+	var clock float64 // seconds on the virtual arrival clock
+	for i := 0; i < cfg.Requests; i++ {
+		switch cfg.Arrival {
+		case ArrivalFixed:
+			clock = float64(i) * gap
+		default:
+			if i > 0 {
+				clock += arrivalRNG.Exp(gap)
+			}
+		}
+		at := time.Duration(clock * float64(time.Second))
+
+		if i == herdAt {
+			// The herd lands as one simultaneous wavefront ahead of the
+			// regular request at this slot.
+			for b := 0; b < cfg.Herd.Burst; b++ {
+				sched.Reqs = append(sched.Reqs, Request{
+					At: at, File: cfg.herdFile(), Off: 0, Blocks: cfg.SpanBlocks,
+				})
+			}
+		}
+
+		// The Zipf draw happens unconditionally so the baseline stream
+		// stays aligned when a flash crowd overrides some picks — the
+		// A/B independence TestScenarioIndependence pins.
+		file := blockdev.FileID(1 + zipf.Sample(fileRNG))
+		frac := float64(i) / float64(cfg.Requests)
+		if f := cfg.Flash; f != nil && frac >= f.StartFrac && frac < f.EndFrac && flashRNG.Bool(f.Share) {
+			file = 1 // the hottest key
+		}
+
+		off := cursors[file]
+		next := off + blockdev.BlockNo(cfg.SpanBlocks)
+		if next+blockdev.BlockNo(cfg.SpanBlocks) > cfg.FileBlocks {
+			next = 0 // wrap before a span would run off the end
+		}
+		cursors[file] = next
+
+		sched.Reqs = append(sched.Reqs, Request{
+			At:     at,
+			Write:  cfg.WriteFraction > 0 && opRNG.Bool(cfg.WriteFraction),
+			File:   file,
+			Off:    off,
+			Blocks: cfg.SpanBlocks,
+		})
+	}
+	return sched, nil
+}

