@@ -70,10 +70,13 @@ fuzz:
 	$(GO) test ./internal/wire/ -run FuzzWireDecode -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster/ -run FuzzRing -fuzz FuzzRing -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats/ -run FuzzHistogramRecord -fuzz FuzzHistogramRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/membership/ -run FuzzMembershipDecode -fuzz FuzzMembershipDecode -fuzztime $(FUZZTIME)
 
 # The runtime micro-benchmarks: engine demand-read paths and the JSON
-# vs binary wire comparison (BENCH_wire.json), and the cooperative
-# tier's local-hit / remote-hit / local-disk ladder (BENCH_cluster.json).
+# vs binary wire comparison (BENCH_wire.json), the cooperative tier's
+# local-hit / remote-hit / local-disk ladder (BENCH_cluster.json), and
+# the dynamic-membership tier's owner-death ladder plus the budgeted
+# rebalancer (BENCH_membership.json).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLapcacheGet|BenchmarkWireRoundTrip' -benchmem . | \
 		$(GO) run ./cmd/benchfmt -benchmark "BenchmarkLapcacheGet + BenchmarkWireRoundTrip" -o BENCH_wire.json \
@@ -85,6 +88,12 @@ bench:
 		-description "One 8 KiB block with data per read over loopback TCP: a block cached on the contacted node (localHit), a local miss forwarded to the ring owner holding it in memory (remoteHit, two wire hops), and the same miss against a backing store with a disk-like 2 ms access and no peer tier (localDisk)." \
 		-command "make bench" \
 		-notes "The paper's premise measured end to end: the remote memory hit is two orders of magnitude faster than the local disk read it replaces. remoteHit runs on a live 3-node cluster (cluster.StartLocal) with the contacted node's cache shrunk to 4 blocks so every read forwards."
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMembership/(replicaHit|diskDegrade)' -benchtime 200x -benchmem .; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMembership/handoff' -benchtime 1x -benchmem .; } | \
+		$(GO) run ./cmd/benchfmt -benchmark BenchmarkMembership -o BENCH_membership.json \
+		-description "Owner death on a live 3-node dynamic-membership cluster (SWIM gossip, 300 ms suspicion): one 8 KiB block per read of files whose ring owner was just killed. replicaHit runs R=2 — the moved arc lands on the successor already holding the replica in memory; diskDegrade runs R=1 — the new owner has nothing and pays the 2 ms store access. handoff seeds a survivor's cache with foreign blocks and measures the post-rejoin rebalancing sweep against a 1 MiB/s byte budget." \
+		-command "make bench" \
+		-notes "replicaHit vs diskDegrade is the replication claim end to end: owner death costs a memory hit, not a disk read. blocks-moved/s is measured from the rejoin to handoff quiescence; at 8 KiB blocks the 1 MiB/s budget is 128 blocks/s, and the measured rate must sit at (never materially above) that ceiling — the bound that keeps rebalancing from starving foreground traffic."
 	$(GO) run ./cmd/lapbench -exp load -load-bench -load-rates 500,1000,2000,4000,8000,16000 -load-dur 1s | \
 		$(GO) run ./cmd/benchfmt -benchmark BenchmarkLoad -o BENCH_load.json \
 		-description "Open-loop throughput-vs-latency sweep against one in-process lapcached node: Poisson arrivals at each offered rate for 1s of virtual time, Zipf(1.1) popularity over 64 files, 4-block spans, latencies measured from each request's scheduled arrival (coordinated-omission corrected) into an HDR-style histogram." \

@@ -484,6 +484,196 @@ func BenchmarkClusterRead(b *testing.B) {
 	})
 }
 
+// bootChurnBench boots a 3-node dynamic-membership cluster with the
+// given replica count, handoff budget and a disk-like 2 ms store,
+// writes hot blocks of one file, kills the file's ring owner, and
+// waits for the survivors to convict it and move the ring. It returns
+// the survivors' view: the file, a connection to a survivor, the node
+// list, and the killed node's index.
+func bootChurnBench(b *testing.B, replicas, hot int, bps int64) (blockdev.FileID, *lapclient.Conn, []*cluster.LocalNode, int) {
+	b.Helper()
+	const blockSize = 8192
+	nodes, stop, err := cluster.StartLocalWith(3,
+		func(i int, addrs []string) lapcache.Config {
+			return lapcache.Config{
+				Alg:         core.SpecNP,
+				BlockSize:   blockSize,
+				CacheBlocks: 4 * hot,
+				Store:       lapcache.NewMemStore(blockSize, 2*time.Millisecond),
+			}
+		},
+		cluster.StartLocalOpts{TweakNode: func(i int, cfg *cluster.Config) {
+			cfg.Dynamic = true
+			for _, a := range cfg.Peers {
+				if a != cfg.Self {
+					cfg.Join = append(cfg.Join, a)
+				}
+			}
+			cfg.Replicas = replicas
+			cfg.GossipInterval = 20 * time.Millisecond
+			cfg.SuspicionTimeout = 300 * time.Millisecond
+			cfg.HandoffBps = bps
+			cfg.PeerCallTimeout = time.Second
+		}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(stop)
+
+	const f = blockdev.FileID(1)
+	victim := -1
+	for i, m := range nodes {
+		if m.Node.Owned(f) {
+			victim = i
+		}
+	}
+	survivor := (victim + 1) % 3
+	c, err := lapclient.DialConn(nodes[survivor].Addr, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	for off := 0; off < hot; off += 8 {
+		if err := c.Write(f, blockdev.BlockNo(off), 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	nodes[victim].Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for i, m := range nodes {
+			if i != victim && len(m.Node.MemberAddrs()) != 2 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("survivors never convicted the killed owner")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return f, c, nodes, victim
+}
+
+// BenchmarkMembership measures what dynamic membership buys and costs.
+// replicaHit reads blocks whose ring owner is dead with R=2: the moved
+// arc lands on the successor already holding the replica in memory.
+// diskDegrade is the same owner death with R=1: the new owner has
+// nothing and pays the 2 ms store access per span — the latency cliff
+// replication removes. handoff measures the bounded-rate rebalancer
+// re-homing cached blocks after a ring move, in blocks-moved/s: with
+// a 1 MiB/s budget and 8 KiB blocks the measured rate must sit near
+// (and never above) 128. BENCH_membership.json records a reference
+// run (make bench).
+func BenchmarkMembership(b *testing.B) {
+	const blockSize = 8192
+	const hot = 256
+	b.Run("replicaHit", func(b *testing.B) {
+		f, c, _, _ := bootChurnBench(b, 2, hot, 8<<20)
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := c.Read(f, blockdev.BlockNo(i%hot), 1, true)
+			if err != nil || !hit || len(data) != blockSize {
+				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			}
+		}
+	})
+	b.Run("diskDegrade", func(b *testing.B) {
+		f, c, _, _ := bootChurnBench(b, 1, hot, 8<<20)
+		b.SetBytes(blockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Read far past the written range so every access misses the
+			// new owner's memory: with R=1 the dead owner's blocks are
+			// simply gone, and the store's 2 ms access is the price.
+			data, _, err := c.Read(f, blockdev.BlockNo(hot+i), 1, true)
+			if err != nil || len(data) != blockSize {
+				b.Fatalf("len=%d err=%v", len(data), err)
+			}
+		}
+	})
+	b.Run("handoff", func(b *testing.B) {
+		const bps = 1 << 20 // 128 blocks/s at 8 KiB
+		var blocks uint64
+		var busy time.Duration
+		for i := 0; i < b.N; i++ {
+			_, _, nodes, victim := bootChurnBench(b, 1, hot, bps)
+			s1 := (victim + 1) % 3
+			// During the dead window, load the survivor's cache with
+			// blocks of files the 2-member ring assigns elsewhere. The
+			// rejoin's ring move can only shift arcs toward the returning
+			// node, so every one of these blocks stays foreign to s1 and
+			// the post-rejoin sweep must push all of them out under the
+			// byte budget.
+			seeded := 0
+			for f := blockdev.FileID(2); seeded < hot/8; f++ {
+				if nodes[s1].Node.Owned(f) {
+					continue
+				}
+				nodes[s1].Engine.Preload(f, 0, 8, false)
+				seeded++
+			}
+			start := time.Now()
+			moved := movedBlocks(nodes)
+			if err := nodes[victim].Restart(10 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+			waitRingSize(b, nodes, 3)
+			// Quiescence: the rebalancer has stopped moving blocks.
+			last, lastChange := movedBlocks(nodes), time.Now()
+			for time.Since(lastChange) < 500*time.Millisecond {
+				time.Sleep(50 * time.Millisecond)
+				if cur := movedBlocks(nodes); cur != last {
+					last, lastChange = cur, time.Now()
+				}
+			}
+			if last == moved {
+				b.Fatal("rejoin moved no handoff blocks")
+			}
+			blocks += last - moved
+			busy += lastChange.Sub(start)
+		}
+		if busy > 0 {
+			b.ReportMetric(float64(blocks)/busy.Seconds(), "blocks-moved/s")
+		}
+	})
+}
+
+// movedBlocks sums handoff block counters across live nodes.
+func movedBlocks(nodes []*cluster.LocalNode) uint64 {
+	var n uint64
+	for _, m := range nodes {
+		n += m.Node.HandoffStats().BlocksMoved
+	}
+	return n
+}
+
+// waitRingSize polls until every node's ring has want members.
+func waitRingSize(b *testing.B, nodes []*cluster.LocalNode, want int) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for _, m := range nodes {
+			if len(m.Node.MemberAddrs()) != want {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("rings never converged to %d members", want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 // BenchmarkAblationNChance sweeps xFS's N-chance recirculation count
 // on the Sprite workload: -1 disables singlet forwarding entirely
 // (every node for itself), showing what cooperation buys.

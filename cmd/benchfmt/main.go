@@ -23,18 +23,21 @@ import (
 )
 
 type result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	MBPerS     float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp int64   `json:"bytes_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 	// Load-harness units (lapbench -exp load -load-bench): achieved
 	// throughput and the latency tail quantiles per offered rate.
 	ReqPerS float64 `json:"req_per_s,omitempty"`
 	P50Ns   int64   `json:"p50_ns,omitempty"`
 	P99Ns   int64   `json:"p99_ns,omitempty"`
 	P999Ns  int64   `json:"p999_ns,omitempty"`
+	// Membership-tier unit (BenchmarkMembership): rebalancing handoff
+	// throughput under its byte budget.
+	BlocksMovedPerS float64 `json:"blocks_moved_per_s,omitempty"`
 }
 
 type record struct {
@@ -147,6 +150,8 @@ func parseLine(line string) (result, bool) {
 			r.P99Ns = int64(v)
 		case "p999-ns":
 			r.P999Ns = int64(v)
+		case "blocks-moved/s":
+			r.BlocksMovedPerS = v
 		}
 	}
 	return r, r.NsPerOp > 0

@@ -9,13 +9,17 @@ import (
 
 // runChaos executes one seeded chaos run: a live 3-node cluster
 // replaying the scale's CHARISMA trace under the default fault plan,
-// with the full invariant audit. The same seed reproduces the same
+// with the full invariant audit. With churn (the default, and what
+// `make soak` exercises) the cluster runs dynamic gossip membership
+// with R=2 replication, and one seed-chosen node is killed mid-replay
+// and rejoins after conviction. The same seed reproduces the same
 // faulted-site set bit for bit (the digest printed in the report), so
 // a failing seed from `make soak` replays here directly.
-func runChaos(scale experiment.Scale, seed uint64) error {
+func runChaos(scale experiment.Scale, seed uint64, churn bool) error {
 	res, err := chaos.Run(chaos.Config{
 		Seed:     seed,
 		Charisma: scale.Charisma,
+		Churn:    churn,
 	})
 	if err != nil {
 		return err

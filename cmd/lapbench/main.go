@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lapbench [-exp all|table1|fig4..fig11|table2|claims|report|ablations|cluster|chaos|load] [-scale full|small|tiny] [-workers N] [-v]
+//	lapbench [-exp all|table1|fig4..fig11|table2|claims|report|ablations|cluster|churn|chaos|load] [-scale full|small|tiny] [-workers N] [-v]
 //
 // Results print as aligned text tables, one per artifact. The full
 // scale regenerates everything EXPERIMENTS.md records and takes a few
@@ -20,12 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, chaos, load")
+	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load")
 	scaleName := flag.String("scale", "full", "experiment scale: full, small, tiny")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-cell diagnostics for the artifact's matrix")
 	format := flag.String("format", "text", "output format for a single figure: text, csv, json")
 	seed := flag.Uint64("seed", 1, "fault-plan and workload seed for -exp chaos and -exp load")
+	churn := flag.Bool("churn", true, "for -exp chaos: dynamic membership with R=2 replication, gossip faults, and a mid-replay node kill + rejoin")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -61,6 +62,9 @@ func main() {
 		fmt.Print(rep.Render())
 	case "cluster":
 		exitOn(runClusterDemo(scale))
+	case "churn":
+		// The kill/join/heal walkthrough runs its own fixed-size fleet.
+		exitOn(runChurnDemo())
 	case "load":
 		// The open-loop harness sizes itself from -load-rates and
 		// -load-dur, not -scale.
@@ -68,7 +72,7 @@ func main() {
 	case "chaos":
 		// Chaos runs at the tiny scale regardless of -scale: the point
 		// is fault density, not workload volume.
-		exitOn(runChaos(experiment.TinyScale(), *seed))
+		exitOn(runChaos(experiment.TinyScale(), *seed, *churn))
 	case "ablations":
 		// The unlimited-aggression variant churns explosively beyond
 		// the tiny scale; ablations always run there.

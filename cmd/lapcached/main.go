@@ -7,6 +7,7 @@
 //	lapcached -addr :7020 -alg Ln_Agr_IS_PPM:3 [-cache-blocks N]
 //	          [-store mem|dir] [-latency 2ms] [-trace FILE] [-strict]
 //	          [-peers a:7020,b:7020,c:7020] [-advertise a:7020]
+//	          [-join a:7020,b:7020] [-dynamic] [-replicas 2] [-handoff-bps N]
 //
 // A -trace file (in tracegen's text format) supplies the file table so
 // prefetch chains clip at each file's real end. -debug-addr exposes
@@ -20,6 +21,14 @@
 // file's prefetch chain, so the linear bound holds cluster-wide.
 // Every member must be started with the same -peers list (order does
 // not matter) and the same -block-size.
+//
+// With -join (or -dynamic for the first node of a fleet), membership
+// is dynamic instead: a SWIM-style gossip detector discovers the
+// fleet, a versioned ring moves ownership on every join and death,
+// writes replicate to the owner's ring successor before the ack
+// (R=2 by default), and background rebalancing pushes moved arcs to
+// their new owners under the -handoff-bps byte budget. Nodes join and
+// die without any restart of the rest of the fleet.
 package main
 
 import (
@@ -59,7 +68,11 @@ func main() {
 		strict      = flag.Bool("strict", false, "panic if a file ever exceeds the linear outstanding limit")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP address for expvar counters (off when empty)")
-		peers       = flag.String("peers", "", "comma-separated cluster membership, self included (empty = single node)")
+		peers       = flag.String("peers", "", "comma-separated static cluster membership, self included (empty = single node)")
+		join        = flag.String("join", "", "comma-separated gossip seeds to join: dynamic membership with replication and rebalancing (empty string alone = first node of a new dynamic fleet with -dynamic)")
+		dynamic     = flag.Bool("dynamic", false, "dynamic membership with no seeds: boot as the first node of a fleet others -join")
+		replicas    = flag.Int("replicas", 0, "ring members holding each block: 1 = owner only, 2 = owner + successor (0 = 1 static, 2 dynamic)")
+		handoffBps  = flag.Int64("handoff-bps", 0, "rebalancing byte budget per second after a ring move (0 = default, negative = unlimited)")
 		advertise   = flag.String("advertise", "", "address peers dial for this node (default -addr)")
 	)
 	flag.Parse()
@@ -121,27 +134,49 @@ func main() {
 	}
 
 	var node *cluster.Node
-	if *peers != "" {
+	if *peers != "" || *join != "" || *dynamic {
 		self := *advertise
 		if self == "" {
 			self = *addr
 		}
-		members := strings.Split(*peers, ",")
-		found := false
-		for i, m := range members {
-			members[i] = strings.TrimSpace(m)
-			if members[i] == self {
-				found = true
+		ccfg := cluster.Config{
+			Self:       self,
+			Dynamic:    *dynamic,
+			Replicas:   *replicas,
+			HandoffBps: *handoffBps,
+			Logf:       log.Printf,
+		}
+		switch {
+		case *join != "" || *dynamic:
+			// Dynamic membership: gossip discovers the fleet, so no
+			// static list is needed (or wanted — a stale one would only
+			// seed the ring with ghosts).
+			if *peers != "" {
+				log.Fatal("-peers is static membership; use -join (or -dynamic) without it")
 			}
+			for _, s := range strings.Split(*join, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					ccfg.Join = append(ccfg.Join, s)
+				}
+			}
+			if len(ccfg.Join) == 0 && !*dynamic {
+				log.Fatal("-join lists no seeds; pass -dynamic to boot a new fleet")
+			}
+		default:
+			members := strings.Split(*peers, ",")
+			found := false
+			for i, m := range members {
+				members[i] = strings.TrimSpace(m)
+				if members[i] == self {
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("-peers %q does not include this node's advertise address %q", *peers, self)
+			}
+			ccfg.Peers = members
 		}
-		if !found {
-			log.Fatalf("-peers %q does not include this node's advertise address %q", *peers, self)
-		}
-		n, err := cluster.NewNode(cluster.Config{
-			Self:  self,
-			Peers: members,
-			Logf:  log.Printf,
-		})
+		n, err := cluster.NewNode(ccfg)
 		if err != nil {
 			log.Fatalf("cluster: %v", err)
 		}

@@ -43,6 +43,34 @@ func TestChaosAcceptance(t *testing.T) {
 	}
 }
 
+// TestChaosChurn is the dynamic-membership headline run: gossip
+// membership with R=2 replication, gossip-datagram faults, and one
+// node killed mid-replay and rejoining after conviction. Every base
+// invariant must still hold, plus the three churn invariants: no
+// replicated-acked write lost to the kill, every ring reconverged
+// after the heal, and handoff traffic inside its byte budget.
+func TestChaosChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-node cluster and churns it")
+	}
+	res, err := Run(Config{Seed: 3, Charisma: experiment.TinyScale().Charisma, Churn: true})
+	if err != nil {
+		t.Fatalf("chaos churn run: %v", err)
+	}
+	if err := res.Inv.Check(); err != nil {
+		t.Fatalf("invariants violated:\n%v\nfull result:\n%s", err, res.String())
+	}
+	if res.Inv.AckedReplicated == 0 {
+		t.Error("no write was ever acked as replicated: the R=2 path never engaged")
+	}
+	if res.Injected < 500 {
+		t.Errorf("only %d faults injected, want >= 500 for a meaningful run", res.Injected)
+	}
+	if res.Requests == 0 || res.Reads == 0 || res.Writes == 0 {
+		t.Errorf("replay moved no traffic: %+v", res)
+	}
+}
+
 // TestChaosSeedReproducibility: the selection digest is a pure
 // function of (seed, trace, topology) — identical across runs of the
 // same seed, different across seeds — and every observed fault falls
@@ -87,12 +115,16 @@ func TestInvariantsCheck(t *testing.T) {
 		UnexpectedErrors:   []string{"read f3: boom"},
 		UnselectedObserved: []string{"0|store.read|store@n0 f1:2"},
 		Wedged:             true,
+		LostAckedWrites:    []string{"f1:2"},
+		Unconverged:        []string{"n0 sees 2/3 members"},
+		HandoffOverBudget:  []string{"n1 moved 9999999 bytes"},
 	}
 	err := bad.Check()
 	if err == nil {
 		t.Fatal("violated invariants passed Check")
 	}
-	for _, want := range []string{"high-water", "non-owner", "linear", "leaked", "mismatch", "unexpected", "selected set", "wedged"} {
+	for _, want := range []string{"high-water", "non-owner", "linear", "leaked", "mismatch", "unexpected",
+		"selected set", "wedged", "lost acked", "converge", "handoff"} {
 		if !contains(err.Error(), want) {
 			t.Errorf("Check verdict misses %q: %v", want, err)
 		}

@@ -63,6 +63,19 @@ func selectedSites(inj *faultinject.Injector, nnodes int, fileBlocks map[blockde
 		add(faultinject.SiteConnRecv, key, link, -1)
 		add(faultinject.SitePeerDial, key, link, -1)
 	}
+	// Gossip links are their own namespace: every directed pair, the
+	// keyspace GossipFault hashes. Enumerated unconditionally — in
+	// static mode no gossip runs, so the entries are selectable but
+	// never observed, which keeps the digest identical across modes.
+	for i := 0; i < nnodes; i++ {
+		for j := 0; j < nnodes; j++ {
+			if i == j {
+				continue
+			}
+			link := fmt.Sprintf("gossip:n%d->n%d", i, j)
+			add(faultinject.SiteGossip, faultinject.LabelKey(link), link, -1)
+		}
+	}
 
 	keys := make([]string, 0, len(sites))
 	for k := range sites {

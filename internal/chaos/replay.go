@@ -3,6 +3,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -110,10 +111,15 @@ type replayer struct {
 	transportErrs int
 	unexpectedN   int
 	unexpected    []string
+	// acked holds every block the cluster acknowledged as replicated
+	// (FlagReplicated: installed on the owner AND its ring successor).
+	// The no-lost-acked-write invariant checks each against the union
+	// of the surviving raw stores after churn.
+	acked map[blockdev.BlockID]struct{}
 }
 
 func newReplayer(nodes []*cluster.LocalNode, inj *faultinject.Injector, plan faultinject.Plan, cfg Config, tr *workload.Trace) *replayer {
-	r := &replayer{tr: tr, blockSize: cfg.BlockSize}
+	r := &replayer{tr: tr, blockSize: cfg.BlockSize, acked: make(map[blockdev.BlockID]struct{})}
 	for _, rule := range plan.Rules {
 		switch rule.Site {
 		case faultinject.SiteConnSend, faultinject.SiteConnRecv, faultinject.SitePeerDial:
@@ -121,6 +127,11 @@ func newReplayer(nodes []*cluster.LocalNode, inj *faultinject.Injector, plan fau
 				r.tolerate = true
 			}
 		}
+	}
+	// Churn kills a node under the replay's feet: torn connections and
+	// refused dials to the victim are part of the schedule, not bugs.
+	if cfg.Churn {
+		r.tolerate = true
 	}
 	for _, m := range nodes {
 		r.clients = append(r.clients, &nodeClient{addr: m.Addr, budget: cfg.RedialBudget})
@@ -164,6 +175,24 @@ func (r *replayer) stats() (requests, reads, hits, writes, redials, mismatches, 
 	defer r.mu.Unlock()
 	return r.requests, r.reads, r.hits, r.writes, r.redials, r.mismatches,
 		r.injectedErrs, r.transportErrs, r.unexpectedN, append([]string(nil), r.unexpected...)
+}
+
+// ackedBlocks returns every replicated-acked block, sorted, for the
+// post-run durability audit.
+func (r *replayer) ackedBlocks() []blockdev.BlockID {
+	r.mu.Lock()
+	out := make([]blockdev.BlockID, 0, len(r.acked))
+	for id := range r.acked {
+		out = append(out, id)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
 }
 
 // isInjected reports whether err is one the plan manufactured. The
@@ -281,11 +310,17 @@ func (r *replayer) issue(pool *lapclient.Pool, s workload.Step) error {
 		}
 		return nil
 	case workload.OpWrite:
-		if err := pool.Write(span.File, span.Start, span.Count, nil); err != nil {
+		replicated, err := pool.WriteChecked(span.File, span.Start, span.Count, nil)
+		if err != nil {
 			return err
 		}
 		r.mu.Lock()
 		r.writes++
+		if replicated {
+			for i := int32(0); i < span.Count; i++ {
+				r.acked[blockdev.BlockID{File: span.File, Block: span.Start + blockdev.BlockNo(i)}] = struct{}{}
+			}
+		}
 		r.mu.Unlock()
 		return nil
 	default: // workload.OpClose

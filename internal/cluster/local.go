@@ -107,7 +107,10 @@ func StartLocalWith(n int, mkcfg func(i int, addrs []string) lapcache.Config, op
 	}
 
 	for _, m := range nodes {
-		m.Node.Start()
+		if err := m.Node.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
 	}
 	if !opts.NoWaitReady {
 		for _, m := range nodes {
@@ -143,6 +146,9 @@ func (m *LocalNode) boot(ln net.Listener) error {
 		node.Close()
 		return err
 	}
+	// Hand the node its engine callbacks before the health and gossip
+	// loops start: the first ring move must already re-probe drivers.
+	node.SetLocal(eng)
 	srv := lapcache.NewServer(eng)
 	srv.Cluster = node
 	if m.opts.TweakServer != nil {
@@ -178,6 +184,8 @@ func (m *LocalNode) Restart(timeout time.Duration) error {
 		ln.Close()
 		return err
 	}
-	m.Node.Start()
+	if err := m.Node.Start(); err != nil {
+		return err
+	}
 	return m.Node.WaitReady(timeout)
 }

@@ -3,11 +3,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/lapclient"
+	"repro/internal/membership"
 )
 
 // Config assembles a cluster node.
@@ -16,8 +19,29 @@ type Config struct {
 	// and the identity the ring hashes. It must appear in Peers (it is
 	// added if missing).
 	Self string
-	// Peers is the full static membership, self included or not.
+	// Peers is the full static membership, self included or not. In
+	// dynamic mode it seeds the initial ring (usually empty: members
+	// arrive by gossip).
 	Peers []string
+	// Join lists gossip seed addresses to contact at start. A non-empty
+	// Join (or Dynamic=true, for the first node of a fleet, which has
+	// nobody to join) switches the node to dynamic membership: a
+	// SWIM-style failure detector (internal/membership) drives the
+	// ring, so joins and deaths move ownership instead of degrading it.
+	Join []string
+	// Dynamic enables dynamic membership even with no seeds.
+	Dynamic bool
+	// Replicas is how many ring members hold each block: 1 = owner
+	// only, 2 = owner plus its ring successor (writes are pushed to
+	// the successor before the ack, and the successor's memory serves
+	// reads while the owner is dead). 0 defaults to 1 in static mode
+	// and 2 in dynamic mode.
+	Replicas int
+	// HandoffBps budgets the background rebalancing pushes after a
+	// ring move, in bytes per second (0 = DefaultHandoffBps, < 0 =
+	// unlimited). The budget is what keeps a join or a death from
+	// starving foreground traffic on the same links.
+	HandoffBps int64
 	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
 	VNodes int
 	// Conns is the connection-pool size per peer (0 = 2); Window the
@@ -32,6 +56,31 @@ type Config struct {
 	// resets the backoff to PingInterval.
 	PingInterval time.Duration
 	BackoffMax   time.Duration
+	// GossipInterval is the failure detector's probe period (0 = the
+	// membership default); SuspicionTimeout how long a silent member
+	// stays Suspect — still owning its arcs — before it is declared
+	// Dead and the ring moves (0 = 8 probe intervals).
+	GossipInterval   time.Duration
+	SuspicionTimeout time.Duration
+	// GossipTransport overrides the gossip datagram transport (nil =
+	// UDP bound to Self's port — UDP and TCP port spaces are disjoint,
+	// so the wire listener and the detector share one advertised
+	// address). Tests inject in-memory fabrics here.
+	GossipTransport membership.Transport
+	// GossipIntercept, when set, is consulted before every gossip send
+	// with the destination address; a non-nil return drops the
+	// datagram. The fault harness scripts partitions through it.
+	GossipIntercept func(to string) error
+	// PeerCallTimeout bounds every synchronous RPC to a peer
+	// (0 = DefaultPeerCallTimeout, < 0 = unbounded). Server handlers
+	// issue nested peer RPCs — forwarding a client write to the owner,
+	// pushing the owner's R=2 copy to its successor — and
+	// per-connection request handling is sequential, so an unbounded
+	// wait lets a cycle of handlers deadlock across nodes while rings
+	// transiently disagree. On expiry the connection is severed and the
+	// call fails like any transport error: the peer degrades to local
+	// service and the health loop redials.
+	PeerCallTimeout time.Duration
 	// DialFunc overrides how peer pools are dialed (nil =
 	// lapclient.DialPool). The fault-injection harness uses it to
 	// interpose transport faults and injected dial failures on peer
@@ -44,6 +93,21 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// DefaultHandoffBps is the rebalancing budget when the caller passes
+// 0: fast enough to drain a test-sized cache in well under a second,
+// slow enough that rebalancing is visibly not a firehose.
+const DefaultHandoffBps = 4 << 20
+
+// DefaultPeerCallTimeout bounds peer RPCs when the caller passes 0:
+// two orders of magnitude above any healthy round trip, far below
+// "operator notices the cluster is wedged".
+const DefaultPeerCallTimeout = 5 * time.Second
+
+// ringHistory bounds how many past rings a node remembers for
+// OwnedEver — enough to cover every move in a chaos run, small enough
+// that a long-lived node does not grow without bound.
+const ringHistory = 64
+
 // Clock is the slice of time the health loop consumes; tests inject a
 // fake to step backoff schedules without sleeping.
 type Clock interface {
@@ -53,6 +117,28 @@ type Clock interface {
 type realClock struct{}
 
 func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// LocalEngine is the slice of the local cache engine the node calls
+// back into: ownership re-probes when the ring (or a peer's
+// reachability) changes, read-repair installs after a replica serves
+// a read, and the block iterator the handoff loop drains. It is
+// implemented by *lapcache.Engine; the interface keeps the import
+// arrow pointing from cluster to lapcache only through lapclient.
+type LocalEngine interface {
+	// OwnershipChanged re-probes every cached ownership decision —
+	// prefetch chains move to the new owner, suspended chains resume.
+	OwnershipChanged()
+	// RepairInstall writes blocks fetched from a replica through to
+	// the local store, restoring two reachable copies.
+	RepairInstall(f blockdev.FileID, off blockdev.BlockNo, srcs [][]byte)
+	// CachedBlockIDs snapshots the identities of every locally cached
+	// block; ReadBlockLocal reads one of them (cache first, then
+	// store) into dst. The handoff loop pairs them to re-home blocks.
+	CachedBlockIDs() []blockdev.BlockID
+	ReadBlockLocal(b blockdev.BlockID, dst []byte) error
+	// BlockSize sizes handoff buffers.
+	BlockSize() int
+}
 
 // Node wires one lapcached process into the peer group. It implements
 // lapcache.RemoteFetcher (the engine's forward path) and
@@ -65,12 +151,32 @@ func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) 
 // forward in flight — marks the peer down on the spot so subsequent
 // forwards degrade to the local store immediately instead of each
 // paying a TCP timeout.
+//
+// The ring is versioned: ringPtr holds the current assignment and
+// epoch counts every change. The epoch moves on a membership-driven
+// ring swap and on a peer recovering from a fault — both are moments
+// the engine's cached ownership decisions may be stale, and the
+// engine re-probes per file when it sees the number move.
 type Node struct {
-	cfg  Config
-	self string
-	ring *Ring
+	cfg      Config
+	self     string
+	dynamic  bool
+	replicas int
 
-	peers map[string]*peer // keyed by advertise address, self excluded
+	ringPtr atomic.Pointer[Ring]
+	epoch   atomic.Uint64
+
+	histMu  sync.Mutex
+	history []*Ring
+
+	peersMu sync.RWMutex
+	peers   map[string]*peer // keyed by advertise address, self excluded
+
+	localMu sync.RWMutex
+	local   LocalEngine
+
+	mship   *membership.Membership
+	handoff *handoff // nil in static mode
 
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -81,6 +187,7 @@ type Node struct {
 // peer is one remote member and its connection state.
 type peer struct {
 	addr string
+	quit chan struct{} // closed when the member leaves the ring
 
 	mu      sync.Mutex
 	pool    *lapclient.Pool // nil while down
@@ -95,6 +202,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: config needs a self address")
 	}
+	dynamic := cfg.Dynamic || len(cfg.Join) > 0
 	members := append([]string{cfg.Self}, cfg.Peers...)
 	ring, err := NewRing(members, cfg.VNodes)
 	if err != nil {
@@ -112,41 +220,111 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.DialFunc == nil {
 		cfg.DialFunc = lapclient.DialPool
 	}
+	if cfg.PeerCallTimeout == 0 {
+		cfg.PeerCallTimeout = DefaultPeerCallTimeout
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
-	n := &Node{
-		cfg:   cfg,
-		self:  cfg.Self,
-		ring:  ring,
-		peers: make(map[string]*peer),
-		quit:  make(chan struct{}),
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		if dynamic {
+			replicas = 2
+		} else {
+			replicas = 1
+		}
 	}
+	bps := cfg.HandoffBps
+	if bps == 0 {
+		bps = DefaultHandoffBps
+	}
+	n := &Node{
+		cfg:      cfg,
+		self:     cfg.Self,
+		dynamic:  dynamic,
+		replicas: replicas,
+		peers:    make(map[string]*peer),
+		quit:     make(chan struct{}),
+	}
+	n.ringPtr.Store(ring)
+	n.epoch.Store(1)
+	n.history = []*Ring{ring}
 	for _, m := range ring.Members() {
 		if m != n.self {
-			n.peers[m] = &peer{addr: m, down: true}
+			n.peers[m] = &peer{addr: m, down: true, quit: make(chan struct{})}
+		}
+	}
+	if dynamic {
+		n.handoff = newHandoff(n, bps)
+		n.mship, err = membership.New(membership.Config{
+			Self:             cfg.Self,
+			Seeds:            cfg.Join,
+			ProbeInterval:    cfg.GossipInterval,
+			SuspicionTimeout: cfg.SuspicionTimeout,
+			Transport:        cfg.GossipTransport,
+			Intercept:        cfg.GossipIntercept,
+			OnUpdate:         n.onMembership,
+			Logf:             cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return n, nil
 }
 
-// Start launches the per-peer health loops. Idempotent-hostile on
+// SetLocal hands the node its engine callbacks. Wire it before Start
+// so the first ring move already re-probes drivers; a node without an
+// engine (tests exercising only routing) skips the callbacks.
+func (n *Node) SetLocal(l LocalEngine) {
+	n.localMu.Lock()
+	n.local = l
+	n.localMu.Unlock()
+}
+
+func (n *Node) localEngine() LocalEngine {
+	n.localMu.RLock()
+	defer n.localMu.RUnlock()
+	return n.local
+}
+
+// Start launches the per-peer health loops, and in dynamic mode the
+// gossip detector and the handoff loop. Idempotent-hostile on
 // purpose: call it exactly once, after the local server is listening.
-func (n *Node) Start() {
+func (n *Node) Start() error {
 	if n.started {
 		panic("cluster: Node.Start called twice")
 	}
 	n.started = true
+	n.peersMu.RLock()
 	for _, p := range n.peers {
 		n.wg.Add(1)
 		go n.healthLoop(p)
 	}
+	n.peersMu.RUnlock()
+	if n.mship != nil {
+		if err := n.mship.Start(); err != nil {
+			return err
+		}
+		n.handoff.start()
+	}
+	return nil
 }
 
-// Close stops the health loops and tears down every peer pool.
+// Close stops the gossip layer, the health loops, and every peer
+// pool. No departure is announced: peers notice the silence, exactly
+// as they would a crash.
 func (n *Node) Close() {
 	n.stop.Do(func() { close(n.quit) })
+	if n.mship != nil {
+		n.mship.Close() //nolint:errcheck // close errors carry nothing actionable
+	}
+	if n.handoff != nil {
+		n.handoff.stop()
+	}
 	n.wg.Wait()
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
 	for _, p := range n.peers {
 		p.mu.Lock()
 		if p.pool != nil {
@@ -158,6 +336,126 @@ func (n *Node) Close() {
 	}
 }
 
+// ring returns the current assignment.
+func (n *Node) ring() *Ring { return n.ringPtr.Load() }
+
+// Epoch implements lapcache.RemoteFetcher: the version of the current
+// ownership assignment, bumped by ring moves and peer recoveries.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// onMembership is the gossip layer's view callback: rebuild the ring
+// from every non-dead member (self always included — a node that
+// hears a stale rumor of its own death keeps serving while the
+// refutation propagates) and swap it in if the set changed. Suspect
+// members keep their arcs: ownership moves on conviction, not on one
+// missed probe.
+func (n *Node) onMembership(v membership.View) {
+	addrs := []string{n.self}
+	for _, m := range v.Members {
+		if m.Addr != n.self {
+			addrs = append(addrs, m.Addr)
+		}
+	}
+	sort.Strings(addrs)
+	cur := n.ring().Members()
+	if equalStrings(addrs, cur) {
+		return
+	}
+	ring, err := NewRing(addrs, n.cfg.VNodes)
+	if err != nil {
+		n.logf("cluster: rejecting membership view: %v", err)
+		return
+	}
+	n.swapRing(ring)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// swapRing installs a new assignment: publish the ring, remember it
+// for OwnedEver, bump the epoch, reconcile the peer set, tell the
+// engine to re-probe, and wake the handoff loop to re-home blocks.
+func (n *Node) swapRing(r *Ring) {
+	n.ringPtr.Store(r)
+	n.histMu.Lock()
+	n.history = append(n.history, r)
+	if len(n.history) > ringHistory {
+		n.history = n.history[len(n.history)-ringHistory:]
+	}
+	n.histMu.Unlock()
+	n.epoch.Add(1)
+	n.syncPeers(r.Members())
+	if l := n.localEngine(); l != nil {
+		l.OwnershipChanged()
+	}
+	if n.handoff != nil {
+		n.handoff.wake()
+	}
+	n.logf("cluster: ring moved to %v (epoch %d)", r.Members(), n.Epoch())
+}
+
+// syncPeers reconciles the peer map with the new member list: new
+// members get a health loop, departed members get their loop stopped
+// and pool closed.
+func (n *Node) syncPeers(members []string) {
+	want := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m != n.self {
+			want[m] = true
+		}
+	}
+	n.peersMu.Lock()
+	var added []*peer
+	for addr := range want {
+		if _, ok := n.peers[addr]; !ok {
+			p := &peer{addr: addr, down: true, quit: make(chan struct{})}
+			n.peers[addr] = p
+			added = append(added, p)
+		}
+	}
+	var removed []*peer
+	for addr, p := range n.peers {
+		if !want[addr] {
+			removed = append(removed, p)
+			delete(n.peers, addr)
+		}
+	}
+	n.peersMu.Unlock()
+	for _, p := range added {
+		if n.started {
+			n.wg.Add(1)
+			go n.healthLoop(p)
+		}
+	}
+	for _, p := range removed {
+		close(p.quit)
+		p.mu.Lock()
+		if p.pool != nil {
+			p.pool.Close()
+			p.pool = nil
+		}
+		p.down = true
+		p.mu.Unlock()
+	}
+}
+
+// peerFor returns the peer entry for addr, if it is a current member.
+func (n *Node) peerFor(addr string) (*peer, bool) {
+	n.peersMu.RLock()
+	p, ok := n.peers[addr]
+	n.peersMu.RUnlock()
+	return p, ok
+}
+
 // WaitReady blocks until every peer is dialed and live, or the
 // timeout passes (error names the stragglers). Tests and the demo use
 // it to sequence startup; production callers can skip it — forwards
@@ -166,6 +464,7 @@ func (n *Node) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		var waiting []string
+		n.peersMu.RLock()
 		for addr, p := range n.peers {
 			p.mu.Lock()
 			ok := p.pool != nil && !p.down
@@ -174,6 +473,7 @@ func (n *Node) WaitReady(timeout time.Duration) error {
 				waiting = append(waiting, addr)
 			}
 		}
+		n.peersMu.RUnlock()
 		if len(waiting) == 0 {
 			return nil
 		}
@@ -237,7 +537,11 @@ func (n *Node) healthLoop(p *peer) {
 		} else {
 			pool, err := n.cfg.DialFunc(p.addr, n.cfg.Conns, n.cfg.Window)
 			if err == nil {
+				if n.cfg.PeerCallTimeout > 0 {
+					pool.SetCallTimeout(n.cfg.PeerCallTimeout)
+				}
 				p.mu.Lock()
+				wasDown := p.down
 				if p.pool != nil {
 					p.pool.Close()
 				}
@@ -247,6 +551,9 @@ func (n *Node) healthLoop(p *peer) {
 				p.mu.Unlock()
 				n.logf("cluster: peer %s up", p.addr)
 				attempt = 0
+				if wasDown {
+					n.peerRecovered()
+				}
 			} else {
 				p.mu.Lock()
 				p.lastErr = err
@@ -257,6 +564,8 @@ func (n *Node) healthLoop(p *peer) {
 
 		select {
 		case <-n.quit:
+			return
+		case <-p.quit:
 			return
 		case <-n.cfg.Clock.After(n.NextBackoff(p.addr, attempt)):
 		}
@@ -269,6 +578,19 @@ func (n *Node) healthLoop(p *peer) {
 				n.fault(p, err)
 			}
 		}
+	}
+}
+
+// peerRecovered marks a reachability change in the owner direction:
+// files that were degrading to the local store because their owner
+// was unreachable must re-probe. Bumping the epoch is what makes the
+// engine's per-file cached verdicts (driver placement, the
+// degrade-to-local decision) stale; the eager sweep resumes any
+// suspended chains without waiting for the next access.
+func (n *Node) peerRecovered() {
+	n.epoch.Add(1)
+	if l := n.localEngine(); l != nil {
+		l.OwnershipChanged()
 	}
 }
 
@@ -316,19 +638,64 @@ func (n *Node) forwardErr(p *peer, err error) (ok bool, out error) {
 // ownerPeer resolves f's owner to its peer entry; ok=false means the
 // owner is this node (callers should not have forwarded) or unknown.
 func (n *Node) ownerPeer(f blockdev.FileID) (*peer, bool) {
-	p := n.peers[n.ring.Owner(f)]
-	return p, p != nil
+	return n.peerFor(n.ring().Owner(f))
+}
+
+// replicaPeer resolves f's R=2 successor to its peer entry; ok=false
+// when replication is off, the ring is too small, or the successor is
+// this node.
+func (n *Node) replicaPeer(f blockdev.FileID) (*peer, bool) {
+	if n.replicas < 2 {
+		return nil, false
+	}
+	owners := n.ring().Owners(f, n.replicas)
+	if len(owners) < 2 {
+		return nil, false
+	}
+	return n.peerFor(owners[1])
 }
 
 // --- lapcache.RemoteFetcher ---
 
 // Owned implements lapcache.RemoteFetcher.
-func (n *Node) Owned(f blockdev.FileID) bool { return n.ring.Owner(f) == n.self }
+func (n *Node) Owned(f blockdev.FileID) bool { return n.ring().Owner(f) == n.self }
+
+// OwnedEver reports whether any ring this node has ever installed
+// assigned f to it. The chaos harness's owner-only audit uses it: a
+// node legitimately accumulates prefetch history for a file it owned
+// under an earlier epoch.
+func (n *Node) OwnedEver(f blockdev.FileID) bool {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	for _, r := range n.history {
+		if r.Owner(f) == n.self {
+			return true
+		}
+	}
+	return false
+}
 
 // FetchSpan implements lapcache.RemoteFetcher: one pipelined
-// peer-flagged read RPC whose payload lands directly in dsts.
+// peer-flagged read RPC whose payload lands directly in dsts. When
+// the owner is unreachable and the tier replicates, the file's ring
+// successor — holding every acked write of f in its memory — serves
+// instead, and the fetched blocks are written through to the local
+// store (read-repair) so the data is two-copy again even with the
+// owner gone.
 func (n *Node) FetchSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit, ok bool, err error) {
-	p, found := n.ownerPeer(f)
+	if p, found := n.ownerPeer(f); found {
+		if pool, up := p.livePool(); up {
+			hit, err = pool.ReadPeer(f, off, nblocks, dsts)
+			if err == nil {
+				return hit, true, nil
+			}
+			if ok, err := n.forwardErr(p, err); ok {
+				return false, ok, err
+			}
+		}
+	}
+	// Owner gone (or was never a peer): try the replica.
+	p, found := n.replicaPeer(f)
 	if !found {
 		return false, false, nil
 	}
@@ -341,23 +708,47 @@ func (n *Node) FetchSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks int32,
 		ok, err := n.forwardErr(p, err)
 		return false, ok, err
 	}
+	if l := n.localEngine(); l != nil {
+		l.RepairInstall(f, off, dsts)
+	}
 	return hit, true, nil
 }
 
 // ForwardWrite implements lapcache.RemoteFetcher.
-func (n *Node) ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (bool, error) {
+func (n *Node) ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (ok, replicated bool, err error) {
 	p, found := n.ownerPeer(f)
 	if !found {
-		return false, nil
+		return false, false, nil
 	}
 	pool, up := p.livePool()
 	if !up {
-		return false, nil
+		return false, false, nil
 	}
-	if err := pool.WritePeer(f, off, nblocks, data); err != nil {
-		return n.forwardErr(p, err)
+	replicated, werr := pool.WritePeerChecked(f, off, nblocks, data)
+	if werr != nil {
+		ok, err := n.forwardErr(p, werr)
+		return ok, false, err
 	}
-	return true, nil
+	return true, replicated, nil
+}
+
+// ReplicateWrite implements lapcache.RemoteFetcher: push the span to
+// f's ring successor as a replica install. Best-effort — a down
+// successor just means the ack goes out without FlagReplicated.
+func (n *Node) ReplicateWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) bool {
+	p, found := n.replicaPeer(f)
+	if !found {
+		return false
+	}
+	pool, up := p.livePool()
+	if !up {
+		return false
+	}
+	if err := pool.WriteReplica(f, off, nblocks, data); err != nil {
+		n.forwardErr(p, err) //nolint:errcheck // best-effort push
+		return false
+	}
+	return true
 }
 
 // ForwardClose implements lapcache.RemoteFetcher.
@@ -383,21 +774,46 @@ func (n *Node) Self() string { return n.self }
 
 // OwnerOf implements lapcache.ClusterInfo.
 func (n *Node) OwnerOf(f blockdev.FileID) (string, bool) {
-	owner := n.ring.Owner(f)
+	owner := n.ring().Owner(f)
 	return owner, owner == n.self
 }
 
 // MemberAddrs implements lapcache.ClusterInfo.
-func (n *Node) MemberAddrs() []string { return n.ring.Members() }
+func (n *Node) MemberAddrs() []string { return n.ring().Members() }
+
+// OwnersOf returns the first k distinct ring members for f — owner
+// first, then replica successors — on the current ring. Tests and the
+// chaos digest use it to reason about placement.
+func (n *Node) OwnersOf(f blockdev.FileID, k int) []string { return n.ring().Owners(f, k) }
 
 // PeerDown reports whether addr is currently marked down (false for
 // self and unknown addresses); tests and the demo read it.
 func (n *Node) PeerDown(addr string) bool {
-	p := n.peers[addr]
-	if p == nil {
+	p, ok := n.peerFor(addr)
+	if !ok {
 		return false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.down
+}
+
+// HandoffStats reports the rebalancing loop's lifetime counters
+// (zeros in static mode).
+func (n *Node) HandoffStats() HandoffStats {
+	if n.handoff == nil {
+		return HandoffStats{}
+	}
+	return n.handoff.stats()
+}
+
+// RunHandoff drains one full rebalancing pass synchronously,
+// respecting the byte/s budget, and reports how many blocks moved.
+// The background loop runs the same pass after every ring move;
+// benchmarks and tests call it directly.
+func (n *Node) RunHandoff() int {
+	if n.handoff == nil {
+		return 0
+	}
+	return n.handoff.runOnce()
 }

@@ -10,11 +10,21 @@
 // the property §4 credits for PAFS beating serverless xFS, whose
 // per-node predictors between them over-prefetch the same file.
 //
-// Membership is static for a run (the paper's cluster is, too):
-// liveness never changes ownership. A dead owner degrades its files
-// to each node's local store — latency, not availability — rather
-// than re-assigning them, because a second node adopting the file's
-// chain is precisely the xFS failure mode the design exists to avoid.
+// Membership comes in two modes. Static (the default, and the paper's
+// own setup): the member list is fixed for the run and liveness never
+// changes ownership — a dead owner degrades its files to each node's
+// local store (latency, not availability), because two nodes adopting
+// one file's chain is precisely the xFS failure mode the design
+// exists to avoid. Dynamic (opt-in via Config.Join/Dynamic): a
+// SWIM-style gossip layer (internal/membership) detects joins and
+// failures and drives a *versioned* ring — ownership moves only when
+// the failure detector convicts a member (suspicion timeout), never
+// on a single missed probe, and every ring version bumps an epoch the
+// engine uses to re-home each file's prefetch chain exactly once. An
+// R=2 replica on the ring successor turns an owner's death from a
+// disk degrade into a remote memory hit, and a bounded-rate handoff
+// loop re-homes cached blocks after each move without flooding the
+// links the workload is still using.
 package cluster
 
 import (
@@ -135,9 +145,54 @@ func (r *Ring) Owner(f blockdev.FileID) string {
 	return r.members[r.points[i].member]
 }
 
+// Owners returns the first n distinct members at or clockwise after
+// f's hash: Owners(f, 2)[0] is the owner, [1] the R=2 replica
+// successor. Fewer than n members yields all of them, owner first.
+func (r *Ring) Owners(f blockdev.FileID, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := fileHash(f)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		pt := r.points[(i+k)%len(r.points)]
+		if !seen[pt.member] {
+			seen[pt.member] = true
+			out = append(out, r.members[pt.member])
+		}
+	}
+	return out
+}
+
 // Members returns the sorted member addresses.
 func (r *Ring) Members() []string {
 	out := make([]string, len(r.members))
 	copy(out, r.members)
+	return out
+}
+
+// Shares returns each member's exact fraction of the hash circle —
+// the sum of the arcs its virtual nodes claim, out of 2^64. This is
+// the stationary distribution of Owner over uniformly hashed files,
+// computed in closed form so balance tests need no sampling.
+func (r *Ring) Shares() map[string]float64 {
+	arcs := make(map[string]uint64, len(r.members))
+	for i, pt := range r.points {
+		// The point at points[i] owns the arc ending at its own hash and
+		// starting just past the previous point's hash (wrapping).
+		var arc uint64
+		if i == 0 {
+			arc = pt.hash + (^uint64(0) - r.points[len(r.points)-1].hash) + 1
+		} else {
+			arc = pt.hash - r.points[i-1].hash
+		}
+		arcs[r.members[pt.member]] += arc
+	}
+	out := make(map[string]float64, len(arcs))
+	for m, a := range arcs {
+		out[m] = float64(a) / float64(1<<63) / 2
+	}
 	return out
 }

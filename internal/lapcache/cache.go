@@ -241,6 +241,24 @@ func (c *blockCache) Clear() int {
 	return n
 }
 
+// BlockIDs snapshots every cached block's identity, shard by shard.
+// The snapshot is taken under each shard's lock in turn, so it is a
+// consistent picture per shard but not across shards — fine for the
+// handoff scan, which tolerates blocks appearing or evicting while it
+// walks.
+func (c *blockCache) BlockIDs() []blockdev.BlockID {
+	out := make([]blockdev.BlockID, 0, c.Len())
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for id := range sh.blocks {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // UnusedPrefetched counts cached blocks still flagged speculative;
 // end-of-run accounting adds them to the wasted count, mirroring
 // cachesim.UnusedPrefetchedCopies.

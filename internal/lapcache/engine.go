@@ -104,16 +104,31 @@ type prefetchOp struct {
 // linear (§4).
 type fileState struct {
 	mu     sync.Mutex
-	driver *core.Driver // nil when Alg is NP
+	driver *core.Driver // nil when Alg is NP or the file is not owned
 	tick   core.Tick    // per-file logical clock fed to the predictor
+
+	// epoch is the ownership epoch this file's driver decision was
+	// made under; when the remote tier's Epoch moves past it, the next
+	// access (or an OwnershipChanged sweep) re-probes Owned and
+	// creates, suspends, or resumes the driver accordingly.
+	epoch uint64
+	// suspended marks a driver whose file this node no longer owns:
+	// the chain is parked and the driver is never fed, but its learned
+	// predictor state is kept — if ownership returns (the common churn
+	// case: a restarted node reclaiming its arcs), prefetching resumes
+	// without relearning the access pattern.
+	suspended bool
 }
 
 // Engine is a concurrent prefetching block cache.
 //
-// Lock hierarchy: fileState.mu > flightMu > cacheShard.mu. A goroutine
-// may acquire rightward while holding leftward, never the reverse;
-// store reads and channel sends happen under no lock or fileState.mu
-// only.
+// Lock hierarchy: fileState.mu > filesMu > flightMu > cacheShard.mu.
+// A goroutine may acquire rightward while holding leftward, never the
+// reverse; store reads and channel sends happen under no lock or
+// fileState.mu only. (filesMu sits below fileState.mu because lazy
+// driver creation — under fl.mu — reads the file table; the fileState
+// lookup path takes filesMu alone and releases it before touching any
+// fl.mu.)
 type Engine struct {
 	cfg    Config
 	cache  *blockCache
@@ -222,27 +237,100 @@ func (e *Engine) fileState(f blockdev.FileID) *fileState {
 		return fl
 	}
 	fl = &fileState{}
-	// In a cluster only the ring owner runs a file's driver: the
-	// whole point of per-file ownership is that exactly one chain
-	// walker exists per file, so "≤ 1 outstanding prefetch" holds
-	// across every node, not merely within each (PAFS vs. xFS, §4).
-	if e.cfg.Alg.Prefetches() && (e.remote == nil || e.remote.Owned(f)) {
-		blocks := e.fileBlocks[f]
-		if blocks <= 0 {
-			blocks = e.cfg.DefaultFileBlocks
-		}
-		fl.driver = core.NewDriver(core.DriverConfig{
-			Predictor:      e.cfg.Alg.NewPredictor(),
-			Mode:           e.cfg.Alg.Mode,
-			MaxOutstanding: e.cfg.Alg.MaxOutstanding,
-			File:           f,
-			FileBlocks:     blocks,
-			Env:            &runtimeEnv{e: e, fl: fl},
-			Observer:       e.ledger,
-		})
-	}
 	e.files[f] = fl
 	return fl
+}
+
+// newDriver builds f's chain driver. Callers hold fl.mu.
+func (e *Engine) newDriver(f blockdev.FileID, fl *fileState) *core.Driver {
+	e.filesMu.RLock()
+	blocks := e.fileBlocks[f]
+	e.filesMu.RUnlock()
+	if blocks <= 0 {
+		blocks = e.cfg.DefaultFileBlocks
+	}
+	return core.NewDriver(core.DriverConfig{
+		Predictor:      e.cfg.Alg.NewPredictor(),
+		Mode:           e.cfg.Alg.Mode,
+		MaxOutstanding: e.cfg.Alg.MaxOutstanding,
+		File:           f,
+		FileBlocks:     blocks,
+		Env:            &runtimeEnv{e: e, fl: fl},
+		Observer:       e.ledger,
+	})
+}
+
+// driverLocked returns f's driver if this node should be running it
+// right now, re-probing ownership lazily whenever the remote tier's
+// epoch has moved. In a cluster only the ring owner runs a file's
+// driver: the whole point of per-file ownership is that exactly one
+// chain walker exists per file, so "≤ 1 outstanding prefetch" holds
+// across every node, not merely within each (PAFS vs. xFS, §4). On a
+// dynamic ring ownership moves, so the decision cannot be made once
+// at fileState creation: it is re-made per epoch, under fl.mu, which
+// is what keeps the invariant provable while ownership is in motion —
+// a driver is only ever created, suspended, or resumed by a goroutine
+// holding the same mutex the chain runs under.
+//
+// Callers hold fl.mu.
+func (e *Engine) driverLocked(f blockdev.FileID, fl *fileState) *core.Driver {
+	if !e.cfg.Alg.Prefetches() {
+		return nil
+	}
+	if e.remote == nil {
+		if fl.driver == nil {
+			fl.driver = e.newDriver(f, fl)
+		}
+		return fl.driver
+	}
+	if ep := e.remote.Epoch(); ep != fl.epoch {
+		fl.epoch = ep
+		if e.remote.Owned(f) {
+			if fl.driver == nil {
+				fl.driver = e.newDriver(f, fl)
+			}
+			fl.suspended = false
+		} else if fl.driver != nil && !fl.suspended {
+			// Ownership left this node: park the chain NOW. The new
+			// owner may start the file's one true chain at any moment,
+			// and a parked chain issues nothing further even when its
+			// in-flight operation's completion callback fires.
+			fl.driver.StopChain()
+			fl.suspended = true
+		}
+	}
+	if fl.suspended {
+		return nil
+	}
+	return fl.driver
+}
+
+// OwnershipChanged tells the engine the remote tier's ownership
+// assignment moved (ring change, peer recovery). It sweeps every
+// known file and re-probes its driver decision eagerly. The sweep
+// matters for files this node LOST: their chains must stop even if no
+// request ever touches them again here — an active chain pumps itself
+// through completion callbacks, not through new requests, so lazy
+// re-probing alone would let two nodes walk one file's chain until
+// the old owner's next access. Files this node gained are also picked
+// up lazily on first access; the sweep just starts them sooner.
+func (e *Engine) OwnershipChanged() {
+	if e.remote == nil {
+		return
+	}
+	e.filesMu.RLock()
+	files := make([]blockdev.FileID, 0, len(e.files))
+	states := make([]*fileState, 0, len(e.files))
+	for f, fl := range e.files {
+		files = append(files, f)
+		states = append(states, fl)
+	}
+	e.filesMu.RUnlock()
+	for i, fl := range states {
+		fl.mu.Lock()
+		e.driverLocked(files[i], fl)
+		fl.mu.Unlock()
+	}
 }
 
 // Read serves a demand read of nblocks blocks starting at off,
@@ -576,19 +664,31 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 // the local cache; only if no owner is reachable does the write land
 // in the local store.
 func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	_, err := e.WriteDurable(f, off, nblocks, data)
+	return err
+}
+
+// WriteDurable is Write, additionally reporting whether the blocks
+// were replicated: durably installed on two distinct nodes' stores
+// (owner plus its R=2 successor), so the write survives either one's
+// death. The binary server acks exactly this bit as FlagReplicated,
+// and the chaos harness's no-lost-acked-write invariant audits every
+// write acked with it. Single-node engines and replica-less tiers
+// always report false.
+func (e *Engine) WriteDurable(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
 	if err := e.checkWrite(f, off, nblocks, data); err != nil {
-		return err
+		return false, err
 	}
 	if e.remote != nil && !e.remote.Owned(f) {
-		ok, err := e.remote.ForwardWrite(f, off, nblocks, data)
+		ok, replicated, err := e.remote.ForwardWrite(f, off, nblocks, data)
 		if ok {
 			if err != nil {
-				return err // the owner itself refused: propagate
+				return false, err // the owner itself refused: propagate
 			}
 			e.m.forwardedWrites.Add(1)
 			e.m.writes.Add(1)
 			e.installWriteThrough(f, off, nblocks, data)
-			return nil
+			return replicated, nil
 		}
 		e.m.remoteFallbacks.Add(1)
 	}
@@ -599,11 +699,53 @@ func (e *Engine) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, d
 // strictly local, never re-forwarded, and fed to this node's driver
 // (the owner models peers' writes as part of the access stream).
 func (e *Engine) PeerWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	_, err := e.PeerWriteDurable(f, off, nblocks, data)
+	return err
+}
+
+// PeerWriteDurable is PeerWrite with WriteDurable's replicated
+// report; the forwarding node relays the bit to its own client.
+func (e *Engine) PeerWriteDurable(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
 	if err := e.checkWrite(f, off, nblocks, data); err != nil {
-		return err
+		return false, err
 	}
 	e.m.peerWrites.Add(1)
 	return e.writeLocal(f, off, nblocks, data)
+}
+
+// ReplicaWrite installs nblocks blocks as the file's replica copy:
+// store write-through plus cache install, nothing else — no driver
+// feed (only the owner models the file's access stream), no onward
+// replication, no forwarding. It serves the wire's
+// FlagPeer|FlagReplica writes: the owner's synchronous R=2 push and
+// the rebalancing handoff both land here.
+func (e *Engine) ReplicaWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	if err := e.checkWrite(f, off, nblocks, data); err != nil {
+		return err
+	}
+	if err := e.installSpan(f, off, nblocks, data); err != nil {
+		return err
+	}
+	e.m.replicaInstalls.Add(uint64(nblocks))
+	return nil
+}
+
+// RepairInstall persists blocks that a replica served (the owner
+// being unreachable) into the local store — read-repair: with the
+// owner down, the fetched data was one node death away from the disk
+// path, and the reader already paid for the bytes, so writing them
+// through restores two-copy redundancy for free. The cache install
+// happens on the normal remote-read path; this adds only the store
+// copy. srcs is one pre-filled slice per block.
+func (e *Engine) RepairInstall(f blockdev.FileID, off blockdev.BlockNo, srcs [][]byte) {
+	for i, src := range srcs {
+		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
+		if err := e.store.WriteBlock(b, src); err != nil {
+			return
+		}
+		e.m.storeWrites.Add(1)
+	}
+	e.m.readRepairs.Add(uint64(len(srcs)))
 }
 
 func (e *Engine) checkWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
@@ -633,9 +775,35 @@ func (e *Engine) installWriteThrough(f blockdev.FileID, off blockdev.BlockNo, nb
 	}
 }
 
-// writeLocal is the single-node write body: store write-through plus
-// cache install, then the driver sees the request.
-func (e *Engine) writeLocal(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+// writeLocal is the local write body: store write-through plus cache
+// install, a best-effort replica push when the tier replicates, then
+// the driver sees the request. replicated reports the push succeeded
+// — the blocks now live on two distinct nodes' stores.
+func (e *Engine) writeLocal(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
+	if err := e.installSpan(f, off, nblocks, data); err != nil {
+		return false, err
+	}
+	e.m.writes.Add(1)
+	// Synchronous R=2: the successor's copy is what turns this node's
+	// death into a remote memory hit instead of a disk read. The push
+	// rides inside the write's latency (durability before the ack),
+	// and a failed push degrades the ack to replicated=false rather
+	// than failing the write — replication is a promise about
+	// redundancy, never an availability tax.
+	if e.remote != nil && e.remote.ReplicateWrite(f, off, nblocks, data) {
+		replicated = true
+		e.m.replicatedWrites.Add(1)
+	}
+	// The write is part of the file's access stream: the predictors
+	// model (offset-interval, size) pairs of all requests. A write
+	// never waits on prefetched data, so it counts as satisfied.
+	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, true)
+	return replicated, nil
+}
+
+// installSpan is the shared write body: one store write-through and
+// cache install per block (nil data = fill pattern).
+func (e *Engine) installSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
 	for i := int32(0); i < nblocks; i++ {
 		b := blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}
 		buf := e.pool.Get()
@@ -652,11 +820,6 @@ func (e *Engine) writeLocal(f blockdev.FileID, off blockdev.BlockNo, nblocks int
 		// The cache takes the reference.
 		e.m.prefetchWasted.Add(uint64(e.cache.Put(b, buf, false)))
 	}
-	e.m.writes.Add(1)
-	// The write is part of the file's access stream: the predictors
-	// model (offset-interval, size) pairs of all requests. A write
-	// never waits on prefetched data, so it counts as satisfied.
-	e.feedDriver(f, core.Request{Offset: off, Size: nblocks}, true)
 	return nil
 }
 
@@ -679,11 +842,10 @@ func (e *Engine) PeerCloseFile(f blockdev.FileID) { e.closeLocal(f) }
 
 func (e *Engine) closeLocal(f blockdev.FileID) {
 	fl := e.fileState(f)
-	if fl.driver == nil {
-		return
-	}
 	fl.mu.Lock()
-	fl.driver.StopChain()
+	if d := e.driverLocked(f, fl); d != nil {
+		d.StopChain()
+	}
 	fl.mu.Unlock()
 }
 
@@ -691,12 +853,11 @@ func (e *Engine) closeLocal(f blockdev.FileID) {
 // per-file mutex.
 func (e *Engine) feedDriver(f blockdev.FileID, r core.Request, satisfied bool) {
 	fl := e.fileState(f)
-	if fl.driver == nil {
-		return
-	}
 	fl.mu.Lock()
-	fl.tick++
-	fl.driver.OnUserRequest(r, fl.tick, satisfied)
+	if d := e.driverLocked(f, fl); d != nil {
+		fl.tick++
+		d.OnUserRequest(r, fl.tick, satisfied)
+	}
 	fl.mu.Unlock()
 }
 
@@ -742,6 +903,9 @@ func (e *Engine) Snapshot() Snapshot {
 		ForwardedWrites:      e.m.forwardedWrites.Load(),
 		PeerReadsServed:      e.m.peerReads.Load(),
 		PeerWritesServed:     e.m.peerWrites.Load(),
+		ReplicatedWrites:     e.m.replicatedWrites.Load(),
+		ReplicaInstalls:      e.m.replicaInstalls.Load(),
+		ReadRepairs:          e.m.readRepairs.Load(),
 		MaxFileOutstandingHW: e.ledger.MaxHighWater(),
 		LinearViolations:     e.ledger.Violations(),
 		CachedBlocks:         e.cache.Len(),
@@ -757,6 +921,27 @@ func (e *Engine) Ledger() *Ledger { return e.ledger }
 func (e *Engine) Shutdown() {
 	e.stop.Do(func() { close(e.quit) })
 	e.wg.Wait()
+}
+
+// CachedBlockIDs snapshots the identity of every cached block. The
+// rebalancing handoff iterates it after a ring move to find blocks
+// whose arcs now belong to another node; the snapshot is taken shard
+// by shard under the cache locks, the walk happens outside them.
+func (e *Engine) CachedBlockIDs() []blockdev.BlockID {
+	return e.cache.BlockIDs()
+}
+
+// ReadBlockLocal copies block b into dst from the local cache or — if
+// it was evicted since the caller snapshotted CachedBlockIDs — the
+// local backing store. Strictly local, no driver feed: the handoff
+// path moves bytes, it is not part of any file's access stream.
+func (e *Engine) ReadBlockLocal(b blockdev.BlockID, dst []byte) error {
+	if buf, _, ok := e.cache.Get(b); ok {
+		copy(dst, buf.Bytes())
+		buf.Release()
+		return nil
+	}
+	return e.store.ReadBlock(b, dst)
 }
 
 // DrainCache releases every cached block back to the buffer pool and

@@ -29,19 +29,41 @@ type RemoteFetcher interface {
 	// it must be cheap, deterministic, and identical on every node.
 	Owned(f blockdev.FileID) bool
 
+	// Epoch numbers the current ownership assignment: it increments
+	// whenever the answer to Owned may have changed — a membership
+	// move on a dynamic ring, or a peer recovering from a fault (the
+	// forward path it re-opens). The engine compares it per file to
+	// decide when a cached ownership decision (driver placement, the
+	// degrade-to-local verdict) must be re-probed. A static,
+	// fault-free tier may return a constant.
+	Epoch() uint64
+
 	// FetchSpan reads nblocks blocks of f starting at off from the
-	// file's owner, landing one block per dsts slice (each pre-sized
-	// to the block size). hit reports the owner served every block
-	// from its memory — a remote memory hit, the cooperative-cache
-	// fast path. ok=false means no live owner: the caller degrades to
-	// its local store (latency, not availability). err is only
-	// non-nil when ok is true: the owner itself refused the request.
+	// file's owner — or, when the owner is unreachable and the tier
+	// replicates, from the file's R=2 successor holding the replica in
+	// memory — landing one block per dsts slice (each pre-sized to the
+	// block size). hit reports the serving node answered every block
+	// from its memory: a remote memory hit, the cooperative-cache fast
+	// path. ok=false means neither owner nor replica is reachable: the
+	// caller degrades to its local store (latency, not availability).
+	// err is only non-nil when ok is true: the serving node itself
+	// refused the request.
 	FetchSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit, ok bool, err error)
 
 	// ForwardWrite sends a write of f to its owner so the data lands
-	// in the owner's store and cache. Semantics of ok and err match
-	// FetchSpan: ok=false degrades the write to the local store.
-	ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (ok bool, err error)
+	// in the owner's store and cache. replicated reports the owner's
+	// durable-ack: it also installed the blocks on its R=2 successor.
+	// Semantics of ok and err match FetchSpan: ok=false degrades the
+	// write to the local store.
+	ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (ok, replicated bool, err error)
+
+	// ReplicateWrite pushes nblocks blocks of f (nil data = the
+	// deterministic fill pattern) to the file's R=2 successor as a
+	// replica install, returning whether the copy was acknowledged.
+	// Best-effort and synchronous: the engine calls it after its own
+	// store write, and the pair of returns decides the FlagReplicated
+	// ack. A tier without replication returns false immediately.
+	ReplicateWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) bool
 
 	// ForwardClose tells f's owner this node's clients are done with
 	// the file for now, parking the owner-side prefetch chain.

@@ -27,6 +27,8 @@ type fakeRemote struct {
 
 func (r *fakeRemote) Owned(f blockdev.FileID) bool { return f%2 == 0 }
 
+func (r *fakeRemote) Epoch() uint64 { return 1 }
+
 func (r *fakeRemote) FetchSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit, ok bool, err error) {
 	r.fetchCalls.Add(1)
 	r.mu.Lock()
@@ -47,9 +49,13 @@ func (r *fakeRemote) FetchSpan(f blockdev.FileID, off blockdev.BlockNo, nblocks 
 	return true, true, nil
 }
 
-func (r *fakeRemote) ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (bool, error) {
+func (r *fakeRemote) ForwardWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (ok, replicated bool, err error) {
 	r.writeCalls.Add(1)
-	return !r.down.Load(), nil
+	return !r.down.Load(), false, nil
+}
+
+func (r *fakeRemote) ReplicateWrite(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) bool {
+	return false
 }
 
 func (r *fakeRemote) ForwardClose(f blockdev.FileID) (bool, error) {
@@ -231,10 +237,18 @@ func TestRemoteDriverGating(t *testing.T) {
 	rem := &fakeRemote{}
 	e := newTestEngine(t, Config{Alg: core.SpecLnAgrISPPM3, Remote: rem, StrictLinear: true})
 
-	if fl := e.fileState(4); fl.driver == nil {
+	// Driver creation is lazy: probe through the same path the demand
+	// and close paths use.
+	probe := func(f blockdev.FileID) *core.Driver {
+		fl := e.fileState(f)
+		fl.mu.Lock()
+		defer fl.mu.Unlock()
+		return e.driverLocked(f, fl)
+	}
+	if probe(4) == nil {
 		t.Error("owned file got no driver")
 	}
-	if fl := e.fileState(5); fl.driver != nil {
+	if probe(5) != nil {
 		t.Error("non-owned file got a driver: two nodes could prefetch it")
 	}
 }

@@ -50,11 +50,14 @@ type WireResponse struct {
 	Err string `json:"err,omitempty"`
 	// Hit is set on reads: every requested block was cached on
 	// arrival.
-	Hit       bool      `json:"hit,omitempty"`
-	Data      []byte    `json:"data,omitempty"`
-	Stats     *Snapshot `json:"stats,omitempty"`
-	Alg       string    `json:"alg,omitempty"`
-	BlockSize int       `json:"block_size,omitempty"`
+	Hit  bool   `json:"hit,omitempty"`
+	Data []byte `json:"data,omitempty"`
+	// Replicated is set on writes: the blocks were also installed on
+	// the file's R=2 successor before the ack (durably double-homed).
+	Replicated bool      `json:"replicated,omitempty"`
+	Stats      *Snapshot `json:"stats,omitempty"`
+	Alg        string    `json:"alg,omitempty"`
+	BlockSize  int       `json:"block_size,omitempty"`
 	// ProtoMax (on ping) is the newest protocol version this server
 	// speaks; a client upgrades past JSON only after seeing it.
 	ProtoMax int `json:"proto_max,omitempty"`
@@ -506,17 +509,30 @@ func (h *connHandler) serveBinary() CloseReason {
 			if hd.PayloadLen > 0 {
 				data = payload
 			}
-			werr := error(nil)
-			if peer {
-				werr = s.e.PeerWrite(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
-			} else {
-				werr = s.e.Write(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+			var werr error
+			var replicated bool
+			switch {
+			case hd.Flags&wire.FlagReplica != 0 && !peer:
+				werr = fmt.Errorf("FlagReplica requires FlagPeer")
+			case hd.Flags&wire.FlagReplica != 0:
+				// Replica install: store + cache only, no driver feed, no
+				// onward replication (the loop-free contract of R=2 — a
+				// replica push must never fan out further).
+				werr = s.e.ReplicaWrite(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+			case peer:
+				replicated, werr = s.e.PeerWriteDurable(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+			default:
+				replicated, werr = s.e.WriteDurable(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
 			}
 			if werr != nil {
 				ok = fail(hd, werr.Error())
 				break
 			}
-			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) == nil
+			flags := wire.FlagOK
+			if replicated {
+				flags |= wire.FlagReplicated
+			}
+			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: flags, Seq: hd.Seq}, nil) == nil
 
 		case wire.OpClose:
 			if peer {
@@ -571,12 +587,12 @@ func (s *Server) dispatch(req *WireRequest) WireResponse {
 		}
 		return resp
 	case "write":
-		err := s.e.Write(blockdev.FileID(req.File),
+		replicated, err := s.e.WriteDurable(blockdev.FileID(req.File),
 			blockdev.BlockNo(req.Offset), req.Size, req.Data)
 		if err != nil {
 			return WireResponse{Err: err.Error()}
 		}
-		return WireResponse{OK: true}
+		return WireResponse{OK: true, Replicated: replicated}
 	case "close":
 		s.e.CloseFile(blockdev.FileID(req.File))
 		return WireResponse{OK: true}

@@ -69,6 +69,8 @@ type Conn struct {
 	seq    atomic.Uint32
 	window chan struct{} // in-flight slots
 
+	callTimeout atomic.Int64 // max sync-call wait in ns; 0 = unbounded
+
 	pmu     sync.Mutex
 	pending map[uint32]*pendingCall
 	readErr error
@@ -154,6 +156,21 @@ func DialConnWith(addr string, window int, wrap ConnWrap) (*Conn, error) {
 
 // Info returns the server self-description captured at negotiation.
 func (c *Conn) Info() PingInfo { return c.info }
+
+// SetCallTimeout bounds every synchronous call on the connection: a
+// response frame that hasn't arrived within d means the connection is
+// treated as dead — it is severed, and every in-flight call fails
+// with a transport error. Zero (the default) waits forever.
+//
+// The cluster tier sets this on its peer pools. A server handler that
+// issues a nested peer RPC (forwarding a client write to the owner,
+// pushing the owner's R=2 copy to its successor) must never block
+// unboundedly: per-connection request handling is sequential, so a
+// cycle of handlers waiting on each other's pipelined connections can
+// deadlock the whole cluster when rings transiently disagree. The
+// timeout converts such a cycle into a transport error the cluster
+// already tolerates — the peer degrades and the health loop redials.
+func (c *Conn) SetCallTimeout(d time.Duration) { c.callTimeout.Store(int64(d)) }
 
 // Close tears the connection down; in-flight calls fail.
 func (c *Conn) Close() error { return c.conn.Close() }
@@ -305,7 +322,25 @@ func (c *Conn) doCall(h wire.Header, payload []byte, dsts [][]byte) (binResp, er
 		return binResp{}, err
 	}
 
-	resp, ok := <-call.ch
+	var resp binResp
+	var ok bool
+	if d := time.Duration(c.callTimeout.Load()); d > 0 {
+		timer := time.NewTimer(d)
+		select {
+		case resp, ok = <-call.ch:
+			timer.Stop()
+		case <-timer.C:
+			// The response is overdue past any plausible round trip.
+			// Sever the connection: fail delivers to every pending call
+			// (including this one), so the receive below cannot block.
+			// Rescuing just this call would desynchronize the pipeline —
+			// a late response frame would match no waiter.
+			c.fail(fmt.Errorf("lapclient: call timed out after %v: %w", d, ErrDeadline))
+			resp, ok = <-call.ch
+		}
+	} else {
+		resp, ok = <-call.ch
+	}
 	if !ok {
 		return binResp{}, c.err()
 	}
@@ -466,8 +501,21 @@ func (c *Conn) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, want
 // Write sends nblocks blocks starting at off; nil data writes the
 // deterministic fill pattern server-side.
 func (c *Conn) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
-	_, err := c.do(wire.Header{Op: wire.OpWrite, File: int32(f), Offset: int32(off), Size: nblocks}, data)
+	_, err := c.WriteChecked(f, off, nblocks, data)
 	return err
+}
+
+// WriteChecked is Write, additionally reporting whether the server
+// acked the write as replicated (FlagReplicated): the blocks are
+// durably installed on the owner AND its R=2 successor, so they
+// survive either single node's death. A server without replication
+// (or with no live successor) acks replicated=false.
+func (c *Conn) WriteChecked(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
+	resp, err := c.do(wire.Header{Op: wire.OpWrite, File: int32(f), Offset: int32(off), Size: nblocks}, data)
+	if err != nil {
+		return false, err
+	}
+	return resp.h.Flags&wire.FlagReplicated != 0, nil
 }
 
 // CloseFile tells the server this client is done with f for now.
@@ -507,8 +555,31 @@ func (c *Conn) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, 
 // WritePeer is a peer-flagged write: served strictly locally by the
 // receiver, never re-forwarded.
 func (c *Conn) WritePeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
-	_, err := c.do(wire.Header{
+	_, err := c.WritePeerChecked(f, off, nblocks, data)
+	return err
+}
+
+// WritePeerChecked is WritePeer, reporting whether the receiving
+// owner replicated the write to its successor (FlagReplicated). The
+// forwarding node propagates the bit to its own client.
+func (c *Conn) WritePeerChecked(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
+	resp, err := c.do(wire.Header{
 		Op: wire.OpWrite, Flags: wire.FlagPeer,
+		File: int32(f), Offset: int32(off), Size: nblocks,
+	}, data)
+	if err != nil {
+		return false, err
+	}
+	return resp.h.Flags&wire.FlagReplicated != 0, nil
+}
+
+// WriteReplica installs nblocks blocks on the receiver as the file's
+// replica copy (FlagPeer|FlagReplica): store + cache install only —
+// no driver feed, no onward replication. The engine's synchronous
+// R=2 write path and the rebalancing handoff both push through it.
+func (c *Conn) WriteReplica(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	_, err := c.do(wire.Header{
+		Op: wire.OpWrite, Flags: wire.FlagPeer | wire.FlagReplica,
 		File: int32(f), Offset: int32(off), Size: nblocks,
 	}, data)
 	return err

@@ -45,8 +45,23 @@ type Pool struct {
 	next  atomic.Uint32
 	churn atomic.Uint32
 
-	mu     sync.Mutex // serializes Redial/ChurnOne slot replacement and Close
-	closed bool
+	mu          sync.Mutex // serializes Redial/ChurnOne slot replacement and Close
+	closed      bool
+	callTimeout time.Duration // inherited by redialed/churned connections
+}
+
+// SetCallTimeout bounds synchronous calls on every member connection,
+// current and future — redialed and churned replacements inherit it.
+// See Conn.SetCallTimeout for semantics.
+func (p *Pool) SetCallTimeout(d time.Duration) {
+	p.mu.Lock()
+	p.callTimeout = d
+	p.mu.Unlock()
+	for i := range p.conns {
+		if c := p.conns[i].Load(); c != nil {
+			c.SetCallTimeout(d)
+		}
+	}
 }
 
 // DialPool opens nconns binary connections (0 = 4) with the given
@@ -145,6 +160,7 @@ func (p *Pool) Redial() (int, error) {
 			}
 			continue
 		}
+		nc.SetCallTimeout(p.callTimeout)
 		p.conns[i].Store(nc)
 		if old != nil {
 			old.Close()
@@ -169,6 +185,7 @@ func (p *Pool) ChurnOne() error {
 	if err != nil {
 		return err
 	}
+	nc.SetCallTimeout(p.callTimeout)
 	old := p.conns[i].Swap(nc)
 	if old != nil {
 		old.Close()
@@ -242,9 +259,28 @@ func (p *Pool) Write(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dat
 	return p.withConn(func(c *Conn) error { return c.Write(f, off, nblocks, data) })
 }
 
+// WriteChecked is Write, reporting the server's replicated ack (see
+// Conn.WriteChecked).
+func (p *Pool) WriteChecked(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
+	err = p.withConn(func(c *Conn) (e error) { replicated, e = c.WriteChecked(f, off, nblocks, data); return })
+	return
+}
+
 // WritePeer forwards a peer write.
 func (p *Pool) WritePeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
 	return p.withConn(func(c *Conn) error { return c.WritePeer(f, off, nblocks, data) })
+}
+
+// WritePeerChecked forwards a peer write, reporting the owner's
+// replicated ack.
+func (p *Pool) WritePeerChecked(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) (replicated bool, err error) {
+	err = p.withConn(func(c *Conn) (e error) { replicated, e = c.WritePeerChecked(f, off, nblocks, data); return })
+	return
+}
+
+// WriteReplica pushes a replica install (see Conn.WriteReplica).
+func (p *Pool) WriteReplica(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, data []byte) error {
+	return p.withConn(func(c *Conn) error { return c.WriteReplica(f, off, nblocks, data) })
 }
 
 // CloseFile tells the server this client is done with f for now.

@@ -1,0 +1,418 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memHub is an in-memory datagram fabric: deterministic delivery,
+// scriptable partitions, no real sockets. Each transport owns a
+// buffered inbox; sends are non-blocking (a full inbox drops, which
+// is exactly UDP's contract).
+type memHub struct {
+	mu      sync.Mutex
+	inboxes map[string]chan memPacket
+	cut     map[[2]string]bool // directed drop rules
+}
+
+type memPacket struct {
+	from string
+	data []byte
+}
+
+func newMemHub() *memHub {
+	return &memHub{inboxes: make(map[string]chan memPacket), cut: make(map[[2]string]bool)}
+}
+
+// Cut drops every datagram from a to b (one direction).
+func (h *memHub) Cut(a, b string) {
+	h.mu.Lock()
+	h.cut[[2]string{a, b}] = true
+	h.mu.Unlock()
+}
+
+// Heal removes every drop rule.
+func (h *memHub) Heal() {
+	h.mu.Lock()
+	h.cut = make(map[[2]string]bool)
+	h.mu.Unlock()
+}
+
+func (h *memHub) transport(addr string) *memTransport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	inbox := make(chan memPacket, 256)
+	h.inboxes[addr] = inbox
+	return &memTransport{hub: h, addr: addr, inbox: inbox, closed: make(chan struct{})}
+}
+
+type memTransport struct {
+	hub    *memHub
+	addr   string
+	inbox  chan memPacket
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (t *memTransport) WriteTo(p []byte, addr string) error {
+	t.hub.mu.Lock()
+	dropped := t.hub.cut[[2]string{t.addr, addr}]
+	inbox := t.hub.inboxes[addr]
+	t.hub.mu.Unlock()
+	if dropped || inbox == nil {
+		return nil // lost datagram: gossip's problem to tolerate
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	select {
+	case inbox <- memPacket{from: t.addr, data: data}:
+	default:
+	}
+	return nil
+}
+
+func (t *memTransport) ReadFrom(p []byte) (int, string, error) {
+	select {
+	case pkt := <-t.inbox:
+		n := copy(p, pkt.data)
+		return n, pkt.from, nil
+	case <-t.closed:
+		return 0, "", ErrTransportClosed
+	}
+}
+
+func (t *memTransport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		t.hub.mu.Lock()
+		if t.hub.inboxes[t.addr] == t.inbox {
+			delete(t.hub.inboxes, t.addr)
+		}
+		t.hub.mu.Unlock()
+	})
+	return nil
+}
+
+func (t *memTransport) LocalAddr() string { return t.addr }
+
+func testConfig(hub *memHub, addr string, seeds []string) Config {
+	return Config{
+		Self:          addr,
+		Seeds:         seeds,
+		ProbeInterval: 10 * time.Millisecond,
+		Transport:     hub.transport(addr),
+	}
+}
+
+func startMember(t *testing.T, hub *memHub, addr string, seeds []string) *Membership {
+	t.Helper()
+	m, err := New(testConfig(hub, addr, seeds))
+	if err != nil {
+		t.Fatalf("New(%s): %v", addr, err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start(%s): %v", addr, err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func sees(m *Membership, want ...string) bool {
+	got := m.Alive()
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJoinConverge: three members seeded off the first converge to
+// one three-row table on every node.
+func TestJoinConverge(t *testing.T) {
+	hub := newMemHub()
+	a := startMember(t, hub, "a", nil)
+	b := startMember(t, hub, "b", []string{"a"})
+	c := startMember(t, hub, "c", []string{"a"})
+	for _, m := range []*Membership{a, b, c} {
+		m := m
+		waitFor(t, "converged view on "+m.cfg.Self, 3*time.Second, func() bool {
+			return sees(m, "a", "b", "c")
+		})
+	}
+}
+
+// TestFailureDetection: a member that goes silent is suspected, then
+// convicted, and drops out of every survivor's view.
+func TestFailureDetection(t *testing.T) {
+	hub := newMemHub()
+	a := startMember(t, hub, "a", nil)
+	b := startMember(t, hub, "b", []string{"a"})
+	c := startMember(t, hub, "c", []string{"a"})
+	waitFor(t, "initial convergence", 3*time.Second, func() bool {
+		return sees(a, "a", "b", "c") && sees(b, "a", "b", "c") && sees(c, "a", "b", "c")
+	})
+	b.Close()
+	waitFor(t, "b convicted", 5*time.Second, func() bool {
+		return sees(a, "a", "c") && sees(c, "a", "c")
+	})
+}
+
+// TestIndirectProbeSavesPartitionedLink: a cut that only separates a
+// and b (c talks to both) must not convict anyone — indirect probes
+// through c answer for the unreachable member, and refutation clears
+// any transient suspicion.
+func TestIndirectProbeSavesPartitionedLink(t *testing.T) {
+	hub := newMemHub()
+	a := startMember(t, hub, "a", nil)
+	b := startMember(t, hub, "b", []string{"a"})
+	c := startMember(t, hub, "c", []string{"a"})
+	waitFor(t, "initial convergence", 3*time.Second, func() bool {
+		return sees(a, "a", "b", "c") && sees(b, "a", "b", "c") && sees(c, "a", "b", "c")
+	})
+	hub.Cut("a", "b")
+	hub.Cut("b", "a")
+	// Hold the one-link partition across many suspicion windows.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, m := range []*Membership{a, b, c} {
+			if len(m.Alive()) != 3 {
+				t.Fatalf("%s view shrank to %v during a single-link cut", m.cfg.Self, m.Alive())
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRejoinResurrection: a convicted member that restarts refutes
+// its own tombstone with a higher incarnation and rejoins.
+func TestRejoinResurrection(t *testing.T) {
+	hub := newMemHub()
+	a := startMember(t, hub, "a", nil)
+	b := startMember(t, hub, "b", []string{"a"})
+	waitFor(t, "initial convergence", 3*time.Second, func() bool {
+		return sees(a, "a", "b") && sees(b, "a", "b")
+	})
+	b.Close()
+	waitFor(t, "b convicted", 5*time.Second, func() bool { return sees(a, "a") })
+
+	b2 := startMember(t, hub, "b", []string{"a"})
+	waitFor(t, "b resurrected", 5*time.Second, func() bool {
+		return sees(a, "a", "b") && sees(b2, "a", "b")
+	})
+	if inc := b2.Incarnation(); inc < 2 {
+		t.Errorf("restarted member incarnation = %d, want ≥ 2 (must out-number its tombstone)", inc)
+	}
+}
+
+// TestOnUpdateFires: every membership change surfaces through the
+// callback with a monotonically increasing version.
+func TestOnUpdateFires(t *testing.T) {
+	hub := newMemHub()
+	var mu sync.Mutex
+	var versions []uint64
+	cfg := testConfig(hub, "a", nil)
+	cfg.OnUpdate = func(v View) {
+		mu.Lock()
+		versions = append(versions, v.Version)
+		mu.Unlock()
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	startMember(t, hub, "b", []string{"a"})
+	waitFor(t, "join callback", 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(versions) > 0
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(versions); i++ {
+		if versions[i] <= versions[i-1] {
+			t.Errorf("OnUpdate versions not increasing: %v", versions)
+		}
+	}
+}
+
+// TestInterceptDropsSends: the fault hook sees every destination and
+// a non-nil return suppresses the datagram.
+func TestInterceptDropsSends(t *testing.T) {
+	hub := newMemHub()
+	var mu sync.Mutex
+	dropped := 0
+	cfg := testConfig(hub, "a", []string{"b"})
+	cfg.Intercept = func(to string) error {
+		mu.Lock()
+		dropped++
+		mu.Unlock()
+		return errors.New("cut")
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b := startMember(t, hub, "b", nil)
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	d := dropped
+	mu.Unlock()
+	if d == 0 {
+		t.Error("intercept never consulted")
+	}
+	if len(b.Alive()) != 1 {
+		t.Errorf("b learned of a despite every send dropped: %v", b.Alive())
+	}
+}
+
+// TestUDPTransport exercises the production socket path end to end:
+// two members on real loopback UDP ports converge.
+func TestUDPTransport(t *testing.T) {
+	trA, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkcfg := func(tr Transport, seeds []string) Config {
+		return Config{Self: tr.LocalAddr(), Seeds: seeds, ProbeInterval: 10 * time.Millisecond, Transport: tr}
+	}
+	a, err := New(mkcfg(trA, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(mkcfg(trB, []string{trA.LocalAddr()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	waitFor(t, "UDP convergence", 5*time.Second, func() bool {
+		return len(a.Alive()) == 2 && len(b.Alive()) == 2
+	})
+}
+
+// TestCodecRoundTrip pins the wire layout through every message type
+// and state.
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Type: MsgPing, Seq: 1, From: "a"},
+		{Type: MsgAck, Seq: 0xffffffff, From: "host:65535"},
+		{Type: MsgPingReq, Seq: 7, From: "a", Target: "c", Members: []Member{
+			{Addr: "a", State: Alive, Incarnation: 1},
+			{Addr: "b", State: Suspect, Incarnation: 3},
+			{Addr: "c", State: Dead, Incarnation: 1<<63 + 9},
+		}},
+	}
+	for _, want := range msgs {
+		buf, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", want, err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", want, err)
+		}
+		if want.Members == nil {
+			want.Members = []Member{}
+		}
+		if got.Members == nil {
+			got.Members = []Member{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// TestDecodeRejects pins the decoder's refusals: truncation, bad
+// version, bad type, bogus lengths, trailing garbage.
+func TestDecodeRejects(t *testing.T) {
+	good, err := Encode(&Message{Type: MsgPing, Seq: 1, From: "a", Members: []Member{{Addr: "b", State: Alive, Incarnation: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         good[:5],
+		"bad version":   append([]byte{99}, good[1:]...),
+		"bad type":      {1, 9, 0, 0, 0, 0, 1, 0, 'a', 0, 0, 0, 0},
+		"trailing":      append(append([]byte{}, good...), 0),
+		"truncated row": good[:len(good)-3],
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("Decode(%s) accepted garbage", name)
+		}
+	}
+}
+
+// FuzzMembershipDecode: the codec must never panic on arbitrary
+// datagrams, and anything it accepts must re-encode byte-identically.
+func FuzzMembershipDecode(f *testing.F) {
+	seedMsgs := []*Message{
+		{Type: MsgPing, Seq: 42, From: "127.0.0.1:9000"},
+		{Type: MsgAck, Seq: 7, From: "a", Members: []Member{{Addr: "b", State: Suspect, Incarnation: 2}}},
+		{Type: MsgPingReq, Seq: 9, From: "a", Target: "b", Members: []Member{
+			{Addr: "a", State: Alive, Incarnation: 1},
+			{Addr: "b", State: Dead, Incarnation: 5},
+		}},
+	}
+	for _, m := range seedMsgs {
+		buf, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte(fmt.Sprintf("%c%c garbage", 1, 2)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v (%+v)", err, m)
+		}
+		if !reflect.DeepEqual(buf, data) {
+			t.Fatalf("re-encode differs:\n in: %x\nout: %x", data, buf)
+		}
+	})
+}

@@ -142,8 +142,20 @@ const (
 	// which is what makes forwarding loop-free even if two nodes
 	// momentarily disagree about ring membership.
 	FlagPeer Flags = 1 << 3
+	// FlagReplica (write requests, with FlagPeer) marks a replica
+	// install: the receiver stores the blocks as the file's R=2 copy —
+	// no driver feed, no re-replication, never re-forwarded. Both the
+	// engine's synchronous replication and the rebalancing handoff
+	// push blocks under this flag.
+	FlagReplica Flags = 1 << 4
+	// FlagReplicated (write responses) reports the write is durably
+	// double-homed: the owner installed it locally AND a replica
+	// acknowledged the copy. Clients that care about surviving a node
+	// kill (the chaos harness's no-lost-acked-write invariant) track
+	// exactly the writes acked with this bit.
+	FlagReplicated Flags = 1 << 5
 
-	flagsKnown = FlagWantData | FlagOK | FlagHit | FlagPeer
+	flagsKnown = FlagWantData | FlagOK | FlagHit | FlagPeer | FlagReplica | FlagReplicated
 )
 
 // Known reports whether every set bit is a flag this implementation
