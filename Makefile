@@ -50,16 +50,20 @@ check-load:
 	$(GO) test -race -count=1 ./internal/loadgen/... ./internal/stats/...
 	$(GO) run ./cmd/lapbench -exp load -load-rates 200,400 -load-dur 1s
 
-# Chaos soak: random seeds in a loop (SOAK_RUNS, default 20). Each run
+# Chaos soak: random seeds in a loop (SOAK_RUNS, default 20). Every
+# other run puts the AdaptiveFDP degree policy on the seed-chosen
+# victim node (strict linear elsewhere), so the audit exercises both
+# the exact HW==1 bound and the generalized HW<=cap bound. Each run
 # prints its seed up front, so a failure names the exact seed to replay
-# with `go run ./cmd/lapbench -exp chaos -seed N`.
+# with `go run ./cmd/lapbench -exp chaos -seed N [-adaptive-victim]`.
 SOAK_RUNS ?= 20
 soak:
 	@i=0; while [ $$i -lt $(SOAK_RUNS) ]; do \
 		seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
-		echo "== chaos soak run $$i seed=$$seed"; \
-		$(GO) run ./cmd/lapbench -exp chaos -seed $$seed || { \
-			echo "SOAK FAILURE: reproduce with: go run ./cmd/lapbench -exp chaos -seed $$seed"; exit 1; }; \
+		av=$$((i % 2)); \
+		echo "== chaos soak run $$i seed=$$seed adaptive-victim=$$av"; \
+		$(GO) run ./cmd/lapbench -exp chaos -seed $$seed -adaptive-victim=$$av || { \
+			echo "SOAK FAILURE: reproduce with: go run ./cmd/lapbench -exp chaos -seed $$seed -adaptive-victim=$$av"; exit 1; }; \
 		i=$$((i+1)); \
 	done
 
@@ -71,6 +75,7 @@ fuzz:
 	$(GO) test ./internal/cluster/ -run FuzzRing -fuzz FuzzRing -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats/ -run FuzzHistogramRecord -fuzz FuzzHistogramRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/membership/ -run FuzzMembershipDecode -fuzz FuzzMembershipDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run FuzzDegreePolicy -fuzz FuzzDegreePolicy -fuzztime $(FUZZTIME)
 
 # The runtime micro-benchmarks: engine demand-read paths and the JSON
 # vs binary wire comparison (BENCH_wire.json), the cooperative tier's
@@ -94,6 +99,11 @@ bench:
 		-description "Owner death on a live 3-node dynamic-membership cluster (SWIM gossip, 300 ms suspicion): one 8 KiB block per read of files whose ring owner was just killed. replicaHit runs R=2 — the moved arc lands on the successor already holding the replica in memory; diskDegrade runs R=1 — the new owner has nothing and pays the 2 ms store access. handoff seeds a survivor's cache with foreign blocks and measures the post-rejoin rebalancing sweep against a 1 MiB/s byte budget." \
 		-command "make bench" \
 		-notes "replicaHit vs diskDegrade is the replication claim end to end: owner death costs a memory hit, not a disk read. blocks-moved/s is measured from the rejoin to handoff quiescence; at 8 KiB blocks the 1 MiB/s budget is 128 blocks/s, and the measured rate must sit at (never materially above) that ceiling — the bound that keeps rebalancing from starving foreground traffic."
+	$(GO) run ./cmd/lapbench -exp adaptive -bench | \
+		$(GO) run ./cmd/benchfmt -benchmark BenchmarkAdaptiveAB -o BENCH_adaptive.json \
+		-description "Strict linear (Ln_Agr_IS_PPM:1) vs the feedback-controlled AdaptiveFDP window (Ad_Agr_IS_PPM:1) on the same live engine, same 200us store, same pause-free sequential streams. deepseq: roomy cache, the window is the only limiter. coldtail: a 6-block cache smaller than the controller's widest window, where deep speculation self-evicts." \
+		-command "make bench" \
+		-notes "Each policy must win its home workload: adaptive takes deepseq on the latency distribution (the widened window pipelines the store), linear takes coldtail on hit ratio and wasted fetches (the paper's small-cache argument). hit-% undercounts the adaptive pipeline on deepseq — a read that waits microseconds for a landing prefetch books as a miss; ns/op, p50-ns and p99-ns carry that comparison. degree is the controller window at run end; accuracy-% is lifetime useful fraction of resolved prefetches."
 	$(GO) run ./cmd/lapbench -exp load -load-bench -load-rates 500,1000,2000,4000,8000,16000 -load-dur 1s | \
 		$(GO) run ./cmd/benchfmt -benchmark BenchmarkLoad -o BENCH_load.json \
 		-description "Open-loop throughput-vs-latency sweep against one in-process lapcached node: Poisson arrivals at each offered rate for 1s of virtual time, Zipf(1.1) popularity over 64 files, 4-block spans, latencies measured from each request's scheduled arrival (coordinated-omission corrected) into an HDR-style histogram." \

@@ -38,6 +38,12 @@ type result struct {
 	// Membership-tier unit (BenchmarkMembership): rebalancing handoff
 	// throughput under its byte budget.
 	BlocksMovedPerS float64 `json:"blocks_moved_per_s,omitempty"`
+	// Degree-policy units (lapbench -exp adaptive -bench): the
+	// controller's prefetch window at run end, its feedback accuracy,
+	// and the demand hit ratio, both in percent.
+	Degree      int64   `json:"degree,omitempty"`
+	AccuracyPct float64 `json:"accuracy_pct,omitempty"`
+	HitPct      float64 `json:"hit_pct,omitempty"`
 }
 
 type record struct {
@@ -152,6 +158,12 @@ func parseLine(line string) (result, bool) {
 			r.P999Ns = int64(v)
 		case "blocks-moved/s":
 			r.BlocksMovedPerS = v
+		case "degree":
+			r.Degree = int64(v)
+		case "accuracy-%":
+			r.AccuracyPct = v
+		case "hit-%":
+			r.HitPct = v
 		}
 	}
 	return r, r.NsPerOp > 0

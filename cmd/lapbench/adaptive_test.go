@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestAdaptiveAB runs the full A/B and relies on runAdaptive's own
+// win checks: adaptive must take deepseq on the latency distribution,
+// strict linear must take coldtail on hit ratio or tail, and both
+// sides must respect their degree caps with zero strict violations.
+// The margins are structural (the deepseq p50 gap is the store
+// round-trip versus a cache hit), so the assertion holds on loaded
+// machines too.
+func TestAdaptiveAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-engine A/B")
+	}
+	if err := runAdaptive(1, true); err != nil {
+		t.Fatal(err)
+	}
+}

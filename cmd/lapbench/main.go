@@ -20,13 +20,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load")
+	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load, adaptive")
 	scaleName := flag.String("scale", "full", "experiment scale: full, small, tiny")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-cell diagnostics for the artifact's matrix")
 	format := flag.String("format", "text", "output format for a single figure: text, csv, json")
 	seed := flag.Uint64("seed", 1, "fault-plan and workload seed for -exp chaos and -exp load")
 	churn := flag.Bool("churn", true, "for -exp chaos: dynamic membership with R=2 replication, gossip faults, and a mid-replay node kill + rejoin")
+	adaptive := flag.Bool("adaptive", false, "for -exp cluster: run the AdaptiveFDP degree policy instead of strict linear")
+	adaptiveVictim := flag.Bool("adaptive-victim", false, "for -exp chaos: run the AdaptiveFDP degree policy on the seed-chosen victim node (strict elsewhere)")
+	benchOut := flag.Bool("bench", false, "for -exp adaptive: emit go-bench result lines for benchfmt instead of the table")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -61,7 +64,11 @@ func main() {
 		exitOn(err)
 		fmt.Print(rep.Render())
 	case "cluster":
-		exitOn(runClusterDemo(scale))
+		exitOn(runClusterDemo(scale, *adaptive))
+	case "adaptive":
+		// The adaptive-vs-linear A/B runs live engines on its own two
+		// synthetic workloads; -scale does not apply.
+		exitOn(runAdaptive(*seed, *benchOut))
 	case "churn":
 		// The kill/join/heal walkthrough runs its own fixed-size fleet.
 		exitOn(runChurnDemo())
@@ -72,7 +79,7 @@ func main() {
 	case "chaos":
 		// Chaos runs at the tiny scale regardless of -scale: the point
 		// is fault density, not workload volume.
-		exitOn(runChaos(experiment.TinyScale(), *seed, *churn))
+		exitOn(runChaos(experiment.TinyScale(), *seed, *churn, *adaptiveVictim))
 	case "ablations":
 		// The unlimited-aggression variant churns explosively beyond
 		// the tiny scale; ablations always run there.

@@ -65,7 +65,9 @@ func main() {
 		dir         = flag.String("dir", "", "directory for -store dir")
 		latency     = flag.Duration("latency", 2*time.Millisecond, "injected read latency for -store mem")
 		traceFile   = flag.String("trace", "", "trace file supplying the file table")
-		strict      = flag.Bool("strict", false, "panic if a file ever exceeds the linear outstanding limit")
+		strict      = flag.Bool("strict", false, "panic if a file ever exceeds the degree policy's outstanding limit")
+		adaptive    = flag.Bool("adaptive", false, "replace the algorithm's degree throttle with the AdaptiveFDP controller")
+		degreeCap   = flag.Int("degree-cap", 0, "hard window ceiling for -adaptive (0 = default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP address for expvar counters (off when empty)")
 		peers       = flag.String("peers", "", "comma-separated static cluster membership, self included (empty = single node)")
@@ -89,6 +91,9 @@ func main() {
 	alg, ok := core.LookupAlg(*algName)
 	if !ok {
 		log.Fatalf("unknown algorithm %q (try -list-algs)", *algName)
+	}
+	if *adaptive {
+		alg = core.AdaptiveVariant(alg, *degreeCap)
 	}
 
 	cfg := lapcache.Config{

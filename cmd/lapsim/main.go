@@ -45,6 +45,8 @@ func main() {
 	fsName := flag.String("fs", "pafs", "file system: pafs or xfs")
 	wlName := flag.String("workload", "charisma", "workload: charisma or sprite")
 	algName := flag.String("alg", "Ln_Agr_IS_PPM:1", "algorithm name (paper notation)")
+	adaptive := flag.Bool("adaptive", false, "replace the algorithm's degree throttle with the AdaptiveFDP controller")
+	degreeCap := flag.Int("degree-cap", 0, "hard window ceiling for -adaptive (0 = default)")
 	cacheMB := flag.Int("cache", 4, "per-node cache size in MB")
 	scaleName := flag.String("scale", "small", "experiment scale: full, small, tiny")
 	traceFile := flag.String("trace", "", "replay this tracegen file instead of generating the workload (uses the scale's machine for the chosen workload)")
@@ -73,6 +75,9 @@ func main() {
 	alg, ok := core.LookupAlg(*algName)
 	if !ok {
 		fail("unknown algorithm %q (want one of %s)", *algName, strings.Join(core.AlgNames(), ", "))
+	}
+	if *adaptive {
+		alg = core.AdaptiveVariant(alg, *degreeCap)
 	}
 	var scale experiment.Scale
 	switch *scaleName {

@@ -5,7 +5,9 @@
 // claims to keep under failure:
 //
 //   - Linearity: per file, only the ring owner ever drives prefetches,
-//     with an outstanding high-water of at most 1 — faults included.
+//     with an outstanding high-water of at most the degree policy's cap
+//     — exactly 1 under the default StrictLinear policy, ≤ the
+//     controller's hard K under AdaptiveFDP — faults included.
 //   - Buffer lifecycle: with poison mode on, no buffer is written
 //     after release, and after teardown the pool's live count is zero
 //     (no leak survived any error path).
@@ -81,6 +83,16 @@ type Config struct {
 	// The plan's gossip rules only fire in this mode, and the
 	// replication/convergence/handoff invariants only bind here.
 	Churn bool
+	// Alg overrides the algorithm every node runs (zero value =
+	// SpecLnAgrISPPM1, the historical default). The linearity audit
+	// bounds high-water marks by the spec's DegreeCap.
+	Alg core.AlgSpec
+	// AdaptiveVictim runs the AdaptiveFDP variant of Alg on the
+	// seed-chosen victim node (the one Churn kills), leaving the rest
+	// pinned strict — the mixed-fleet shape of a staged rollout. The
+	// victim's ledger is audited against the adaptive cap, everyone
+	// else's against Alg's.
+	AdaptiveVictim bool
 }
 
 // Churn-mode tuning. The kill lands early in the replay; the down
@@ -98,8 +110,13 @@ const (
 
 // Invariants is the harness's verdict, one field per claim.
 type Invariants struct {
-	// Linearity.
-	MaxOwnerHW       int      `json:"max_owner_hw"`      // must be <= 1
+	// Linearity. DegreeCap is the largest per-file bound any node's
+	// policy allows (0 is read as the historical 1): MaxOwnerHW must
+	// stay within it, and OverCap lists nodes whose ledger exceeded
+	// their *own* engine's cap — a mixed fleet is audited per node.
+	DegreeCap        int      `json:"degree_cap,omitempty"`
+	MaxOwnerHW       int      `json:"max_owner_hw"`      // must be <= DegreeCap (1 when unset)
+	OverCap          []string `json:"over_cap"`          // must be empty
 	NonOwnerDriven   []string `json:"non_owner_driven"`  // must be empty
 	LinearViolations uint64   `json:"linear_violations"` // must be 0
 	// Buffer lifecycle.
@@ -137,8 +154,15 @@ func (v Invariants) Check() error {
 	if v.Wedged {
 		bad = append(bad, "replay wedged (timeout exceeded)")
 	}
-	if v.MaxOwnerHW > 1 {
-		bad = append(bad, fmt.Sprintf("owner prefetch high-water %d > 1", v.MaxOwnerHW))
+	cap := v.DegreeCap
+	if cap == 0 {
+		cap = 1
+	}
+	if v.MaxOwnerHW > cap {
+		bad = append(bad, fmt.Sprintf("owner prefetch high-water %d > degree cap %d", v.MaxOwnerHW, cap))
+	}
+	if len(v.OverCap) > 0 {
+		bad = append(bad, fmt.Sprintf("nodes exceeded their own degree cap: %v", v.OverCap))
 	}
 	if len(v.NonOwnerDriven) > 0 {
 		bad = append(bad, fmt.Sprintf("non-owner drove prefetches: %v", v.NonOwnerDriven))
@@ -212,8 +236,8 @@ func (r Result) String() string {
 	}
 	sort.Strings(reasons)
 	fmt.Fprintf(&b, "closes: %s\n", strings.Join(reasons, " "))
-	fmt.Fprintf(&b, "invariants: ownerHW=%d nonOwnerDriven=%d linearViol=%d bufLive=%d mismatches=%d unexpected=%d injectedErrs=%d transportErrs=%d degraded=%d wedged=%v\n",
-		r.Inv.MaxOwnerHW, len(r.Inv.NonOwnerDriven), r.Inv.LinearViolations, r.Inv.BufLive,
+	fmt.Fprintf(&b, "invariants: ownerHW=%d/cap=%d overCap=%d nonOwnerDriven=%d linearViol=%d bufLive=%d mismatches=%d unexpected=%d injectedErrs=%d transportErrs=%d degraded=%d wedged=%v\n",
+		r.Inv.MaxOwnerHW, r.Inv.DegreeCap, len(r.Inv.OverCap), len(r.Inv.NonOwnerDriven), r.Inv.LinearViolations, r.Inv.BufLive,
 		r.Inv.DataMismatches, len(r.Inv.UnexpectedErrors), r.Inv.InjectedErrors,
 		r.Inv.TransportErrors, r.Inv.DegradedReads, r.Inv.Wedged)
 	fmt.Fprintf(&b, "churn: ackedReplicated=%d lostAcked=%d unconverged=%d handoff=%dB/%dblk overBudget=%d\n",
@@ -295,13 +319,27 @@ func Run(cfg Config) (Result, error) {
 	var rawMu sync.Mutex
 	rawStores := make([]*lapcache.MemStore, cfg.Nodes)
 
+	// The victim is the node Churn kills; AdaptiveVictim also gives it
+	// the feedback-controlled degree policy, strict everywhere else.
+	victim := int(cfg.Seed % uint64(cfg.Nodes))
+	baseAlg := cfg.Alg
+	if baseAlg.Kind == core.AlgNone {
+		baseAlg = core.SpecLnAgrISPPM1
+	}
+	algFor := func(i int) core.AlgSpec {
+		if cfg.AdaptiveVictim && i == victim {
+			return core.AdaptiveVariant(baseAlg, core.DefaultAdaptiveCap)
+		}
+		return baseAlg
+	}
+
 	mkcfg := func(i int, addrs []string) lapcache.Config {
 		store := lapcache.NewMemStore(cfg.BlockSize, 0)
 		rawMu.Lock()
 		rawStores[i] = store
 		rawMu.Unlock()
 		return lapcache.Config{
-			Alg:         core.SpecLnAgrISPPM1,
+			Alg:         algFor(i),
 			BlockSize:   cfg.BlockSize,
 			CacheBlocks: cfg.CacheBlocks,
 			Workers:     8,
@@ -400,7 +438,6 @@ func Run(cfg Config) (Result, error) {
 	churnDone := make(chan struct{})
 	var churnErr error
 	if cfg.Churn {
-		victim := int(cfg.Seed % uint64(cfg.Nodes))
 		go func() {
 			defer close(churnDone)
 			time.Sleep(churnKillAt)
@@ -474,6 +511,13 @@ func Run(cfg Config) (Result, error) {
 		for reason, n := range m.Server.CloseCounts() {
 			res.Close[reason] += n
 		}
+		// Each node's ledger is bounded by its own engine's policy cap:
+		// in a mixed fleet (AdaptiveVictim) the strict nodes still may
+		// not exceed 1 even though the fleet-wide DegreeCap is wider.
+		nodeCap := m.Engine.DegreeCap()
+		if nodeCap > res.Inv.DegreeCap {
+			res.Inv.DegreeCap = nodeCap
+		}
 		for f, hw := range m.Engine.Ledger().HighWaters() {
 			if hw == 0 {
 				continue
@@ -484,6 +528,10 @@ func Run(cfg Config) (Result, error) {
 			if !m.Node.OwnedEver(f) {
 				res.Inv.NonOwnerDriven = append(res.Inv.NonOwnerDriven,
 					fmt.Sprintf("file %d on non-owner %s (hw=%d)", f, m.Addr, hw))
+			}
+			if nodeCap > 0 && hw > nodeCap {
+				res.Inv.OverCap = append(res.Inv.OverCap,
+					fmt.Sprintf("file %d on n%d: hw=%d > cap %d", f, m.Index, hw, nodeCap))
 			}
 			if hw > res.Inv.MaxOwnerHW {
 				res.Inv.MaxOwnerHW = hw
@@ -504,6 +552,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	sort.Strings(res.Inv.NonOwnerDriven)
+	sort.Strings(res.Inv.OverCap)
 
 	// Durability audit: every block the cluster acked as replicated
 	// must still be present in at least one current raw store.

@@ -3,6 +3,7 @@ package chaos
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 )
 
@@ -138,4 +139,48 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestChaosChurnAdaptiveVictim is the generalized-bound run: the
+// seed-chosen victim node runs the AdaptiveFDP degree policy while
+// every other node stays pinned to strict linear, and the cluster is
+// churned (kill + rejoin) under gossip faults. The audit must bound
+// every node's ledger by its *own* policy cap — the victim within the
+// adaptive hard K, the strict nodes within exactly 1 — with zero
+// ledger violations anywhere: LinearViolations stays exact under
+// StrictLinear because the strict engines' ledger limit is still 1.
+func TestChaosChurnAdaptiveVictim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-node cluster and churns it")
+	}
+	res, err := Run(Config{
+		Seed:           3,
+		Charisma:       experiment.TinyScale().Charisma,
+		Churn:          true,
+		AdaptiveVictim: true,
+	})
+	if err != nil {
+		t.Fatalf("chaos adaptive churn run: %v", err)
+	}
+	if err := res.Inv.Check(); err != nil {
+		t.Fatalf("invariants violated:\n%v\nfull result:\n%s", err, res.String())
+	}
+	if res.Inv.DegreeCap != core.DefaultAdaptiveCap {
+		t.Errorf("fleet degree cap = %d, want the adaptive victim's %d",
+			res.Inv.DegreeCap, core.DefaultAdaptiveCap)
+	}
+	if res.Inv.MaxOwnerHW > core.DefaultAdaptiveCap {
+		t.Errorf("owner high-water %d exceeds the adaptive cap %d",
+			res.Inv.MaxOwnerHW, core.DefaultAdaptiveCap)
+	}
+	if len(res.Inv.OverCap) != 0 {
+		t.Errorf("nodes exceeded their own policy cap: %v", res.Inv.OverCap)
+	}
+	if res.Inv.LinearViolations != 0 {
+		t.Errorf("%d ledger violations; the strict nodes' limit-1 ledgers must stay exact",
+			res.Inv.LinearViolations)
+	}
+	if res.Requests == 0 || res.Reads == 0 {
+		t.Errorf("replay moved no traffic: %+v", res)
+	}
 }

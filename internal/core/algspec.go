@@ -20,7 +20,13 @@ type AlgSpec struct {
 	Order int // IS_PPM order; ignored otherwise
 	Mode  Mode
 	// MaxOutstanding: 1 = linear (the paper's throttle), 0 = unlimited.
+	// When Adaptive is set it is the controller's hard cap K instead.
 	MaxOutstanding int
+	// Adaptive replaces the static throttle with the feedback-directed
+	// AdaptiveFDP controller: the per-file window starts at 1 and moves
+	// within [1, MaxOutstanding] from measured accuracy and timeliness.
+	// Only meaningful with ModeAggressive.
+	Adaptive bool
 
 	// Ablation switches (all false reproduces the paper's design).
 
@@ -52,6 +58,10 @@ func (s AlgSpec) Name() string {
 		switch {
 		case s.Mode == ModeOneShot:
 			name = base
+		case s.Adaptive && s.MaxOutstanding == DefaultAdaptiveCap:
+			name = "Ad_Agr_" + base
+		case s.Adaptive:
+			name = fmt.Sprintf("Ad%d_Agr_%s", s.MaxOutstanding, base)
 		case s.MaxOutstanding == 1:
 			name = "Ln_Agr_" + base
 		case s.MaxOutstanding == 0:
@@ -89,7 +99,45 @@ func (s AlgSpec) Validate() error {
 	if s.MaxOutstanding < 0 {
 		return fmt.Errorf("core: %s has negative outstanding limit %d", s.Name(), s.MaxOutstanding)
 	}
+	if s.Adaptive {
+		if s.Mode != ModeAggressive {
+			return fmt.Errorf("core: %s is adaptive but not aggressive", s.Name())
+		}
+		if s.MaxOutstanding < 1 {
+			return fmt.Errorf("core: %s is adaptive and needs a hard cap >= 1, got %d", s.Name(), s.MaxOutstanding)
+		}
+	}
 	return nil
+}
+
+// NewDegreePolicy instantiates the spec's outstanding-prefetch policy:
+// the AdaptiveFDP controller (cap = MaxOutstanding) for adaptive
+// specs, otherwise the static FixedDegree the paper assumes. Per-file:
+// each driver needs its own.
+func (s AlgSpec) NewDegreePolicy() DegreePolicy {
+	if s.Adaptive {
+		return NewAdaptiveFDP(AdaptiveFDPConfig{Cap: s.MaxOutstanding})
+	}
+	return &FixedDegree{K: s.MaxOutstanding}
+}
+
+// DegreeCap returns the largest per-file outstanding count the spec's
+// policy can ever allow (0 = unlimited); ledgers audit high-water
+// marks against it. For static specs it is MaxOutstanding itself, so
+// the paper's linear configurations still audit against exactly 1.
+func (s AlgSpec) DegreeCap() int { return s.MaxOutstanding }
+
+// AdaptiveVariant returns s driven by the feedback controller with the
+// given hard cap (<= 0 selects DefaultAdaptiveCap). The mode is forced
+// aggressive: adaptivity modulates a running chain.
+func AdaptiveVariant(s AlgSpec, cap int) AlgSpec {
+	if cap <= 0 {
+		cap = DefaultAdaptiveCap
+	}
+	s.Adaptive = true
+	s.Mode = ModeAggressive
+	s.MaxOutstanding = cap
+	return s
 }
 
 // Prefetches reports whether the configuration prefetches at all.
@@ -134,6 +182,17 @@ var (
 	SpecISPPM3 = AlgSpec{Kind: AlgISPPM, Order: 3, Mode: ModeOneShot, MaxOutstanding: 0}
 	// SpecLnAgrISPPM3 is linear aggressive IS_PPM:3.
 	SpecLnAgrISPPM3 = AlgSpec{Kind: AlgISPPM, Order: 3, Mode: ModeAggressive, MaxOutstanding: 1}
+
+	// Adaptive variants: the same chains, but the per-file window is
+	// feedback-controlled within [1, DefaultAdaptiveCap] instead of
+	// pinned at 1. These go beyond the paper (ROADMAP).
+
+	// SpecAdAgrOBA is adaptive aggressive OBA.
+	SpecAdAgrOBA = AdaptiveVariant(SpecLnAgrOBA, DefaultAdaptiveCap)
+	// SpecAdAgrISPPM1 is adaptive aggressive IS_PPM:1.
+	SpecAdAgrISPPM1 = AdaptiveVariant(SpecLnAgrISPPM1, DefaultAdaptiveCap)
+	// SpecAdAgrISPPM3 is adaptive aggressive IS_PPM:3.
+	SpecAdAgrISPPM3 = AdaptiveVariant(SpecLnAgrISPPM3, DefaultAdaptiveCap)
 )
 
 // StandardAlgorithms returns the seven configurations every figure of
@@ -160,6 +219,9 @@ func NamedAlgorithms() []AlgSpec {
 		AlgSpec{Kind: AlgISPPM, Order: 1, Mode: ModeAggressive, MaxOutstanding: 0},
 		AlgSpec{Kind: AlgISPPM, Order: 3, Mode: ModeAggressive, MaxOutstanding: 0},
 		AlgSpec{Kind: AlgBlockPPM, Order: 1, Mode: ModeAggressive, MaxOutstanding: 1},
+		SpecAdAgrOBA,
+		SpecAdAgrISPPM1,
+		SpecAdAgrISPPM3,
 	)
 }
 

@@ -66,8 +66,13 @@ type DriverConfig struct {
 	// MaxOutstanding bounds in-flight prefetch operations for this
 	// file. 1 is the paper's *linear* throttle (§3.2); 0 means
 	// unlimited (the uncontrolled aggressive variant, kept for the
-	// ablation benches).
+	// ablation benches). Ignored when Degree is set.
 	MaxOutstanding int
+	// Degree, if non-nil, supplies the outstanding bound dynamically:
+	// the driver consults Degree.Allow() before every issue. Nil falls
+	// back to the static FixedDegree{K: MaxOutstanding}, which is
+	// bit-exact with the historical hardwired throttle.
+	Degree DegreePolicy
 	// File is the file this driver serves.
 	File blockdev.FileID
 	// FileBlocks is the file length; predictions are clipped to
@@ -97,8 +102,9 @@ type DriverStats struct {
 	Rejected        uint64 // prefetches refused by the env (backpressure)
 	PredictionSteps uint64 // Predict calls made while walking
 	// HighWater is the most prefetches this driver ever had in flight
-	// at once; ≤ MaxOutstanding by construction, so it verifies the
-	// linear throttle directly.
+	// at once; ≤ the degree policy's Cap by construction (exactly ≤ 1
+	// under the paper's linear throttle), so it verifies the bound
+	// directly.
 	HighWater int
 }
 
@@ -121,6 +127,7 @@ type pendingBlock struct {
 // environment's refusal to prefetch once the run is draining.
 type Driver struct {
 	cfg         DriverConfig
+	degree      DegreePolicy
 	cursor      Cursor
 	haveCursor  bool
 	pending     []pendingBlock
@@ -147,7 +154,10 @@ func NewDriver(cfg DriverConfig) *Driver {
 	if cfg.MaxDrySteps == 0 {
 		cfg.MaxDrySteps = 64
 	}
-	return &Driver{cfg: cfg, stopped: true}
+	if cfg.Degree == nil {
+		cfg.Degree = &FixedDegree{K: cfg.MaxOutstanding}
+	}
+	return &Driver{cfg: cfg, degree: cfg.Degree, stopped: true}
 }
 
 // Name describes the configured algorithm the way the paper does:
@@ -158,7 +168,10 @@ func (d *Driver) Name() string {
 	if d.cfg.Mode == ModeOneShot {
 		return base
 	}
-	if d.cfg.MaxOutstanding == 1 {
+	if _, ok := d.degree.(*AdaptiveFDP); ok {
+		return "Ad_Agr_" + base
+	}
+	if d.degree.Cap() == 1 {
 		return "Ln_Agr_" + base
 	}
 	return "Agr_" + base
@@ -270,10 +283,13 @@ func (d *Driver) inFile(p Prediction) bool {
 	return p.End() > 0 && p.Offset < d.cfg.FileBlocks
 }
 
-// pump issues pending blocks up to the outstanding limit, walking the
-// chain for more work when aggressive and the batch runs dry.
+// pump issues pending blocks up to the policy's current window,
+// walking the chain for more work when aggressive and the batch runs
+// dry. The window is re-read every iteration: an adaptive policy may
+// widen or clamp between issues, and a clamp simply stops further
+// issues — blocks already in flight are left to complete.
 func (d *Driver) pump() {
-	for d.cfg.MaxOutstanding == 0 || d.outstanding < d.cfg.MaxOutstanding {
+	for lim := d.degree.Allow(); lim == 0 || d.outstanding < lim; lim = d.degree.Allow() {
 		if len(d.pending) == 0 && !d.refill() {
 			return
 		}
@@ -330,19 +346,37 @@ func (d *Driver) issue(blk blockdev.BlockID, fallback bool) bool {
 	// Cancellation keys on the generation only: a same-generation
 	// operation always runs to completion so the outstanding count
 	// stays consistent (stale generations reset it in restartFrom).
+	//
+	// release undoes this operation's +1 exactly once. An operation
+	// from an abandoned chain (the generation moved under it) finds
+	// its slot already reclaimed by StopChain/restartFrom's bulk
+	// reset, and a completion that somehow fires twice hits the
+	// latch — under a K>1 window a stray second decrement would
+	// silently free a slot and let the window overshoot its bound.
+	released := false
+	release := func() bool {
+		if released || d.gen != gen {
+			return false
+		}
+		released = true
+		d.changeOutstanding(-1)
+		return true
+	}
 	accepted := d.cfg.Env.Prefetch(blk, fallback,
 		func() bool { return d.gen != gen },
 		func() {
-			if d.gen != gen {
-				return // belongs to an abandoned chain
+			if !release() {
+				return // abandoned chain or duplicate completion
 			}
-			d.changeOutstanding(-1)
 			d.stats.Completed++
 			d.pump()
 		})
 	if !accepted {
-		d.changeOutstanding(-1)
+		release()
 		d.stats.Rejected++
+		if bp, ok := d.degree.(backpressureAware); ok {
+			bp.OnBackpressure()
+		}
 		return false
 	}
 	d.stats.Issued++

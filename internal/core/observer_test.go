@@ -92,3 +92,160 @@ func TestDriverStopChainReleasesOutstanding(t *testing.T) {
 		t.Errorf("outstanding after orphan completion = %d, want 0", obs.net)
 	}
 }
+
+// TestDriverObserverWindowedPeak is the K>1 generalization of the
+// peak check: a windowed driver may run the observer's sum up to K,
+// never past it, and still drain to zero.
+func TestDriverObserverWindowedPeak(t *testing.T) {
+	const k = 3
+	env := newFakeEnv()
+	obs := &recordingObserver{}
+	d := NewDriver(DriverConfig{
+		Predictor:      NewOBA(),
+		Mode:           ModeAggressive,
+		MaxOutstanding: k,
+		File:           3,
+		FileBlocks:     64,
+		Env:            env,
+		Observer:       obs,
+	})
+	for i := 0; i < 8; i++ {
+		d.OnUserRequest(Request{Offset: blockdev.BlockNo(i), Size: 1}, Tick(i+1), false)
+	}
+	run, peak := 0, 0
+	for _, dl := range obs.deltas {
+		run += dl
+		if run > peak {
+			peak = run
+		}
+	}
+	if peak != k {
+		t.Errorf("observed outstanding peak = %d, want %d", peak, k)
+	}
+	env.completeAll()
+	if obs.net != 0 {
+		t.Errorf("net outstanding after drain = %d, want 0", obs.net)
+	}
+	if hw := d.Stats().HighWater; hw != k {
+		t.Errorf("driver high-water = %d, want %d", hw, k)
+	}
+}
+
+// TestDriverStopChainWindowedOrphans closes a file with a *full K>1
+// window in flight, restarts the chain, and then lets the orphaned
+// completions land amidst the new generation's: each orphan must be
+// discarded exactly once (no double-decrement), the restarted chain's
+// accounting must be untouched, and the peak must stay within K.
+// recordingObserver panics if any interleaving drives the sum
+// negative.
+func TestDriverStopChainWindowedOrphans(t *testing.T) {
+	const k = 3
+	env := newFakeEnv()
+	obs := &recordingObserver{}
+	d := NewDriver(DriverConfig{
+		Predictor:      NewOBA(),
+		Mode:           ModeAggressive,
+		MaxOutstanding: k,
+		File:           4,
+		FileBlocks:     64,
+		Env:            env,
+		Observer:       obs,
+	})
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	d.OnUserRequest(Request{Offset: 1, Size: 1}, 2, false)
+	if obs.net != k {
+		t.Fatalf("outstanding before stop = %d, want a full window of %d", obs.net, k)
+	}
+	orphans := len(env.inflight)
+
+	// Close with the window full: the driver hands back all K at once.
+	d.StopChain()
+	if obs.net != 0 {
+		t.Fatalf("outstanding after StopChain = %d, want 0", obs.net)
+	}
+
+	// Restart the chain; the old generation's operations are still in
+	// env.inflight ahead of the new ones.
+	d.OnUserRequest(Request{Offset: 20, Size: 1}, 3, false)
+	newOps := obs.net
+	if newOps == 0 {
+		t.Fatal("restarted chain issued nothing")
+	}
+	for i := 0; i < orphans; i++ {
+		env.completeOne() // old-generation orphan: must be discarded
+	}
+	if obs.net < newOps {
+		t.Errorf("orphan completions stole %d release(s) from the live generation", newOps-obs.net)
+	}
+	env.completeAll()
+	if obs.net != 0 {
+		t.Errorf("net outstanding after drain = %d, want 0", obs.net)
+	}
+	run, peak := 0, 0
+	for _, dl := range obs.deltas {
+		run += dl
+		if run > peak {
+			peak = run
+		}
+	}
+	if peak > k {
+		t.Errorf("observed outstanding peak = %d, want <= %d", peak, k)
+	}
+}
+
+// doubleFireEnv retains every done callback so the test can invoke a
+// completion twice — the pathological environment the release latch
+// defends against.
+type doubleFireEnv struct {
+	cache map[blockdev.BlockID]bool
+	dones []func()
+}
+
+func (f *doubleFireEnv) Cached(b blockdev.BlockID) bool { return f.cache[b] }
+
+func (f *doubleFireEnv) Prefetch(b blockdev.BlockID, fallback bool, cancelled func() bool, done func()) bool {
+	f.cache[b] = true // complete into the cache up front; timing is the test's
+	f.dones = append(f.dones, done)
+	return true
+}
+
+// TestDriverDoubleFiredDoneReleasesOnce fires each completion twice:
+// the windowed accounting must decrement once per operation, never
+// twice, and the completion stats must count each operation once.
+func TestDriverDoubleFiredDoneReleasesOnce(t *testing.T) {
+	const k = 2
+	env := &doubleFireEnv{cache: make(map[blockdev.BlockID]bool)}
+	obs := &recordingObserver{}
+	d := NewDriver(DriverConfig{
+		Predictor:      NewOBA(),
+		Mode:           ModeAggressive,
+		MaxOutstanding: k,
+		File:           5,
+		FileBlocks:     8,
+		Env:            env,
+		Observer:       obs,
+	})
+	d.OnUserRequest(Request{Offset: 0, Size: 1}, 1, false)
+	fired := 0
+	for i := 0; i < len(env.dones); i++ { // dones grows as completions pump
+		env.dones[i]()
+		env.dones[i]()
+		fired++
+	}
+	if obs.net != 0 {
+		t.Errorf("net outstanding after double-fired drain = %d, want 0", obs.net)
+	}
+	if got := d.Stats().Completed; got != uint64(fired) {
+		t.Errorf("Completed = %d, want %d (each op counted once)", got, fired)
+	}
+	run, peak := 0, 0
+	for _, dl := range obs.deltas {
+		run += dl
+		if run > peak {
+			peak = run
+		}
+	}
+	if peak > k {
+		t.Errorf("observed outstanding peak = %d, want <= %d", peak, k)
+	}
+}

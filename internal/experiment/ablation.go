@@ -33,6 +33,10 @@ func Ablations() []AblationSpec {
 	unl := base
 	unl.MaxOutstanding = 0
 	add("linearity", "unlimited", unl)
+	// The feedback-controlled window sits between linear1 and the
+	// static window4: it starts linear and must earn depth from
+	// accuracy and timeliness.
+	add("linearity", "adaptive", core.AdaptiveVariant(base, core.DefaultAdaptiveCap))
 
 	add("linkPolicy", "mostRecent", base)
 	prob := base

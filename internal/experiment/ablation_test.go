@@ -18,7 +18,7 @@ func TestAblationsEnumeration(t *testing.T) {
 		names[key] = true
 	}
 	want := map[string]int{
-		"linearity": 3, "linkPolicy": 2, "order": 4,
+		"linearity": 4, "linkPolicy": 2, "order": 4,
 		"priority": 2, "fallback": 2, "modelling": 2,
 	}
 	for study, n := range want {

@@ -59,6 +59,13 @@ type Base struct {
 	// as their drivers' observer.
 	Ledger *PrefetchLedger
 
+	// Degrees hands out the per-file outstanding-prefetch policy and
+	// routes the timely/late/wasted lifecycle events both file systems
+	// already classify to the owning file's controller. Static under
+	// the paper's specs; the feedback loop only moves for Adaptive
+	// ones.
+	Degrees *core.DegreeSet
+
 	// inflight coalesces concurrent demand fetches of one block.
 	inflight map[blockdev.BlockID][]func(e *sim.Engine, at sim.Time)
 	// inflightFor remembers which node the eventual insert targets.
@@ -73,9 +80,10 @@ type Base struct {
 }
 
 // NewBase builds the shared substrate stack for the given machine,
-// cache geometry and replacement policy.
+// cache geometry and replacement policy. alg supplies the per-file
+// degree policies (see Degrees).
 func NewBase(e *sim.Engine, cfg machine.Config, cacheBlocksPerNode int,
-	policy cachesim.Policy, tr *workload.Trace) *Base {
+	policy cachesim.Policy, tr *workload.Trace, alg core.AlgSpec) *Base {
 
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("fscommon: %v", err))
@@ -92,16 +100,20 @@ func NewBase(e *sim.Engine, cfg machine.Config, cacheBlocksPerNode int,
 		Cch:         cachesim.New(e, cfg.Nodes, cacheBlocksPerNode, policy),
 		Coll:        stats.New(),
 		Ledger:      NewPrefetchLedger(),
+		Degrees:     core.NewDegreeSet(alg),
 		Files:       files,
 		inflight:    make(map[blockdev.BlockID][]func(e *sim.Engine, at sim.Time)),
 		inflightFor: make(map[blockdev.BlockID]blockdev.NodeID),
 		pfInflight:  make(map[blockdev.BlockID]int),
 	}
 	// A prefetched copy touched by a user request was a timely
-	// prefetch. Capture the collector (a shared pointer) rather than b:
-	// the file systems embed a copy of Base.
-	coll := b.Coll
-	b.Cch.OnPrefetchUsed = func(blockdev.BlockID) { coll.PrefetchTimely() }
+	// prefetch. Capture the collector and degree set (shared pointers)
+	// rather than b: the file systems embed a copy of Base.
+	coll, degrees := b.Coll, b.Degrees
+	b.Cch.OnPrefetchUsed = func(id blockdev.BlockID) {
+		coll.PrefetchTimely()
+		degrees.OnTimely(id.File)
+	}
 	return b
 }
 
@@ -146,6 +158,7 @@ func (b *Base) DemandFetch(blk blockdev.BlockID, node blockdev.NodeID, done func
 		// The predictor was right but the prefetch lost the race: demand
 		// traffic now duplicates the read at user priority.
 		b.Coll.PrefetchLate()
+		b.Degrees.OnLate(blk.File)
 	}
 	b.Disks.Read(blk, sim.PriorityUser, nil, func(e *sim.Engine, at sim.Time) {
 		b.Coll.DiskRead(false)
@@ -173,6 +186,7 @@ func (b *Base) FlushVictims(victims []cachesim.Victim) {
 	for _, v := range victims {
 		if v.WasUnusedPrefetch {
 			b.Coll.PrefetchWasted()
+			b.Degrees.OnWasted(v.Block.File)
 		}
 		if !v.Dirty {
 			continue

@@ -48,6 +48,12 @@ type blockCache struct {
 	// entries recycles centry shells between eviction and insertion, so
 	// a steady-state miss (evict one, insert one) allocates nothing.
 	entries sync.Pool
+	// onWasted, if set, is told the owning file of every wasted
+	// eviction (a speculative block dropped untouched) — the per-file
+	// waste signal the adaptive degree controller feeds on. Put's
+	// return value can't carry this: victims routinely belong to other
+	// files than the inserted block. Called outside all shard locks.
+	onWasted func(f blockdev.FileID)
 }
 
 // newBlockCache builds a cache of capacity blocks striped over nShards
@@ -152,6 +158,8 @@ func (c *blockCache) Put(b blockdev.BlockID, buf *blockbuf.Buf, prefetched bool)
 	// heap only in the never-expected many-victim case).
 	var freedArr [4]*blockbuf.Buf
 	freed := freedArr[:0]
+	var wastedArr [4]blockdev.FileID
+	wasted := wastedArr[:0]
 	for sh.lru.Len() >= sh.cap {
 		victim := sh.lru.Front()
 		if victim == nil {
@@ -161,6 +169,9 @@ func (c *blockCache) Put(b blockdev.BlockID, buf *blockbuf.Buf, prefetched bool)
 		delete(sh.blocks, victim.id)
 		if victim.prefetched {
 			wastedEvictions++
+			if c.onWasted != nil {
+				wasted = append(wasted, victim.id.File)
+			}
 		}
 		freed = append(freed, victim.buf)
 		victim.buf = nil
@@ -178,6 +189,9 @@ func (c *blockCache) Put(b blockdev.BlockID, buf *blockbuf.Buf, prefetched bool)
 	// buffer pool, which there is no reason to do under the stripe.
 	for _, f := range freed {
 		f.Release()
+	}
+	for _, f := range wasted {
+		c.onWasted(f)
 	}
 	return wastedEvictions
 }

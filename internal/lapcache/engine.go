@@ -107,6 +107,13 @@ type fileState struct {
 	driver *core.Driver // nil when Alg is NP or the file is not owned
 	tick   core.Tick    // per-file logical clock fed to the predictor
 
+	// degree is the file's outstanding-prefetch policy. Immutable after
+	// fileState creation (the policy itself is internally synchronized),
+	// so feedback paths may read it without holding mu. It outlives the
+	// driver across ownership churn: a resumed file keeps its learned
+	// window just as it keeps its learned predictor state.
+	degree core.DegreePolicy
+
 	// epoch is the ownership epoch this file's driver decision was
 	// made under; when the remote tier's Epoch moves past it, the next
 	// access (or an OwnershipChanged sweep) re-probes Owned and
@@ -139,6 +146,11 @@ type Engine struct {
 	m      Metrics
 	ledger *Ledger
 	fops   sync.Pool // recycled *fetchOp
+	// adaptive short-circuits the per-event policy feedback on the
+	// read paths: static policies ignore it, so non-adaptive engines
+	// skip the fileState lookup entirely and stay byte-for-byte on the
+	// historical hot path.
+	adaptive bool
 
 	filesMu    sync.RWMutex
 	files      map[blockdev.FileID]*fileState
@@ -186,7 +198,8 @@ func New(cfg Config) (*Engine, error) {
 		store:      cfg.Store,
 		pool:       blockbuf.NewPool(cfg.BlockSize),
 		remote:     cfg.Remote,
-		ledger:     NewLedger(cfg.Alg.MaxOutstanding, cfg.StrictLinear),
+		ledger:     NewLedger(cfg.Alg.DegreeCap(), cfg.StrictLinear),
+		adaptive:   cfg.Alg.Adaptive,
 		files:      make(map[blockdev.FileID]*fileState),
 		fileBlocks: make(map[blockdev.FileID]blockdev.BlockNo, len(cfg.FileBlocks)),
 		inflight:   make(map[blockdev.BlockID]*fetchOp),
@@ -198,6 +211,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	for f, b := range cfg.FileBlocks {
 		e.fileBlocks[f] = b
+	}
+	if e.adaptive {
+		e.cache.onWasted = func(f blockdev.FileID) { e.fileState(f).degree.OnWasted() }
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -236,7 +252,7 @@ func (e *Engine) fileState(f blockdev.FileID) *fileState {
 	if fl := e.files[f]; fl != nil {
 		return fl
 	}
-	fl = &fileState{}
+	fl = &fileState{degree: e.cfg.Alg.NewDegreePolicy()}
 	e.files[f] = fl
 	return fl
 }
@@ -250,13 +266,13 @@ func (e *Engine) newDriver(f blockdev.FileID, fl *fileState) *core.Driver {
 		blocks = e.cfg.DefaultFileBlocks
 	}
 	return core.NewDriver(core.DriverConfig{
-		Predictor:      e.cfg.Alg.NewPredictor(),
-		Mode:           e.cfg.Alg.Mode,
-		MaxOutstanding: e.cfg.Alg.MaxOutstanding,
-		File:           f,
-		FileBlocks:     blocks,
-		Env:            &runtimeEnv{e: e, fl: fl},
-		Observer:       e.ledger,
+		Predictor:  e.cfg.Alg.NewPredictor(),
+		Mode:       e.cfg.Alg.Mode,
+		Degree:     fl.degree,
+		File:       f,
+		FileBlocks: blocks,
+		Env:        &runtimeEnv{e: e, fl: fl},
+		Observer:   e.ledger,
 	})
 }
 
@@ -449,6 +465,9 @@ func (e *Engine) readSpanRemote(bufs []*blockbuf.Buf, f blockdev.FileID, off blo
 		if buf, wasPrefetched, ok := e.cache.Get(b); ok {
 			if wasPrefetched && !waited {
 				e.m.prefetchTimely.Add(1)
+				if e.adaptive {
+					e.fileState(f).degree.OnTimely()
+				}
 			}
 			bufs = append(bufs, buf)
 			if waited {
@@ -468,6 +487,9 @@ func (e *Engine) readSpanRemote(bufs []*blockbuf.Buf, f blockdev.FileID, off blo
 			e.flightMu.Unlock()
 			if fo.prefetch && !waited {
 				e.m.prefetchLate.Add(1)
+				if e.adaptive {
+					e.fileState(f).degree.OnLate()
+				}
 			}
 			waited = true
 			fo.wg.Wait()
@@ -603,6 +625,9 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 			// to land, it was late and already counted.
 			if wasPrefetched && !waited {
 				e.m.prefetchTimely.Add(1)
+				if e.adaptive {
+					e.fileState(b.File).degree.OnTimely()
+				}
 			}
 			return buf, !waited, nil
 		}
@@ -615,6 +640,9 @@ func (e *Engine) readBlockBuf(b blockdev.BlockID) (buf *blockbuf.Buf, hit bool, 
 				// The predictor chose this block, but its fetch is
 				// still in flight when the demand arrives: late.
 				e.m.prefetchLate.Add(1)
+				if e.adaptive {
+					e.fileState(b.File).degree.OnLate()
+				}
 			}
 			waited = true
 			fo.wg.Wait()
@@ -877,7 +905,7 @@ func (e *Engine) Preload(f blockdev.FileID, off blockdev.BlockNo, nblocks int32,
 // Snapshot freezes the engine's counters.
 func (e *Engine) Snapshot() Snapshot {
 	bufAllocs, bufRecycles := e.pool.Stats()
-	return Snapshot{
+	s := Snapshot{
 		BufAllocs:            bufAllocs,
 		BufRecycles:          bufRecycles,
 		BufLive:              e.pool.Live(),
@@ -910,11 +938,59 @@ func (e *Engine) Snapshot() Snapshot {
 		LinearViolations:     e.ledger.Violations(),
 		CachedBlocks:         e.cache.Len(),
 	}
+	if agg, ok := e.DegreeStats(); ok {
+		s.DegreeCap = agg.Cap
+		s.MaxDegree = agg.Degree
+		s.DegreeWidens = agg.Widens
+		s.DegreeClamps = agg.Clamps
+	}
+	return s
 }
 
 // Ledger exposes the linearity ledger (tests assert on high-water
 // marks through it).
 func (e *Engine) Ledger() *Ledger { return e.ledger }
+
+// DegreeCap returns the largest per-file outstanding-prefetch count
+// the engine's policy can ever allow (0 = unlimited). Under the
+// paper's linear configurations it is exactly 1; auditors check
+// ledger high-water marks against it.
+func (e *Engine) DegreeCap() int { return e.cfg.Alg.DegreeCap() }
+
+// DegreeStats aggregates the adaptive controllers across every file
+// the engine has touched. adaptive reports whether the engine runs
+// the feedback policy at all; a static engine returns zeros.
+func (e *Engine) DegreeStats() (agg core.AdaptiveStats, adaptive bool) {
+	if !e.adaptive {
+		return core.AdaptiveStats{}, false
+	}
+	agg.Degree = 1 // every controller starts linear
+	e.filesMu.RLock()
+	defer e.filesMu.RUnlock()
+	for _, fl := range e.files {
+		a, ok := fl.degree.(*core.AdaptiveFDP)
+		if !ok {
+			continue
+		}
+		s := a.Stats()
+		if s.Degree > agg.Degree {
+			agg.Degree = s.Degree
+		}
+		if s.Cap > agg.Cap {
+			agg.Cap = s.Cap
+		}
+		agg.Evals += s.Evals
+		agg.Widens += s.Widens
+		agg.Narrows += s.Narrows
+		agg.Clamps += s.Clamps
+		agg.Backpressure += s.Backpressure
+		agg.Timely += s.Timely
+		agg.Late += s.Late
+		agg.Wasted += s.Wasted
+		agg.Unused += s.Unused
+	}
+	return agg, true
+}
 
 // Shutdown stops the worker pool. Queued prefetch operations are
 // abandoned; in-progress ones finish first. Idempotent.

@@ -122,6 +122,15 @@ type Snapshot struct {
 	// misconfigured (it is also asserted server-side when strict).
 	LinearViolations uint64 `json:"linear_violations"`
 
+	// Degree policy (zero / omitted on static engines). DegreeCap is
+	// the policy's hard ceiling; MaxDegree the deepest window any
+	// file's adaptive controller reached; DegreeWidens/DegreeClamps
+	// count its widen steps and hard resets to linear.
+	DegreeCap    int    `json:"degree_cap,omitempty"`
+	MaxDegree    int    `json:"max_degree,omitempty"`
+	DegreeWidens uint64 `json:"degree_widens,omitempty"`
+	DegreeClamps uint64 `json:"degree_clamps,omitempty"`
+
 	CachedBlocks int `json:"cached_blocks"`
 }
 

@@ -39,7 +39,7 @@ type FS struct {
 func New(e *sim.Engine, cfg Config, tr *workload.Trace) *FS {
 	fs := &FS{
 		Base: *fscommon.NewBase(e, cfg.Machine, cfg.CacheBlocksPerNode,
-			cachesim.GlobalLRU{}, tr),
+			cachesim.GlobalLRU{}, tr, cfg.Algorithm),
 		alg:     cfg.Algorithm,
 		drivers: make(map[blockdev.FileID]*core.Driver),
 	}
@@ -98,13 +98,13 @@ func (fs *FS) driverFor(f blockdev.FileID) *core.Driver {
 		return d
 	}
 	d := core.NewDriver(core.DriverConfig{
-		Predictor:      fs.alg.NewPredictor(),
-		Mode:           fs.alg.Mode,
-		MaxOutstanding: fs.alg.MaxOutstanding,
-		File:           f,
-		FileBlocks:     fs.FileBlocks(f),
-		Env:            pafsEnv{fs: fs, server: fs.ServerFor(f)},
-		Observer:       fs.Ledger,
+		Predictor:  fs.alg.NewPredictor(),
+		Mode:       fs.alg.Mode,
+		Degree:     fs.Degrees.For(f),
+		File:       f,
+		FileBlocks: fs.FileBlocks(f),
+		Env:        pafsEnv{fs: fs, server: fs.ServerFor(f)},
+		Observer:   fs.Ledger,
 	})
 	fs.drivers[f] = d
 	return d

@@ -54,7 +54,7 @@ func New(e *sim.Engine, cfg Config, tr *workload.Trace) *FS {
 	}
 	return &FS{
 		Base: *fscommon.NewBase(e, cfg.Machine, cfg.CacheBlocksPerNode,
-			cachesim.NChance{Recirculations: recirc}, tr),
+			cachesim.NChance{Recirculations: recirc}, tr, cfg.Algorithm),
 		alg:     cfg.Algorithm,
 		drivers: make(map[driverKey]*core.Driver),
 	}
@@ -118,14 +118,18 @@ func (fs *FS) driverFor(node blockdev.NodeID, f blockdev.FileID) *core.Driver {
 	if d, ok := fs.drivers[k]; ok {
 		return d
 	}
+	// Every node's driver for f shares the file's one degree policy:
+	// the bound applies per driver, so the machine-wide aggregate can
+	// still exceed it — the same per-node-vs-global gap that keeps
+	// xFS's prefetching "not really linear" in the paper (§4).
 	d := core.NewDriver(core.DriverConfig{
-		Predictor:      fs.alg.NewPredictor(),
-		Mode:           fs.alg.Mode,
-		MaxOutstanding: fs.alg.MaxOutstanding,
-		File:           f,
-		FileBlocks:     fs.FileBlocks(f),
-		Env:            xfsEnv{fs: fs, node: node},
-		Observer:       fs.Ledger,
+		Predictor:  fs.alg.NewPredictor(),
+		Mode:       fs.alg.Mode,
+		Degree:     fs.Degrees.For(f),
+		File:       f,
+		FileBlocks: fs.FileBlocks(f),
+		Env:        xfsEnv{fs: fs, node: node},
+		Observer:   fs.Ledger,
 	})
 	fs.drivers[k] = d
 	return d
