@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check check-runtime check-cluster check-chaos check-load soak vet build test race fuzz bench bench-all report
+.PHONY: check check-runtime check-cluster check-chaos check-load check-hotpath soak vet build test race fuzz bench bench-all report
 
-check: vet build race fuzz check-runtime check-cluster check-chaos check-load
+check: vet build race fuzz check-runtime check-cluster check-chaos check-load check-hotpath
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,15 @@ check-load:
 	$(GO) test -race -count=1 ./internal/loadgen/... ./internal/stats/...
 	$(GO) run ./cmd/lapbench -exp load -load-rates 200,400 -load-dur 1s
 
+# The wire hot path under the race detector: vectored-write and
+# frame-batch framing/reuse, the coalescing latch against a pipelined
+# burst (on and off), the sharded accept path under concurrent
+# connections, and the torn-vectored-write fault — then a short
+# lapbench smoke of the real -exp hotpath cells.
+check-hotpath:
+	$(GO) test -race -count=1 -run TestHotpath ./internal/wire/ ./internal/lapcache/
+	$(GO) run ./cmd/lapbench -exp hotpath -hotpath-conns 1,16 -hotpath-dur 500ms
+
 # Chaos soak: random seeds in a loop (SOAK_RUNS, default 20). Every
 # other run puts the AdaptiveFDP degree policy on the seed-chosen
 # victim node (strict linear elsewhere), so the audit exercises both
@@ -90,9 +99,10 @@ bench:
 		-notes "binary streams the payload from the refcounted cache buffer (no base64, no copy); binaryPipelined is the -replay configuration: pooled connections with an in-flight window."
 	$(GO) test -run '^$$' -bench BenchmarkClusterRead -benchmem . | \
 		$(GO) run ./cmd/benchfmt -benchmark BenchmarkClusterRead -o BENCH_cluster.json \
+		-assert-allocs 'BenchmarkClusterRead/localHit=0,BenchmarkClusterRead/remoteHit=0' \
 		-description "One 8 KiB block with data per read over loopback TCP: a block cached on the contacted node (localHit), a local miss forwarded to the ring owner holding it in memory (remoteHit, two wire hops), and the same miss against a backing store with a disk-like 2 ms access and no peer tier (localDisk)." \
 		-command "make bench" \
-		-notes "The paper's premise measured end to end: the remote memory hit is two orders of magnitude faster than the local disk read it replaces. remoteHit runs on a live 3-node cluster (cluster.StartLocal) with the contacted node's cache shrunk to 4 blocks so every read forwards."
+		-notes "The paper's premise measured end to end: the remote memory hit is two orders of magnitude faster than the local disk read it replaces. remoteHit runs on a live 3-node cluster (cluster.StartLocal) with the contacted node's cache shrunk to 4 blocks so every read forwards. localHit and remoteHit ride the vectored zero-copy wire path and are gated at 0 allocs/op (-assert-allocs)."
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMembership/(replicaHit|diskDegrade)' -benchtime 200x -benchmem .; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMembership/handoff' -benchtime 1x -benchmem .; } | \
 		$(GO) run ./cmd/benchfmt -benchmark BenchmarkMembership -o BENCH_membership.json \
@@ -104,6 +114,11 @@ bench:
 		-description "Strict linear (Ln_Agr_IS_PPM:1) vs the feedback-controlled AdaptiveFDP window (Ad_Agr_IS_PPM:1) on the same live engine, same 200us store, same pause-free sequential streams. deepseq: roomy cache, the window is the only limiter. coldtail: a 6-block cache smaller than the controller's widest window, where deep speculation self-evicts." \
 		-command "make bench" \
 		-notes "Each policy must win its home workload: adaptive takes deepseq on the latency distribution (the widened window pipelines the store), linear takes coldtail on hit ratio and wasted fetches (the paper's small-cache argument). hit-% undercounts the adaptive pipeline on deepseq — a read that waits microseconds for a landing prefetch books as a miss; ns/op, p50-ns and p99-ns carry that comparison. degree is the controller window at run end; accuracy-% is lifetime useful fraction of resolved prefetches."
+	$(GO) run ./cmd/lapbench -exp hotpath -bench | \
+		$(GO) run ./cmd/benchfmt -benchmark BenchmarkHotpath -o BENCH_hotpath.json \
+		-description "The wire hot path end to end: an in-process server with the vectored (writev) response path and sharded accept loops, driven closed-loop by 1, 64, and 1024 concurrent connections each keeping a 4-deep pipeline of single-block 8 KiB cache-hit reads in flight. Every cell runs twice: response coalescing on (drain-the-ready-queue latch) and off (one writev per frame). ns/op is mean request latency; p50-ns/p99-ns are the tails; req/s is achieved throughput." \
+		-command "make bench" \
+		-notes "The coalesce-vs-nocoalesce pair at each concurrency level is the latch's A/B: at conns=1 the latch must not tax latency (it only fires when a complete next request is already buffered), at high fan-in it amortizes syscalls across ready responses."
 	$(GO) run ./cmd/lapbench -exp load -load-bench -load-rates 500,1000,2000,4000,8000,16000 -load-dur 1s | \
 		$(GO) run ./cmd/benchfmt -benchmark BenchmarkLoad -o BENCH_load.json \
 		-description "Open-loop throughput-vs-latency sweep against one in-process lapcached node: Poisson arrivals at each offered rate for 1s of virtual time, Zipf(1.1) popularity over 64 files, 4-block spans, latencies measured from each request's scheduled arrival (coordinated-omission corrected) into an HDR-style histogram." \

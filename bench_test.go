@@ -389,12 +389,14 @@ func BenchmarkClusterRead(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer c.Close()
+		dsts := [][]byte{make([]byte, blockSize)}
 		b.SetBytes(blockSize)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			data, hit, err := c.Read(1, 0, 1, true)
-			if err != nil || !hit || len(data) != blockSize {
-				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			hit, err := c.ReadInto(1, 0, 1, dsts)
+			if err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
 			}
 		}
 	})
@@ -435,12 +437,14 @@ func BenchmarkClusterRead(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer c.Close()
+		dsts := [][]byte{make([]byte, blockSize)}
 		b.SetBytes(blockSize)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			data, hit, err := c.Read(f, blockdev.BlockNo(i%hot), 1, true)
-			if err != nil || !hit || len(data) != blockSize {
-				b.Fatalf("hit=%v len=%d err=%v", hit, len(data), err)
+			hit, err := c.ReadInto(f, blockdev.BlockNo(i%hot), 1, dsts)
+			if err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
 			}
 		}
 		b.StopTimer()

@@ -65,8 +65,14 @@ func main() {
 		notes     = flag.String("notes", "", "free-form notes")
 		command   = flag.String("command", "", "the command that produced the input")
 		out       = flag.String("o", "", "output file (stdout when empty)")
+		asserts   = flag.String("assert-allocs", "", "fail unless each named result stays at or under its allocs/op budget, e.g. 'BenchmarkClusterRead/localHit=0,BenchmarkClusterRead/remoteHit=0'")
 	)
 	flag.Parse()
+
+	budgets, err := parseAllocAsserts(*asserts)
+	if err != nil {
+		log.Fatalf("benchfmt: %v", err)
+	}
 
 	rec := record{
 		Benchmark:   *benchmark,
@@ -103,6 +109,9 @@ func main() {
 	if len(rec.Results) == 0 {
 		log.Fatal("benchfmt: no benchmark result lines in input")
 	}
+	if err := checkAllocAsserts(budgets, rec.Results); err != nil {
+		log.Fatalf("benchfmt: %v", err)
+	}
 
 	buf, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
@@ -117,6 +126,73 @@ func main() {
 		log.Fatalf("benchfmt: %v", err)
 	}
 	log.Printf("benchfmt: wrote %d results to %s", len(rec.Results), *out)
+}
+
+// parseAllocAsserts decodes an -assert-allocs spec: comma-separated
+// name=max pairs, where name is a benchmark result name without the
+// -N GOMAXPROCS suffix.
+func parseAllocAsserts(spec string) (map[string]int64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	budgets := make(map[string]int64)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, maxs, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-assert-allocs entry %q is not name=max", pair)
+		}
+		max, err := strconv.ParseInt(maxs, 10, 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("-assert-allocs entry %q has a bad budget", pair)
+		}
+		budgets[name] = max
+	}
+	return budgets, nil
+}
+
+// checkAllocAsserts is the allocs/op regression gate: every asserted
+// name must appear in the parsed results (a silently-renamed benchmark
+// must not quietly disarm the gate) and stay within budget.
+func checkAllocAsserts(budgets map[string]int64, results []result) error {
+	if len(budgets) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(budgets))
+	for _, r := range results {
+		name := trimProcSuffix(r.Name)
+		max, ok := budgets[name]
+		if !ok {
+			continue
+		}
+		seen[name] = true
+		if r.AllocsPerOp > max {
+			return fmt.Errorf("allocs/op regression: %s reports %d allocs/op, budget %d",
+				r.Name, r.AllocsPerOp, max)
+		}
+	}
+	for name := range budgets {
+		if !seen[name] {
+			return fmt.Errorf("-assert-allocs names %s, but no such result was parsed", name)
+		}
+	}
+	return nil
+}
+
+// trimProcSuffix strips the trailing -N GOMAXPROCS suffix go test
+// appends to benchmark names (BenchmarkX/sub-8 → BenchmarkX/sub).
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseLine decodes one `-bench` result line: a name, an iteration

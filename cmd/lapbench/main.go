@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load, adaptive")
+	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load, adaptive, hotpath")
 	scaleName := flag.String("scale", "full", "experiment scale: full, small, tiny")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-cell diagnostics for the artifact's matrix")
@@ -29,7 +29,7 @@ func main() {
 	churn := flag.Bool("churn", true, "for -exp chaos: dynamic membership with R=2 replication, gossip faults, and a mid-replay node kill + rejoin")
 	adaptive := flag.Bool("adaptive", false, "for -exp cluster: run the AdaptiveFDP degree policy instead of strict linear")
 	adaptiveVictim := flag.Bool("adaptive-victim", false, "for -exp chaos: run the AdaptiveFDP degree policy on the seed-chosen victim node (strict elsewhere)")
-	benchOut := flag.Bool("bench", false, "for -exp adaptive: emit go-bench result lines for benchfmt instead of the table")
+	benchOut := flag.Bool("bench", false, "for -exp adaptive and -exp hotpath: emit go-bench result lines for benchfmt instead of the table")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -76,6 +76,10 @@ func main() {
 		// The open-loop harness sizes itself from -load-rates and
 		// -load-dur, not -scale.
 		exitOn(runLoad(*seed))
+	case "hotpath":
+		// The wire hot-path cells size themselves from -hotpath-conns
+		// and -hotpath-dur, not -scale.
+		exitOn(runHotpath(*benchOut))
 	case "chaos":
 		// Chaos runs at the tiny scale regardless of -scale: the point
 		// is fault density, not workload volume.

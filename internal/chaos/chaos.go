@@ -403,6 +403,10 @@ func Run(cfg Config) (Result, error) {
 		},
 		TweakServer: func(i int, srv *lapcache.Server) {
 			srv.IdleTimeout = 2 * time.Second
+			// Sharded accept path on every node: the invariant audit
+			// (linearity, close-reason taxonomy, buffer leaks) must hold
+			// identically with conn→shard pinning in play.
+			srv.Shards = 2
 			srv.ConnWrap = func(c net.Conn) net.Conn {
 				return inj.WrapConn(c, "accept@"+nodeName(i))
 			}

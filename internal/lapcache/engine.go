@@ -146,6 +146,7 @@ type Engine struct {
 	m      Metrics
 	ledger *Ledger
 	fops   sync.Pool // recycled *fetchOp
+	spans  sync.Pool // recycled *spanGather for readSpanRemote
 	// adaptive short-circuits the per-event policy feedback on the
 	// read paths: static policies ignore it, so non-adaptive engines
 	// skip the fileState lookup entirely and stay byte-for-byte on the
@@ -522,8 +523,8 @@ func (e *Engine) readSpanRemote(bufs []*blockbuf.Buf, f blockdev.FileID, off blo
 		}
 		e.flightMu.Unlock()
 
-		run := make([]*blockbuf.Buf, n)
-		dsts := make([][]byte, n)
+		sg := e.newSpanGather(int(n))
+		run, dsts := sg.run[:n], sg.dsts[:n]
 		for k := range run {
 			run[k] = e.pool.Get()
 			dsts[k] = run[k].Bytes()
@@ -573,9 +574,11 @@ func (e *Engine) readSpanRemote(bufs []*blockbuf.Buf, f blockdev.FileID, off blo
 			for _, r := range run {
 				r.Release()
 			}
+			e.releaseSpanGather(sg, int(n))
 			return fail(err)
 		}
 		bufs = append(bufs, run...)
+		e.releaseSpanGather(sg, int(n))
 		e.m.demandMisses.Add(uint64(n)) // miss for the LOCAL cache either way
 		if !servedFromMemory {
 			spanHit = false
@@ -584,6 +587,40 @@ func (e *Engine) readSpanRemote(bufs []*blockbuf.Buf, f blockdev.FileID, off blo
 		waited = false
 	}
 	return bufs, spanHit, nil
+}
+
+// spanGather is readSpanRemote's reusable per-RPC gather state: one
+// retained buffer pointer and one destination byte slice per block of
+// the run. Pooled so the cooperative fast path allocates nothing.
+type spanGather struct {
+	run  []*blockbuf.Buf
+	dsts [][]byte
+}
+
+// newSpanGather takes a recycled (or fresh) gather sized for at least
+// n blocks.
+func (e *Engine) newSpanGather(n int) *spanGather {
+	sg, _ := e.spans.Get().(*spanGather)
+	if sg == nil {
+		sg = &spanGather{}
+	}
+	if cap(sg.run) < n {
+		sg.run = make([]*blockbuf.Buf, n)
+		sg.dsts = make([][]byte, n)
+	}
+	sg.run = sg.run[:cap(sg.run)]
+	sg.dsts = sg.dsts[:cap(sg.dsts)]
+	return sg
+}
+
+// releaseSpanGather clears the first n entries (dropping the buffer
+// references for GC) and recycles the gather.
+func (e *Engine) releaseSpanGather(sg *spanGather, n int) {
+	for k := 0; k < n; k++ {
+		sg.run[k] = nil
+		sg.dsts[k] = nil
+	}
+	e.spans.Put(sg)
 }
 
 // newFetchOp takes a recycled (or fresh) fetchOp armed for one fetch:
@@ -880,6 +917,12 @@ func (e *Engine) closeLocal(f blockdev.FileID) {
 // feedDriver runs one user request through f's driver under the
 // per-file mutex.
 func (e *Engine) feedDriver(f blockdev.FileID, r core.Request, satisfied bool) {
+	if !e.cfg.Alg.Prefetches() {
+		// No-prefetch algorithms never have a driver to feed
+		// (driverLocked returns nil unconditionally); skip the
+		// fileState lookup and per-file lock on the hot path.
+		return
+	}
 	fl := e.fileState(f)
 	fl.mu.Lock()
 	if d := e.driverLocked(f, fl); d != nil {

@@ -1,0 +1,283 @@
+package lapcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/wire"
+)
+
+// upgradeBinary dials addr and runs the JSON→binary negotiation,
+// returning the raw connection and its buffered reader positioned at
+// the first binary byte. The lapclient package has richer clients;
+// these tests speak the wire raw to pin server behaviour without the
+// import cycle.
+func upgradeBinary(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	br := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+	var resp WireResponse
+	if err := enc.Encode(&WireRequest{Op: "upgrade", Proto: wire.ProtoBinary}); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	line, err := wire.ReadLine(br, wire.MaxFrame)
+	if err != nil {
+		t.Fatalf("upgrade response: %v", err)
+	}
+	if err := json.Unmarshal(line, &resp); err != nil || !resp.OK {
+		t.Fatalf("upgrade refused: %v %q", err, resp.Err)
+	}
+	return conn, br
+}
+
+// readBlockFrame reads one read-response frame and fails unless it is
+// OK with exactly nblocks of correctly patterned payload for (f, off).
+func readBlockFrame(t *testing.T, br *bufio.Reader, blockSize int, seq uint32, f blockdev.FileID, off blockdev.BlockNo, nblocks int) {
+	t.Helper()
+	var scratch [wire.HeaderSize]byte
+	h, err := wire.ReadHeader(br, scratch[:])
+	if err != nil {
+		t.Fatalf("seq %d: read header: %v", seq, err)
+	}
+	if h.Seq != seq || h.Flags&wire.FlagOK == 0 {
+		t.Fatalf("seq %d: response header = %+v", seq, h)
+	}
+	payload, err := wire.ReadPayload(br, h, nil)
+	if err != nil {
+		t.Fatalf("seq %d: read payload: %v", seq, err)
+	}
+	if len(payload) != nblocks*blockSize {
+		t.Fatalf("seq %d: payload %d bytes, want %d", seq, len(payload), nblocks*blockSize)
+	}
+	want := make([]byte, blockSize)
+	for i := 0; i < nblocks; i++ {
+		FillPattern(blockdev.BlockID{File: f, Block: off + blockdev.BlockNo(i)}, want)
+		if !bytes.Equal(payload[i*blockSize:(i+1)*blockSize], want) {
+			t.Fatalf("seq %d: block %d corrupted", seq, i)
+		}
+	}
+}
+
+// TestHotpathCoalescedPipeline sends a burst of pipelined reads in a
+// single TCP segment — the shape that makes the server's
+// drain-the-ready-queue latch hold responses and flush them as one
+// vectored write — and checks every response comes back in order,
+// framed, and bit-exact. The same burst runs against a NoCoalesce
+// server, pinning that the latch changes syscall count, never bytes.
+func TestHotpathCoalescedPipeline(t *testing.T) {
+	const (
+		blockSize = 512
+		burst     = 32
+	)
+	for _, tc := range []struct {
+		name       string
+		noCoalesce bool
+	}{{"coalesce", false}, {"nocoalesce", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, addr := startTestServer(t, Config{
+				Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 4 * burst,
+			}, func(s *Server) { s.NoCoalesce = tc.noCoalesce })
+			conn, br := upgradeBinary(t, addr)
+
+			// Build the whole burst and write it in one call, so the
+			// server's reader sees "complete next request buffered"
+			// after every dispatch until the queue drains.
+			var reqs bytes.Buffer
+			for i := 0; i < burst; i++ {
+				if err := wire.WriteFrame(&reqs, wire.Header{
+					Op: wire.OpRead, Flags: wire.FlagWantData,
+					Seq: uint32(i + 1), File: 9, Offset: int32(i), Size: 1,
+				}, nil); err != nil {
+					t.Fatalf("build burst: %v", err)
+				}
+			}
+			if _, err := conn.Write(reqs.Bytes()); err != nil {
+				t.Fatalf("send burst: %v", err)
+			}
+			for i := 0; i < burst; i++ {
+				readBlockFrame(t, br, blockSize, uint32(i+1), 9, blockdev.BlockNo(i), 1)
+			}
+			if br.Buffered() != 0 {
+				t.Fatalf("%d stray bytes after the burst", br.Buffered())
+			}
+		})
+	}
+}
+
+// TestHotpathShardStress pins the sharded accept path: with Shards >
+// 1, concurrent connections land on different shards, every one is
+// served correctly, and the close-reason ledger — now sharded too —
+// still aggregates exactly one clean EOF per connection. Run under
+// -race (make check-hotpath), this is the cross-shard data-race
+// probe.
+func TestHotpathShardStress(t *testing.T) {
+	const (
+		blockSize = 512
+		nconns    = 16
+		reads     = 64
+	)
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 256,
+	}, func(s *Server) { s.Shards = 4 })
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nconns)
+	for c := 0; c < nconns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			enc := json.NewEncoder(conn)
+			var resp WireResponse
+			if err := enc.Encode(&WireRequest{Op: "upgrade", Proto: wire.ProtoBinary}); err != nil {
+				errs <- err
+				return
+			}
+			line, err := wire.ReadLine(br, wire.MaxFrame)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := json.Unmarshal(line, &resp); err != nil || !resp.OK {
+				errs <- fmt.Errorf("conn %d: upgrade refused: %v %q", c, err, resp.Err)
+				return
+			}
+			var scratch [wire.HeaderSize]byte
+			want := make([]byte, blockSize)
+			f := blockdev.FileID(c + 1)
+			for i := 0; i < reads; i++ {
+				if err := wire.WriteFrame(conn, wire.Header{
+					Op: wire.OpRead, Flags: wire.FlagWantData,
+					Seq: uint32(i + 1), File: int32(f), Offset: int32(i % 8), Size: 1,
+				}, nil); err != nil {
+					errs <- err
+					return
+				}
+				h, err := wire.ReadHeader(br, scratch[:])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if h.Seq != uint32(i+1) || h.Flags&wire.FlagOK == 0 {
+					errs <- fmt.Errorf("conn %d seq %d: header %+v", c, i+1, h)
+					return
+				}
+				payload, err := wire.ReadPayload(br, h, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				FillPattern(blockdev.BlockID{File: f, Block: blockdev.BlockNo(i % 8)}, want)
+				if !bytes.Equal(payload, want) {
+					errs <- fmt.Errorf("conn %d seq %d: payload corrupted", c, i+1)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	waitClose(t, srv, CloseEOF, nconns)
+	assertNoClose(t, srv, CloseMidFrame, CloseProtocol, CloseTransport, CloseWrite)
+}
+
+// tornWriteGate passes writes through untouched until the first
+// binary frame header crosses it, then hands everything to the
+// fault-injected conn — so the JSON negotiation survives and the
+// injected partial write is guaranteed to land on the vectored
+// response path.
+type tornWriteGate struct {
+	net.Conn
+	faulty net.Conn
+	armed  atomic.Bool
+}
+
+func (g *tornWriteGate) Write(p []byte) (int, error) {
+	if !g.armed.Load() {
+		if len(p) >= wire.HeaderSize && p[2] == wire.Version && p[3] == 0 {
+			g.armed.Store(true)
+		} else {
+			return g.Conn.Write(p)
+		}
+	}
+	return g.faulty.Write(p)
+}
+
+// TestHotpathTornVectoredWrite points a faultinject partial-write
+// rule at the writev site. The injected tear truncates the response
+// mid-header and severs the connection; the framing contract is that
+// the client observes a mid-frame close — a short read, never a
+// header that parses — and the server books the connection under
+// write_error. This is the same conn.send/KindPartial rule the chaos
+// plan injects (internal/chaos/plan.go), so the full invariant audit
+// exercises the vectored path continuously; this test pins the
+// mechanism in isolation.
+func TestHotpathTornVectoredWrite(t *testing.T) {
+	const blockSize = 512
+	inj, err := faultinject.New(faultinject.Plan{
+		Seed: 1,
+		Rules: []faultinject.Rule{{
+			Site: faultinject.SiteConnSend, Kind: faultinject.KindPartial, P: 1,
+		}},
+	})
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	srv, addr := startTestServer(t, Config{
+		Alg: core.SpecNP, BlockSize: blockSize, CacheBlocks: 16,
+	}, func(s *Server) {
+		s.ConnWrap = func(c net.Conn) net.Conn {
+			return &tornWriteGate{Conn: c, faulty: inj.WrapConn(c, "accept@torn")}
+		}
+	})
+	conn, br := upgradeBinary(t, addr)
+
+	if err := wire.WriteFrame(conn, wire.Header{
+		Op: wire.OpRead, Flags: wire.FlagWantData, Seq: 1, File: 2, Size: 1,
+	}, nil); err != nil {
+		t.Fatalf("write request: %v", err)
+	}
+	// The response header is torn partway through: the client must see
+	// a short read (mid-frame close), never a parseable header.
+	var hdr [wire.HeaderSize]byte
+	n, err := io.ReadFull(br, hdr[:])
+	if err == nil {
+		if h, perr := wire.ParseHeader(hdr[:]); perr == nil {
+			t.Fatalf("torn write delivered a parseable header: %+v", h)
+		}
+		t.Fatalf("torn write delivered %d header bytes that fail structural parse — stream corrupt, not framed", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("mid-frame close surfaced as %v (%d bytes), want EOF/unexpected EOF", err, n)
+	}
+	if n >= wire.HeaderSize {
+		t.Fatalf("read a whole header (%d bytes) despite the tear", n)
+	}
+	waitClose(t, srv, CloseWrite, 1)
+	assertNoClose(t, srv, CloseMidFrame, CloseProtocol)
+}

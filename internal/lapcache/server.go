@@ -126,6 +126,20 @@ type Server struct {
 	// ownership queries with an error.
 	Cluster ClusterInfo
 
+	// Shards, when > 1, splits the accept path and the connection
+	// registry into that many independent shards (lapcached -shards):
+	// each shard runs its own accept goroutine on the shared listener
+	// and pins every connection it accepts to its own mutex, conn set
+	// and close-reason ledger, so the hit path of one connection never
+	// contends on registry state touched by connections pinned
+	// elsewhere. Set before Serve; 0 or 1 keeps the historical single
+	// accept loop.
+	Shards int
+	// NoCoalesce disables opportunistic response coalescing on the
+	// binary path: every response flushes with its own vectored write.
+	// The hotpath experiment's A/B toggle; leave false in production.
+	NoCoalesce bool
+
 	// IdleTimeout, when positive, closes a connection that sends no
 	// request for the duration (lapcached -idle-timeout). Zero keeps
 	// connections open forever, the historical behaviour.
@@ -141,44 +155,62 @@ type Server struct {
 
 	mu      sync.Mutex
 	ln      net.Listener
-	conns   map[net.Conn]struct{}
+	shards  []*connShard
 	closed  bool
 	closing chan struct{}
 	wg      sync.WaitGroup
+}
 
-	reasonMu sync.Mutex
-	reasons  map[CloseReason]uint64
+// connShard is one slice of the connection registry: the conn set and
+// close-reason ledger for the connections pinned to it. With Shards=1
+// there is exactly one; with more, each accept goroutine owns one, so
+// connection registration, teardown and close accounting never cross
+// shards.
+type connShard struct {
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	reasons map[CloseReason]uint64
+}
+
+func newConnShard() *connShard {
+	return &connShard{
+		conns:   make(map[net.Conn]struct{}),
+		reasons: make(map[CloseReason]uint64),
+	}
 }
 
 // NewServer returns a server around e.
 func NewServer(e *Engine) *Server {
 	return &Server{
 		e:       e,
-		conns:   make(map[net.Conn]struct{}),
 		closing: make(chan struct{}),
-		reasons: make(map[CloseReason]uint64),
 	}
 }
 
 // CloseCounts returns how many connections ended for each reason —
 // the drain path's audit trail (tests and the chaos harness assert
 // injected mid-frame disconnects land under CloseMidFrame, not
-// CloseIdle).
+// CloseIdle). Counts aggregate across shards.
 func (s *Server) CloseCounts() map[CloseReason]uint64 {
-	s.reasonMu.Lock()
-	defer s.reasonMu.Unlock()
-	out := make(map[CloseReason]uint64, len(s.reasons))
-	for r, n := range s.reasons {
-		out[r] = n
+	s.mu.Lock()
+	shards := s.shards
+	s.mu.Unlock()
+	out := make(map[CloseReason]uint64)
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for r, n := range sh.reasons {
+			out[r] += n
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// noteClose records one connection's close reason.
-func (s *Server) noteClose(r CloseReason) {
-	s.reasonMu.Lock()
-	s.reasons[r]++
-	s.reasonMu.Unlock()
+// noteClose records one connection's close reason in its shard.
+func (s *Server) noteClose(sh *connShard, r CloseReason) {
+	sh.mu.Lock()
+	sh.reasons[r]++
+	sh.mu.Unlock()
 }
 
 // acceptFailureBudget bounds consecutive accept-loop errors before
@@ -189,8 +221,11 @@ const acceptFailureBudget = 10
 
 // Serve accepts connections on ln until Close. Transient accept
 // errors are retried with capped backoff (up to acceptFailureBudget
-// consecutive failures); it returns nil after a Close-initiated
-// shutdown and the accept error once the retry budget is spent.
+// consecutive failures per accept loop); it returns nil after a
+// Close-initiated shutdown and the first accept error once a loop's
+// retry budget is spent. With Shards > 1, that many accept goroutines
+// share the listener and pin each accepted connection to their own
+// shard.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -199,7 +234,36 @@ func (s *Server) Serve(ln net.Listener) error {
 		return errors.New("lapcache: server already closed")
 	}
 	s.ln = ln
+	if s.shards == nil {
+		ns := s.Shards
+		if ns < 1 {
+			ns = 1
+		}
+		s.shards = make([]*connShard, ns)
+		for i := range s.shards {
+			s.shards[i] = newConnShard()
+		}
+	}
+	shards := s.shards
 	s.mu.Unlock()
+	if len(shards) == 1 {
+		return s.acceptLoop(ln, shards[0])
+	}
+	errc := make(chan error, len(shards))
+	for _, sh := range shards {
+		go func(sh *connShard) { errc <- s.acceptLoop(ln, sh) }(sh)
+	}
+	var first error
+	for range shards {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// acceptLoop is one shard's accept goroutine on the shared listener.
+func (s *Server) acceptLoop(ln net.Listener, sh *connShard) error {
 	failures := 0
 	for {
 		conn, err := ln.Accept()
@@ -231,16 +295,20 @@ func (s *Server) Serve(ln net.Listener) error {
 		if s.ConnWrap != nil {
 			conn = s.ConnWrap(conn)
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		// Register under the shard mutex so the check-and-register is
+		// atomic with Close's deadline sweep of this shard: either the
+		// closing flag is visible here, or the registration completes
+		// before Close acquires sh.mu and the sweep covers the conn.
+		sh.mu.Lock()
+		if s.isClosing() {
+			sh.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		sh.conns[conn] = struct{}{}
 		s.wg.Add(1)
-		s.mu.Unlock()
-		go s.handle(conn)
+		sh.mu.Unlock()
+		go s.handle(conn, sh)
 	}
 }
 
@@ -264,15 +332,20 @@ func (s *Server) Close() {
 	if grace <= 0 {
 		grace = 2 * time.Second
 	}
-	now := time.Now()
-	for c := range s.conns {
-		// Unblock handlers parked in a read between requests; a
-		// handler mid-dispatch is not reading and finishes its
-		// response first (the drain), bounded by the write deadline.
-		c.SetReadDeadline(now)
-		c.SetWriteDeadline(now.Add(grace))
-	}
+	shards := s.shards
 	s.mu.Unlock()
+	now := time.Now()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for c := range sh.conns {
+			// Unblock handlers parked in a read between requests; a
+			// handler mid-dispatch is not reading and finishes its
+			// response first (the drain), bounded by the write deadline.
+			c.SetReadDeadline(now)
+			c.SetWriteDeadline(now.Add(grace))
+		}
+		sh.mu.Unlock()
+	}
 	s.wg.Wait()
 }
 
@@ -300,12 +373,12 @@ func (s *Server) armRead(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, sh *connShard) {
 	defer func() {
 		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.conns, conn)
+		sh.mu.Unlock()
 		s.wg.Done()
 	}()
 	h := &connHandler{
@@ -314,7 +387,7 @@ func (s *Server) handle(conn net.Conn) {
 		br:   bufio.NewReaderSize(conn, 64<<10),
 		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
-	s.noteClose(h.serveJSON())
+	s.noteClose(sh, h.serveJSON())
 }
 
 // readReason classifies a failed read. midFrame reports the failure
@@ -339,12 +412,76 @@ func (s *Server) readReason(err error, midFrame bool) CloseReason {
 }
 
 // connHandler runs one connection's request loop, starting in JSON
-// and optionally upgrading to binary frames.
+// and optionally upgrading to binary frames. bw serves only the JSON
+// protocol; after the binary upgrade, responses go through batch —
+// vectored writes straight to conn, no bufio staging copy.
 type connHandler struct {
 	s    *Server
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// batch gathers binary response frames for one writev; release
+	// holds the refcounted cache buffers whose bytes the batch
+	// references, released only after the syscall returns (or the
+	// batch is dropped on a dying connection).
+	batch   wire.FrameBatch
+	release []*blockbuf.Buf
+}
+
+// queueError stages an error frame for hd's request.
+func (h *connHandler) queueError(hd wire.Header, msg string) {
+	// AppendFrame only fails past MaxPayload; error messages are
+	// always far below it.
+	h.batch.AppendFrame(wire.Header{Op: hd.Op, Seq: hd.Seq}, []byte(msg)) //nolint:errcheck
+}
+
+// flushBatch writes the queued responses with one vectored write and
+// releases the cache buffers they referenced — after the syscall, per
+// the net.Buffers ownership rule (DESIGN.md §13).
+func (h *connHandler) flushBatch() error {
+	err := h.batch.Flush(h.conn)
+	for i, b := range h.release {
+		b.Release()
+		h.release[i] = nil
+	}
+	h.release = h.release[:0]
+	return err
+}
+
+// dropBatch abandons queued responses on a dying connection, still
+// releasing their buffers.
+func (h *connHandler) dropBatch() {
+	h.batch.Reset()
+	for i, b := range h.release {
+		b.Release()
+		h.release[i] = nil
+	}
+	h.release = h.release[:0]
+}
+
+// nextRequestBuffered reports whether a COMPLETE next request —
+// header and payload — is already sitting in the read buffer. This is
+// the coalescing latch: responses keep accumulating only while the
+// next dispatch is guaranteed not to block on the socket, so a batch
+// can never deadlock against a client that waits for responses before
+// sending more. Purely data-driven (drain-the-ready-queue); never a
+// timer, so an unpipelined request's response is never held back.
+func (h *connHandler) nextRequestBuffered() bool {
+	if h.br.Buffered() < wire.HeaderSize {
+		return false
+	}
+	p, err := h.br.Peek(wire.HeaderSize)
+	if err != nil {
+		return false
+	}
+	hd, err := wire.ParseHeader(p)
+	if err != nil {
+		// The next frame is garbage; flush what we have first — the
+		// loop will then kill the connection with CloseProtocol.
+		return false
+	}
+	return h.br.Buffered() >= wire.HeaderSize+int(hd.PayloadLen)
 }
 
 // serveJSON is the line-delimited JSON loop. Lines are bounded by
@@ -394,10 +531,19 @@ func (h *connHandler) serveJSON() CloseReason {
 	}
 }
 
+// maxCoalesce bounds how many responses accumulate in the batch
+// before a flush is forced even with more requests buffered; it caps
+// the memory pinned by gathered cache buffers and keeps one writev's
+// iovec list small.
+const maxCoalesce = 64
+
 // serveBinary is the framed loop after an upgrade. Read responses
 // stream block payloads directly from the cache's refcounted buffers
-// into the connection's write buffer — the zero-copy half of the
-// tentpole: no base64, no intermediate concatenation.
+// onto the socket with vectored writes — no base64, no staging copy —
+// and responses to pipelined requests coalesce into a single writev:
+// the batch flushes exactly when no complete next request is already
+// buffered (see nextRequestBuffered), so a lone request's latency
+// never waits on a latch.
 func (h *connHandler) serveBinary() CloseReason {
 	s := h.s
 	var (
@@ -405,9 +551,6 @@ func (h *connHandler) serveBinary() CloseReason {
 		payload []byte          // reused for write payloads
 		bufs    []*blockbuf.Buf // reused for read responses
 	)
-	fail := func(hd wire.Header, msg string) bool {
-		return wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Seq: hd.Seq}, []byte(msg)) == nil
-	}
 	for {
 		s.armRead(h.conn)
 		// Read the header bytes directly (not wire.ReadHeader) so a
@@ -415,152 +558,174 @@ func (h *connHandler) serveBinary() CloseReason {
 		// distinguishable from a death at the frame boundary.
 		n, err := io.ReadFull(h.br, scratch[:])
 		if err != nil {
+			h.dropBatch()
 			return s.readReason(err, n > 0)
 		}
 		hd, err := wire.ParseHeader(scratch[:])
 		if err != nil {
+			h.dropBatch()
 			return CloseProtocol
 		}
 		if payload, err = wire.ReadPayload(h.br, hd, payload); err != nil {
 			// The header arrived but its payload did not: mid-frame by
 			// definition, whatever the underlying error.
+			h.dropBatch()
 			return CloseMidFrame
 		}
-		ok := true
 		// Version-skew guard: a structurally sound frame whose op or
 		// flags this build does not define gets an error frame, not a
 		// dropped connection — the payload has already been consumed, so
 		// the stream stays framed and the client can fall back.
 		if !hd.Op.Known() || !hd.Flags.Known() {
-			if !fail(hd, fmt.Sprintf("unsupported op %s flags %#x", hd.Op, uint8(hd.Flags))) {
+			h.queueError(hd, fmt.Sprintf("unsupported op %s flags %#x", hd.Op, uint8(hd.Flags)))
+		} else {
+			h.dispatchBinary(hd, payload, &bufs)
+		}
+		if s.NoCoalesce || h.batch.Len() >= maxCoalesce || !h.nextRequestBuffered() {
+			if err := h.flushBatch(); err != nil {
 				return CloseWrite
 			}
-			if err := h.bw.Flush(); err != nil {
-				return CloseWrite
-			}
-			continue
-		}
-		peer := hd.Flags&wire.FlagPeer != 0
-		switch hd.Op {
-		case wire.OpPing:
-			pp := pingPayload{
-				Alg: s.e.AlgName(), BlockSize: s.e.BlockSize(), ProtoMax: wire.ProtoBinary,
-			}
-			if s.Cluster != nil {
-				pp.Self = s.Cluster.Self()
-				pp.Members = s.Cluster.MemberAddrs()
-			}
-			doc, _ := json.Marshal(pp)
-			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
-
-		case wire.OpOwner:
-			if s.Cluster == nil {
-				ok = fail(hd, "server is not clustered")
-				break
-			}
-			addr, self := s.Cluster.OwnerOf(blockdev.FileID(hd.File))
-			doc, _ := json.Marshal(ownerPayload{Owner: addr, Self: self})
-			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
-
-		case wire.OpRead:
-			want := hd.Flags&wire.FlagWantData != 0
-			total := int64(hd.Size) * int64(s.e.BlockSize())
-			if want && (total <= 0 || total > wire.MaxDataBytes) {
-				ok = fail(hd, fmt.Sprintf("read of %d blocks exceeds the %d-byte payload cap", hd.Size, wire.MaxDataBytes))
-				break
-			}
-			bufs = bufs[:0]
-			var hit bool
-			if peer {
-				// Peer-forwarded read: serve strictly locally, never
-				// re-forward (the loop-free contract of FlagPeer).
-				bufs, hit, err = s.e.PeerReadInto(bufs, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
-			} else {
-				bufs, hit, err = s.e.ReadInto(bufs, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
-			}
-			if err != nil {
-				ok = fail(hd, err.Error())
-				break
-			}
-			flags := wire.FlagOK
-			if hit {
-				flags |= wire.FlagHit
-			}
-			out := wire.Header{Op: hd.Op, Flags: flags, Seq: hd.Seq}
-			if want {
-				out.PayloadLen = uint32(total)
-			}
-			wire.PutHeader(scratch[:], out)
-			_, werr := h.bw.Write(scratch[:])
-			if want && werr == nil {
-				for _, b := range bufs {
-					if _, werr = h.bw.Write(b.Bytes()); werr != nil {
-						break
-					}
-				}
-			}
-			for _, b := range bufs {
-				b.Release()
-			}
-			ok = werr == nil
-
-		case wire.OpWrite:
-			var data []byte
-			if hd.PayloadLen > 0 {
-				data = payload
-			}
-			var werr error
-			var replicated bool
-			switch {
-			case hd.Flags&wire.FlagReplica != 0 && !peer:
-				werr = fmt.Errorf("FlagReplica requires FlagPeer")
-			case hd.Flags&wire.FlagReplica != 0:
-				// Replica install: store + cache only, no driver feed, no
-				// onward replication (the loop-free contract of R=2 — a
-				// replica push must never fan out further).
-				werr = s.e.ReplicaWrite(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
-			case peer:
-				replicated, werr = s.e.PeerWriteDurable(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
-			default:
-				replicated, werr = s.e.WriteDurable(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
-			}
-			if werr != nil {
-				ok = fail(hd, werr.Error())
-				break
-			}
-			flags := wire.FlagOK
-			if replicated {
-				flags |= wire.FlagReplicated
-			}
-			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: flags, Seq: hd.Seq}, nil) == nil
-
-		case wire.OpClose:
-			if peer {
-				s.e.PeerCloseFile(blockdev.FileID(hd.File))
-			} else {
-				s.e.CloseFile(blockdev.FileID(hd.File))
-			}
-			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) == nil
-
-		case wire.OpStats:
-			snap := s.e.Snapshot()
-			doc, _ := json.Marshal(&snap)
-			ok = wire.WriteFrame(h.bw, wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) == nil
-
-		default:
-			// Unreachable while Known() covers every case above; kept so
-			// a future op added to wire but not here fails cleanly.
-			ok = fail(hd, fmt.Sprintf("unsupported op %s", hd.Op))
-		}
-		if !ok {
-			return CloseWrite
-		}
-		if err := h.bw.Flush(); err != nil {
-			return CloseWrite
 		}
 		if s.isClosing() {
+			if err := h.flushBatch(); err != nil {
+				return CloseWrite
+			}
 			return CloseShutdown
 		}
+	}
+}
+
+// dispatchBinary handles one known binary request, staging its
+// response into the batch. bufs is the caller's reusable gather slice
+// for read responses; buffers queued for the wire move to h.release
+// and are released after the flush syscall.
+func (h *connHandler) dispatchBinary(hd wire.Header, payload []byte, bufs *[]*blockbuf.Buf) {
+	s := h.s
+	peer := hd.Flags&wire.FlagPeer != 0
+	switch hd.Op {
+	case wire.OpPing:
+		pp := pingPayload{
+			Alg: s.e.AlgName(), BlockSize: s.e.BlockSize(), ProtoMax: wire.ProtoBinary,
+		}
+		if s.Cluster != nil {
+			pp.Self = s.Cluster.Self()
+			pp.Members = s.Cluster.MemberAddrs()
+		}
+		doc, err := json.Marshal(pp)
+		if err != nil {
+			h.queueError(hd, "encode ping: "+err.Error())
+			return
+		}
+		h.batch.AppendFrame(wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) //nolint:errcheck
+
+	case wire.OpOwner:
+		if s.Cluster == nil {
+			h.queueError(hd, "server is not clustered")
+			return
+		}
+		addr, self := s.Cluster.OwnerOf(blockdev.FileID(hd.File))
+		doc, err := json.Marshal(ownerPayload{Owner: addr, Self: self})
+		if err != nil {
+			h.queueError(hd, "encode owner: "+err.Error())
+			return
+		}
+		h.batch.AppendFrame(wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) //nolint:errcheck
+
+	case wire.OpRead:
+		want := hd.Flags&wire.FlagWantData != 0
+		total := int64(hd.Size) * int64(s.e.BlockSize())
+		if want && (total <= 0 || total > wire.MaxDataBytes) {
+			h.queueError(hd, fmt.Sprintf("read of %d blocks exceeds the %d-byte payload cap", hd.Size, wire.MaxDataBytes))
+			return
+		}
+		var hit bool
+		var err error
+		b := (*bufs)[:0]
+		if peer {
+			// Peer-forwarded read: serve strictly locally, never
+			// re-forward (the loop-free contract of FlagPeer).
+			b, hit, err = s.e.PeerReadInto(b, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
+		} else {
+			b, hit, err = s.e.ReadInto(b, blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size)
+		}
+		*bufs = b[:0]
+		if err != nil {
+			h.queueError(hd, err.Error())
+			return
+		}
+		flags := wire.FlagOK
+		if hit {
+			flags |= wire.FlagHit
+		}
+		out := wire.Header{Op: hd.Op, Flags: flags, Seq: hd.Seq}
+		if want {
+			out.PayloadLen = uint32(total)
+		}
+		h.batch.AppendHeader(out)
+		if want {
+			// Ownership of each retained buffer moves to h.release; the
+			// bytes stay pinned until the flush syscall returns.
+			for _, buf := range b {
+				h.batch.AppendPayload(buf.Bytes())
+				h.release = append(h.release, buf)
+			}
+		} else {
+			for _, buf := range b {
+				buf.Release()
+			}
+		}
+
+	case wire.OpWrite:
+		var data []byte
+		if hd.PayloadLen > 0 {
+			data = payload
+		}
+		var werr error
+		var replicated bool
+		switch {
+		case hd.Flags&wire.FlagReplica != 0 && !peer:
+			werr = fmt.Errorf("FlagReplica requires FlagPeer")
+		case hd.Flags&wire.FlagReplica != 0:
+			// Replica install: store + cache only, no driver feed, no
+			// onward replication (the loop-free contract of R=2 — a
+			// replica push must never fan out further).
+			werr = s.e.ReplicaWrite(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+		case peer:
+			replicated, werr = s.e.PeerWriteDurable(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+		default:
+			replicated, werr = s.e.WriteDurable(blockdev.FileID(hd.File), blockdev.BlockNo(hd.Offset), hd.Size, data)
+		}
+		if werr != nil {
+			h.queueError(hd, werr.Error())
+			return
+		}
+		flags := wire.FlagOK
+		if replicated {
+			flags |= wire.FlagReplicated
+		}
+		h.batch.AppendFrame(wire.Header{Op: hd.Op, Flags: flags, Seq: hd.Seq}, nil) //nolint:errcheck
+
+	case wire.OpClose:
+		if peer {
+			s.e.PeerCloseFile(blockdev.FileID(hd.File))
+		} else {
+			s.e.CloseFile(blockdev.FileID(hd.File))
+		}
+		h.batch.AppendFrame(wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, nil) //nolint:errcheck
+
+	case wire.OpStats:
+		snap := s.e.Snapshot()
+		doc, err := json.Marshal(&snap)
+		if err != nil {
+			h.queueError(hd, "encode stats: "+err.Error())
+			return
+		}
+		h.batch.AppendFrame(wire.Header{Op: hd.Op, Flags: wire.FlagOK, Seq: hd.Seq}, doc) //nolint:errcheck
+
+	default:
+		// Unreachable while Known() covers every case above; kept so
+		// a future op added to wire but not here fails cleanly.
+		h.queueError(hd, fmt.Sprintf("unsupported op %s", hd.Op))
 	}
 }
 

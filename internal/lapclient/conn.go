@@ -63,8 +63,9 @@ type Conn struct {
 	conn net.Conn
 	info PingInfo
 
-	wmu sync.Mutex // serializes frame writes + flushes
-	bw  *bufio.Writer
+	wmu  sync.Mutex            // serializes frame writes
+	whdr [wire.HeaderSize]byte // header scratch for vectored writes
+	wvec net.Buffers           // reusable gather slice (under wmu)
 
 	seq    atomic.Uint32
 	window chan struct{} // in-flight slots
@@ -93,11 +94,41 @@ type Conn struct {
 // still occupying the wire.
 type pendingCall struct {
 	ch   chan binResp
+	err  error // set by deliver before the ch send (sync calls)
 	dsts [][]byte
 
 	cb    func(binResp, error)
 	timer *time.Timer
 	done  atomic.Bool
+
+	// tmr is the reusable synchronous call-timeout timer; it travels
+	// with the call record through the pool, so a timed call costs no
+	// timer allocation in steady state.
+	tmr *time.Timer
+}
+
+// callPool recycles synchronous call records — the pendingCall, its
+// buffered response channel and its timeout timer — across calls and
+// connections: the last per-request allocations on the hot read path.
+// Async calls (cb set) are never pooled: a deadline AfterFunc that
+// fires after delivery must find the call it armed, not a recycled
+// one.
+var callPool = sync.Pool{New: func() any { return &pendingCall{ch: make(chan binResp, 1)} }}
+
+// getCall takes a recycled call record for a synchronous exchange.
+func getCall(dsts [][]byte) *pendingCall {
+	call := callPool.Get().(*pendingCall)
+	call.err = nil
+	call.dsts = dsts
+	return call
+}
+
+// putCall recycles a synchronous call record. The caller must have
+// consumed the channel's delivery (or know none happened): a stale
+// buffered response would corrupt the next exchange.
+func putCall(call *pendingCall) {
+	call.dsts = nil
+	callPool.Put(call)
 }
 
 // binResp is one matched response frame.
@@ -142,7 +173,6 @@ func DialConnWith(addr string, window int, wrap ConnWrap) (*Conn, error) {
 	c := &Conn{
 		conn:    jc.conn,
 		info:    info,
-		bw:      jc.bw,
 		window:  make(chan struct{}, window),
 		pending: make(map[uint32]*pendingCall),
 		dead:    make(chan struct{}),
@@ -223,17 +253,15 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 }
 
 // deliver completes one call that has been removed from the pending
-// map: the sync path hands the response (or closes the channel) to the
-// waiter, the async path stops the deadline timer, fires the callback
-// if the deadline hasn't already, and releases the window slot the
-// issue path acquired.
+// map: the sync path records the error and hands the response to the
+// waiter (always a send — the channel is never closed, so the call
+// record can be recycled), the async path stops the deadline timer,
+// fires the callback if the deadline hasn't already, and releases the
+// window slot the issue path acquired.
 func (c *Conn) deliver(call *pendingCall, resp binResp, err error) {
 	if call.cb == nil {
-		if err != nil {
-			close(call.ch)
-		} else {
-			call.ch <- resp
-		}
+		call.err = err
+		call.ch <- resp
 		return
 	}
 	if call.timer != nil {
@@ -284,6 +312,16 @@ func (c *Conn) Dead() bool {
 	}
 }
 
+// writeFrame puts one frame on the wire with a single vectored write
+// — header and payload gathered into one writev straight from the
+// caller's buffer, no bufio staging copy, no flush step.
+func (c *Conn) writeFrame(h wire.Header, payload []byte) error {
+	c.wmu.Lock()
+	err := wire.WriteFrameVectored(c.conn, c.whdr[:], h, payload, &c.wvec)
+	c.wmu.Unlock()
+	return err
+}
+
 // do runs one pipelined request/response exchange.
 func (c *Conn) do(h wire.Header, payload []byte) (binResp, error) {
 	return c.doCall(h, payload, nil)
@@ -300,49 +338,68 @@ func (c *Conn) doCall(h wire.Header, payload []byte, dsts [][]byte) (binResp, er
 	defer func() { <-c.window }()
 
 	h.Seq = c.seq.Add(1)
-	call := &pendingCall{ch: make(chan binResp, 1), dsts: dsts}
+	call := getCall(dsts)
 	c.pmu.Lock()
 	if c.readErr != nil {
 		c.pmu.Unlock()
+		putCall(call)
 		return binResp{}, c.err()
 	}
 	c.pending[h.Seq] = call
 	c.pmu.Unlock()
 
-	c.wmu.Lock()
-	err := wire.WriteFrame(c.bw, h, payload)
-	if err == nil {
-		err = c.bw.Flush()
-	}
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.writeFrame(h, payload); err != nil {
+		// Undo the registration — but a concurrent fail may have
+		// swapped the pending map and delivered already; only the side
+		// that removes the call retires (and recycles) it.
 		c.pmu.Lock()
+		_, mine := c.pending[h.Seq]
 		delete(c.pending, h.Seq)
 		c.pmu.Unlock()
+		if !mine {
+			// fail's delivery is done or in flight on the buffered
+			// channel; consume it so the recycled record starts clean.
+			<-call.ch
+		}
+		putCall(call)
 		return binResp{}, err
 	}
 
 	var resp binResp
-	var ok bool
 	if d := time.Duration(c.callTimeout.Load()); d > 0 {
-		timer := time.NewTimer(d)
+		t := call.tmr
+		if t == nil {
+			t = time.NewTimer(d)
+			call.tmr = t
+		} else {
+			t.Reset(d)
+		}
 		select {
-		case resp, ok = <-call.ch:
-			timer.Stop()
-		case <-timer.C:
+		case resp = <-call.ch:
+			// A timer that fired between the delivery and Stop leaves
+			// its tick buffered (pre-1.23 timer semantics — go.mod pins
+			// an older language version); drain it so the recycled
+			// record's next Reset starts clean. Only this goroutine
+			// ever receives from t.C.
+			if !t.Stop() {
+				<-t.C
+			}
+		case <-t.C:
 			// The response is overdue past any plausible round trip.
 			// Sever the connection: fail delivers to every pending call
 			// (including this one), so the receive below cannot block.
 			// Rescuing just this call would desynchronize the pipeline —
 			// a late response frame would match no waiter.
 			c.fail(fmt.Errorf("lapclient: call timed out after %v: %w", d, ErrDeadline))
-			resp, ok = <-call.ch
+			resp = <-call.ch
 		}
 	} else {
-		resp, ok = <-call.ch
+		resp = <-call.ch
 	}
-	if !ok {
-		return binResp{}, c.err()
+	err := call.err
+	putCall(call)
+	if err != nil {
+		return binResp{}, err
 	}
 	if resp.h.Flags&wire.FlagOK == 0 {
 		return binResp{}, &ServerError{Op: resp.h.Op, Msg: string(resp.payload)}
@@ -417,13 +474,7 @@ func (c *Conn) startAsync(h wire.Header, payload []byte, deadline time.Duration,
 		})
 	}
 
-	c.wmu.Lock()
-	err := wire.WriteFrame(c.bw, h, payload)
-	if err == nil {
-		err = c.bw.Flush()
-	}
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.writeFrame(h, payload); err != nil {
 		// Undo the registration — but a concurrent fail may have swapped
 		// the pending map and delivered (and released the slot) already;
 		// only the side that removes the call retires it.
@@ -524,15 +575,31 @@ func (c *Conn) CloseFile(f blockdev.FileID) error {
 	return err
 }
 
+// ReadInto reads nblocks blocks of f starting at off, landing the
+// payload directly in dsts (one pre-sized slice per block). With the
+// vectored write path and the recycled call record, a warm read costs
+// zero allocations end to end — the hot-path contract BenchmarkCluster-
+// Read's localHit and remoteHit assert.
+func (c *Conn) ReadInto(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit bool, err error) {
+	return c.readDsts(wire.Header{
+		Op: wire.OpRead, Flags: wire.FlagWantData,
+		File: int32(f), Offset: int32(off), Size: nblocks,
+	}, dsts)
+}
+
 // ReadPeer is the cluster forward path: a peer-flagged read whose
 // block payload lands directly in dsts (one pre-sized slice per
 // block), served strictly locally by the owner. hit reports the owner
 // had every block in memory.
 func (c *Conn) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit bool, err error) {
-	h := wire.Header{
+	return c.readDsts(wire.Header{
 		Op: wire.OpRead, Flags: wire.FlagWantData | wire.FlagPeer,
 		File: int32(f), Offset: int32(off), Size: nblocks,
-	}
+	}, dsts)
+}
+
+// readDsts runs a destination-buffer read exchange.
+func (c *Conn) readDsts(h wire.Header, dsts [][]byte) (hit bool, err error) {
 	resp, err := c.doCall(h, nil, dsts)
 	if err != nil {
 		return false, err

@@ -248,10 +248,28 @@ func (p *Pool) Read(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, want
 	return
 }
 
-// ReadPeer forwards a peer read, landing block payloads in dsts.
+// ReadPeer forwards a peer read, landing block payloads in dsts. This
+// is the cluster fetch hot path, so the retry loop is written inline
+// rather than through withConn — the closure would capture its
+// arguments onto the heap on every call, and the remoteHit alloc
+// budget is zero.
 func (p *Pool) ReadPeer(f blockdev.FileID, off blockdev.BlockNo, nblocks int32, dsts [][]byte) (hit bool, err error) {
-	err = p.withConn(func(c *Conn) (e error) { hit, e = c.ReadPeer(f, off, nblocks, dsts); return })
-	return
+	var last error
+	for attempt := 0; attempt <= len(p.conns); attempt++ {
+		c, perr := p.pick()
+		if perr != nil {
+			if last != nil {
+				return false, last
+			}
+			return false, perr
+		}
+		hit, err = c.ReadPeer(f, off, nblocks, dsts)
+		if err == nil || !retriable(err) {
+			return hit, err
+		}
+		last = err
+	}
+	return false, last
 }
 
 // Write sends nblocks blocks starting at off.

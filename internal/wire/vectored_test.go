@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+)
+
+// TestHotpathWriteFrameVectored round-trips a vectored frame through
+// an ordinary io.Writer (the net.Buffers sequential fallback — the
+// same path a fault-injected or otherwise wrapped conn takes) and
+// checks the reader sees one correctly framed message.
+func TestHotpathWriteFrameVectored(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	var buf bytes.Buffer
+	var scratch [HeaderSize]byte
+	var vec net.Buffers
+	h := Header{Op: OpRead, Flags: FlagOK | FlagHit, Seq: 42, File: 7, Offset: 3, Size: 1}
+	if err := WriteFrameVectored(&buf, scratch[:], h, payload, &vec); err != nil {
+		t.Fatalf("WriteFrameVectored: %v", err)
+	}
+	br := bufio.NewReader(&buf)
+	got, err := ReadHeader(br, scratch[:])
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if got.Seq != 42 || got.Op != OpRead || got.PayloadLen != 512 {
+		t.Fatalf("header round-trip = %+v", got)
+	}
+	data, err := ReadPayload(br, got, nil)
+	if err != nil {
+		t.Fatalf("ReadPayload: %v", err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("payload corrupted through the vectored path")
+	}
+	// net.Buffers.WriteTo consumes the slice it flushes; the vec must
+	// come back empty with its backing array intact for reuse.
+	if len(vec) != 0 {
+		t.Fatalf("vec not reset after flush: len=%d", len(vec))
+	}
+	if cap(vec) < 2 {
+		t.Fatalf("vec lost its backing array: cap=%d", cap(vec))
+	}
+}
+
+// TestHotpathWriteFrameVectoredReuse pins the zero-allocation
+// contract: once the gather vector has warmed up, repeated vectored
+// writes must not allocate.
+func TestHotpathWriteFrameVectoredReuse(t *testing.T) {
+	payload := make([]byte, 256)
+	var scratch [HeaderSize]byte
+	var vec net.Buffers
+	h := Header{Op: OpRead, Flags: FlagOK, Seq: 1}
+	sink := bufio.NewWriterSize(discard{}, 1<<16)
+	// Warm the vector once so the backing array exists.
+	if err := WriteFrameVectored(sink, scratch[:], h, payload, &vec); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := WriteFrameVectored(sink, scratch[:], h, payload, &vec); err != nil {
+			t.Fatalf("WriteFrameVectored: %v", err)
+		}
+		sink.Reset(discard{})
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteFrameVectored allocates %.1f/op, want 0", allocs)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestHotpathFrameBatch queues several frames — mixed whole frames
+// and header+scattered-payload triples, the server's gather shape —
+// flushes them as one vectored write, and checks each parses back in
+// order.
+func TestHotpathFrameBatch(t *testing.T) {
+	var b FrameBatch
+	var buf bytes.Buffer
+
+	p1 := bytes.Repeat([]byte{1}, 64)
+	if err := b.AppendFrame(Header{Op: OpPing, Flags: FlagOK, Seq: 1}, p1); err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	// A read response whose payload arrives as two cache-buffer
+	// fragments: header first with the summed length, then the parts.
+	p2a, p2b := bytes.Repeat([]byte{2}, 32), bytes.Repeat([]byte{3}, 32)
+	b.AppendHeader(Header{Op: OpRead, Flags: FlagOK | FlagHit, Seq: 2, PayloadLen: 64})
+	b.AppendPayload(p2a)
+	b.AppendPayload(p2b)
+	if err := b.AppendFrame(Header{Op: OpClose, Flags: FlagOK, Seq: 3}, nil); err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("batch Len = %d, want 3", b.Len())
+	}
+	if err := b.Flush(&buf); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("batch not empty after Flush: %d", b.Len())
+	}
+
+	br := bufio.NewReader(&buf)
+	var scratch [HeaderSize]byte
+	wantPayloads := [][]byte{p1, append(append([]byte{}, p2a...), p2b...), nil}
+	for i, seq := range []uint32{1, 2, 3} {
+		h, err := ReadHeader(br, scratch[:])
+		if err != nil {
+			t.Fatalf("frame %d: ReadHeader: %v", i, err)
+		}
+		if h.Seq != seq {
+			t.Fatalf("frame %d: seq = %d, want %d", i, h.Seq, seq)
+		}
+		data, err := ReadPayload(br, h, nil)
+		if err != nil {
+			t.Fatalf("frame %d: ReadPayload: %v", i, err)
+		}
+		if !bytes.Equal(data, wantPayloads[i]) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if br.Buffered() != 0 {
+		t.Fatalf("%d stray bytes after the batch", br.Buffered())
+	}
+}
+
+// TestHotpathFrameBatchReuse: a warmed batch queues and flushes
+// without allocating — the server keeps one per connection for the
+// life of the connection.
+func TestHotpathFrameBatchReuse(t *testing.T) {
+	var b FrameBatch
+	payload := make([]byte, 128)
+	sink := bufio.NewWriterSize(discard{}, 1<<16)
+	for i := 0; i < 4; i++ { // warm hdrs and vec to steady-state size
+		b.AppendHeader(Header{Op: OpRead, Flags: FlagOK, Seq: uint32(i), PayloadLen: 128})
+		b.AppendPayload(payload)
+	}
+	if err := b.Flush(sink); err != nil {
+		t.Fatalf("warmup flush: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4; i++ {
+			b.AppendHeader(Header{Op: OpRead, Flags: FlagOK, Seq: uint32(i), PayloadLen: 128})
+			b.AppendPayload(payload)
+		}
+		if err := b.Flush(sink); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		sink.Reset(discard{})
+	})
+	if allocs != 0 {
+		t.Fatalf("FrameBatch cycle allocates %.1f/op, want 0", allocs)
+	}
+}

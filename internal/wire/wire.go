@@ -51,6 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Protocol versions negotiated through the JSON ping ("proto_max").
@@ -290,6 +291,135 @@ func WriteFrame(w io.Writer, h Header, payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// flushBuffers writes every slice in *v with one vectored write
+// (writev when w is a *net.TCPConn; sequential Write calls otherwise,
+// which is what keeps per-Write fault interposers working) and then
+// restores *v to an empty slice over its ORIGINAL backing array.
+// net.Buffers.WriteTo consumes the slice it is called on — it nils
+// entries and advances the base pointer — so without the restore a
+// reused gather slice would shrink toward zero capacity and every
+// subsequent append would allocate.
+func flushBuffers(w io.Writer, v *net.Buffers) error {
+	saved := *v
+	_, err := v.WriteTo(w)
+	*v = saved[:0]
+	return err
+}
+
+// WriteFrameVectored writes one complete frame with a single vectored
+// write: the header is encoded into scratch (caller-owned, at least
+// HeaderSize bytes) and gathered with payload into one writev — the
+// payload bytes go from the caller's buffer to the socket with no
+// staging copy. h.PayloadLen is overwritten with len(payload). vec
+// must point to a gather slice that persists across calls (a struct
+// field, not a local): it is reused, so the steady state allocates
+// nothing.
+//
+// The caller must keep scratch and payload untouched (and any
+// refcounted buffer backing payload alive) until the call returns:
+// the kernel reads both during the writev syscall.
+func WriteFrameVectored(w io.Writer, scratch []byte, h Header, payload []byte, vec *net.Buffers) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	h.PayloadLen = uint32(len(payload))
+	PutHeader(scratch, h)
+	if len(payload) == 0 {
+		_, err := w.Write(scratch[:HeaderSize])
+		return err
+	}
+	*vec = append((*vec)[:0], scratch[:HeaderSize], payload)
+	return flushBuffers(w, vec)
+}
+
+// FrameBatch accumulates encoded response frames and flushes them
+// with one vectored write — the frame-coalescing half of the hot
+// path: a pipelined client's K responses cost one writev instead of K
+// write syscalls. Headers are encoded into stable per-frame scratch
+// arrays owned by the batch; payload slices are gathered by reference,
+// so the bytes (and any refcounted buffers backing them) must stay
+// alive and untouched until Flush returns. All storage is reused
+// across flushes: a warm batch allocates nothing.
+//
+// A FrameBatch is not safe for concurrent use; callers serialize it
+// per connection.
+type FrameBatch struct {
+	hdrs []hdrArr
+	n    int // headers used since the last Flush/Reset
+	vec  net.Buffers
+}
+
+type hdrArr [HeaderSize]byte
+
+// header hands out the next stable header scratch slice. Growing hdrs
+// may move the backing array, but slices already queued in vec keep
+// the old array (and its written bytes) alive, so queued frames stay
+// intact.
+func (b *FrameBatch) header() []byte {
+	if b.n == len(b.hdrs) {
+		b.hdrs = append(b.hdrs, hdrArr{})
+	}
+	s := b.hdrs[b.n][:]
+	b.n++
+	return s
+}
+
+// Len reports how many frame headers are queued.
+func (b *FrameBatch) Len() int { return b.n }
+
+// AppendFrame queues one complete frame; h.PayloadLen is overwritten
+// with len(payload).
+func (b *FrameBatch) AppendFrame(h Header, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	h.PayloadLen = uint32(len(payload))
+	hs := b.header()
+	PutHeader(hs, h)
+	b.vec = append(b.vec, hs)
+	if len(payload) > 0 {
+		b.vec = append(b.vec, payload)
+	}
+	return nil
+}
+
+// AppendHeader queues a frame header whose payload arrives through
+// subsequent AppendPayload calls; the caller is responsible for
+// setting h.PayloadLen to the payload total it will append.
+func (b *FrameBatch) AppendHeader(h Header) {
+	hs := b.header()
+	PutHeader(hs, h)
+	b.vec = append(b.vec, hs)
+}
+
+// AppendPayload queues one payload segment for the most recently
+// appended header.
+func (b *FrameBatch) AppendPayload(p []byte) {
+	if len(p) > 0 {
+		b.vec = append(b.vec, p)
+	}
+}
+
+// Flush writes every queued frame with one vectored write and resets
+// the batch for reuse. A batch with nothing queued returns nil
+// without touching w.
+func (b *FrameBatch) Flush(w io.Writer) error {
+	if len(b.vec) == 0 {
+		b.n = 0
+		return nil
+	}
+	err := flushBuffers(w, &b.vec)
+	b.n = 0
+	return err
+}
+
+// Reset drops queued frames without writing them (connection
+// teardown).
+func (b *FrameBatch) Reset() {
+	b.vec = b.vec[:0]
+	b.n = 0
 }
 
 // ReadLine reads one newline-terminated JSON line from br, without
