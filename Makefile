@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check check-runtime check-cluster check-chaos check-load check-hotpath soak vet build test race fuzz bench bench-all report
+.PHONY: check check-runtime check-cluster check-chaos check-load check-hotpath check-predictors soak vet build test race fuzz bench bench-all report
 
-check: vet build race fuzz check-runtime check-cluster check-chaos check-load check-hotpath
+check: vet build race fuzz check-runtime check-cluster check-chaos check-load check-hotpath check-predictors
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,15 @@ check-hotpath:
 	$(GO) test -race -count=1 -run TestHotpath ./internal/wire/ ./internal/lapcache/
 	$(GO) run ./cmd/lapbench -exp hotpath -hotpath-conns 1,16 -hotpath-dur 500ms
 
+# The cross-predictor invariant suite under the race detector — every
+# algorithm in core.NamedAlgorithms holds determinism, the degree-cap
+# bound, and zero buffer leaks over the golden micro-workloads — plus
+# the predictor unit/distribution tests and a tiny-scale smoke of the
+# real -exp predictors matrix (win checks only engage at -scale full).
+check-predictors:
+	$(GO) test -race -count=1 ./internal/conformance/ ./internal/workload/ ./internal/core/ ./cmd/lapbench/
+	$(GO) run ./cmd/lapbench -exp predictors -scale tiny
+
 # Chaos soak: random seeds in a loop (SOAK_RUNS, default 20). Every
 # other run puts the AdaptiveFDP degree policy on the seed-chosen
 # victim node (strict linear elsewhere), so the audit exercises both
@@ -85,6 +94,8 @@ fuzz:
 	$(GO) test ./internal/stats/ -run FuzzHistogramRecord -fuzz FuzzHistogramRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/membership/ -run FuzzMembershipDecode -fuzz FuzzMembershipDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run FuzzDegreePolicy -fuzz FuzzDegreePolicy -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run FuzzMithril -fuzz FuzzMithril -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run FuzzMarkov -fuzz FuzzMarkov -fuzztime $(FUZZTIME)
 
 # The runtime micro-benchmarks: engine demand-read paths and the JSON
 # vs binary wire comparison (BENCH_wire.json), the cooperative tier's
@@ -124,6 +135,11 @@ bench:
 		-description "Open-loop throughput-vs-latency sweep against one in-process lapcached node: Poisson arrivals at each offered rate for 1s of virtual time, Zipf(1.1) popularity over 64 files, 4-block spans, latencies measured from each request's scheduled arrival (coordinated-omission corrected) into an HDR-style histogram." \
 		-command "make bench" \
 		-notes "req_per_s is achieved completion rate at that offered rate; p50/p99/p999 are end-to-end latency from scheduled arrival. BenchmarkLoadKnee marks the first swept rate past the knee criterion (p99 > 8x baseline or achieved < 0.9x offered). The sweep runs warm: each rate reuses the cache state the previous rates built."
+	$(GO) run ./cmd/lapbench -exp predictors -scale full -bench | \
+		$(GO) run ./cmd/benchfmt -benchmark BenchmarkPredictors -o BENCH_predictors.json \
+		-description "The predictor x workload matrix at full scale and the smallest (1 MB/node) cache: NP, the paper's linear-aggressive classics (OBA, IS_PPM:1, IS_PPM:3) and the post-paper association predictors (Mithril, Markov), each over CHARISMA, a whole-file sequential scan (deepseq), a Zipf web/CDN page workload and an OLTP index-then-row workload. ns/op is mean demand read latency; hit-% the demand hit ratio; timely/late/wasted classify every prefetch; pf-B/hit is bytes prefetched per timely hit." \
+		-command "make bench" \
+		-notes "The run exits nonzero unless the which-predictor-for-which-workload claims hold: the classics keep CHARISMA (paper ranking unchanged) and deepseq, Markov takes the CDN cell and Mithril the OLTP cell outright — scenarios where every linear-sequential config loses to NP. The association predictors only fire under re-fetch pressure, so the matrix is pinned to the cache size whose footprints overflow it."
 
 # Every benchmark in the repo, including the paper-figure regenerators
 # (minutes of simulation work).

@@ -44,6 +44,13 @@ type result struct {
 	Degree      int64   `json:"degree,omitempty"`
 	AccuracyPct float64 `json:"accuracy_pct,omitempty"`
 	HitPct      float64 `json:"hit_pct,omitempty"`
+	// Predictor-matrix units (lapbench -exp predictors -bench):
+	// prefetch timeliness counts and the byte cost of each timely
+	// prefetch hit.
+	PrefetchTimely  int64   `json:"prefetch_timely,omitempty"`
+	PrefetchLate    int64   `json:"prefetch_late,omitempty"`
+	PrefetchWasted  int64   `json:"prefetch_wasted,omitempty"`
+	PfBytesPerHit   float64 `json:"pf_bytes_per_hit,omitempty"`
 }
 
 type record struct {
@@ -240,6 +247,14 @@ func parseLine(line string) (result, bool) {
 			r.AccuracyPct = v
 		case "hit-%":
 			r.HitPct = v
+		case "timely":
+			r.PrefetchTimely = int64(v)
+		case "late":
+			r.PrefetchLate = int64(v)
+		case "wasted":
+			r.PrefetchWasted = int64(v)
+		case "pf-B/hit":
+			r.PfBytesPerHit = v
 		}
 	}
 	return r, r.NsPerOp > 0

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lapbench [-exp all|table1|fig4..fig11|table2|claims|report|ablations|cluster|churn|chaos|load] [-scale full|small|tiny] [-workers N] [-v]
+//	lapbench [-exp all|table1|fig4..fig11|table2|claims|report|ablations|cluster|churn|chaos|load|adaptive|hotpath|predictors] [-scale full|small|tiny] [-workers N] [-v]
 //
 // Results print as aligned text tables, one per artifact. The full
 // scale regenerates everything EXPERIMENTS.md records and takes a few
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load, adaptive, hotpath")
+	exp := flag.String("exp", "all", "artifact to run: all, table1, fig4..fig11, table2, claims, report, ablations, cluster, churn, chaos, load, adaptive, hotpath, predictors")
 	scaleName := flag.String("scale", "full", "experiment scale: full, small, tiny")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-cell diagnostics for the artifact's matrix")
@@ -29,7 +29,7 @@ func main() {
 	churn := flag.Bool("churn", true, "for -exp chaos: dynamic membership with R=2 replication, gossip faults, and a mid-replay node kill + rejoin")
 	adaptive := flag.Bool("adaptive", false, "for -exp cluster: run the AdaptiveFDP degree policy instead of strict linear")
 	adaptiveVictim := flag.Bool("adaptive-victim", false, "for -exp chaos: run the AdaptiveFDP degree policy on the seed-chosen victim node (strict elsewhere)")
-	benchOut := flag.Bool("bench", false, "for -exp adaptive and -exp hotpath: emit go-bench result lines for benchfmt instead of the table")
+	benchOut := flag.Bool("bench", false, "for -exp adaptive, -exp hotpath and -exp predictors: emit go-bench result lines for benchfmt instead of the table")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -76,6 +76,11 @@ func main() {
 		// The open-loop harness sizes itself from -load-rates and
 		// -load-dur, not -scale.
 		exitOn(runLoad(*seed))
+	case "predictors":
+		// The predictor × workload matrix runs at the scale's smallest
+		// cache; win-ratio checks only hold at -scale full, where the
+		// workload footprints overflow the caches.
+		exitOn(runPredictors(scale, *workers, *benchOut))
 	case "hotpath":
 		// The wire hot-path cells size themselves from -hotpath-conns
 		// and -hotpath-dur, not -scale.

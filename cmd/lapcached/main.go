@@ -97,9 +97,9 @@ func main() {
 		return
 	}
 
-	alg, ok := core.LookupAlg(*algName)
-	if !ok {
-		log.Fatalf("unknown algorithm %q (try -list-algs)", *algName)
+	alg, err := core.LookupAlg(*algName)
+	if err != nil {
+		log.Fatalf("%v (try -list-algs)", err)
 	}
 	if *adaptive {
 		alg = core.AdaptiveVariant(alg, *degreeCap)

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	lapsim [-fs pafs|xfs] [-workload charisma|sprite] [-alg NAME] [-cache MB] [-scale full|small|tiny]
+//	lapsim [-fs pafs|xfs] [-workload charisma|sprite|cdn|oltp] [-alg NAME] [-cache MB] [-scale full|small|tiny]
 //	       [-metrics] [-trace-out FILE]
 //
 // Algorithm names are the paper's: NP, OBA, Ln_Agr_OBA, IS_PPM:1,
 // Ln_Agr_IS_PPM:1, IS_PPM:3, Ln_Agr_IS_PPM:3 (plus Agr_OBA and
-// Agr_IS_PPM:j for the unthrottled variants used in ablations).
+// Agr_IS_PPM:j for the unthrottled variants used in ablations, and
+// the post-paper Mithril/Markov family — see lapcached -list-algs for
+// the full set).
 //
 // -metrics switches the output from the human-readable dump to one
 // JSONL record holding every metric, including the observability
@@ -43,7 +45,7 @@ func tracerOrNil(t *experiment.JSONLTracer) sim.Tracer {
 
 func main() {
 	fsName := flag.String("fs", "pafs", "file system: pafs or xfs")
-	wlName := flag.String("workload", "charisma", "workload: charisma or sprite")
+	wlName := flag.String("workload", "charisma", "workload: charisma, sprite, cdn or oltp")
 	algName := flag.String("alg", "Ln_Agr_IS_PPM:1", "algorithm name (paper notation)")
 	adaptive := flag.Bool("adaptive", false, "replace the algorithm's degree throttle with the AdaptiveFDP controller")
 	degreeCap := flag.Int("degree-cap", 0, "hard window ceiling for -adaptive (0 = default)")
@@ -69,12 +71,16 @@ func main() {
 		wl = experiment.Charisma
 	case "sprite":
 		wl = experiment.Sprite
+	case "cdn":
+		wl = experiment.CDN
+	case "oltp":
+		wl = experiment.OLTP
 	default:
 		fail("unknown workload %q", *wlName)
 	}
-	alg, ok := core.LookupAlg(*algName)
-	if !ok {
-		fail("unknown algorithm %q (want one of %s)", *algName, strings.Join(core.AlgNames(), ", "))
+	alg, algErr := core.LookupAlg(*algName)
+	if algErr != nil {
+		fail("%v", algErr)
 	}
 	if *adaptive {
 		alg = core.AdaptiveVariant(alg, *degreeCap)

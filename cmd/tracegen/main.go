@@ -1,11 +1,12 @@
-// Command tracegen materializes the synthetic CHARISMA and Sprite
-// workloads as text trace files, or prints summary statistics about
-// them, so the request streams driving the experiments can be
-// inspected and replayed.
+// Command tracegen materializes the synthetic workloads — the paper's
+// CHARISMA and Sprite plus the post-paper CDN and OLTP scenarios — as
+// text trace files, or prints summary statistics about them, so the
+// request streams driving the experiments can be inspected and
+// replayed.
 //
 // Usage:
 //
-//	tracegen -workload charisma|sprite [-scale full|small|tiny] [-seed N] [-o FILE] [-stats]
+//	tracegen -workload charisma|sprite|cdn|oltp [-scale full|small|tiny] [-seed N] [-o FILE] [-stats]
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	wlName := flag.String("workload", "charisma", "workload: charisma or sprite")
+	wlName := flag.String("workload", "charisma", "workload: charisma, sprite, cdn or oltp")
 	scaleName := flag.String("scale", "small", "experiment scale: full, small, tiny")
 	seed := flag.Uint64("seed", 0, "override the generator seed (0 keeps the scale's)")
 	out := flag.String("o", "", "write the trace to this file (default stdout)")
@@ -57,6 +58,18 @@ func main() {
 			p.Seed = *seed
 		}
 		tr, err = workload.GenerateSprite(p)
+	case "cdn":
+		p := scale.CDN
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		tr, err = workload.GenerateCDN(p)
+	case "oltp":
+		p := scale.OLTP
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		tr, err = workload.GenerateOLTP(p)
 	default:
 		fail("unknown workload %q", *wlName)
 	}

@@ -1,0 +1,126 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/lapcache"
+)
+
+// TestSimConformance sweeps every registered algorithm over the golden
+// micro-trace and holds each to the suite's simulation invariants:
+//
+//   - determinism: two runs from the same seed produce identical
+//     Results, float for float and counter for counter;
+//   - throttle: the machine-wide per-file outstanding-prefetch
+//     high-water never exceeds the spec's DegreeCap.
+func TestSimConformance(t *testing.T) {
+	s := experiment.TinyScale()
+	tr := MicroTrace(s.NOW.Nodes, s.NOW.BlockSize)
+	for _, alg := range core.NamedAlgorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			t.Parallel()
+			cell := experiment.Cell{FS: experiment.PAFS, Workload: experiment.Charisma, Alg: alg, CacheMB: 1}
+			r1, err := experiment.RunTrace(tr, s.NOW, cell, s.WarmFraction)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			r2, err := experiment.RunTrace(tr, s.NOW, cell, s.WarmFraction)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("same seed, different results:\n  run 1: %+v\n  run 2: %+v", r1, r2)
+			}
+			if cap := alg.DegreeCap(); cap > 0 && r1.MaxFilePrefetchHW > cap {
+				t.Errorf("per-file prefetch high-water %d exceeds policy cap %d", r1.MaxFilePrefetchHW, cap)
+			}
+			if !alg.Prefetches() && r1.PrefetchIssued != 0 {
+				t.Errorf("NP issued %d prefetches", r1.PrefetchIssued)
+			}
+		})
+	}
+}
+
+// TestEngineConformance replays the demand script against a live
+// engine under every registered algorithm, with buffer poisoning on
+// throughout (a double-release or use-after-release panics the run),
+// and checks the teardown invariants: the ledger saw no violations and
+// never exceeded the cap, and after Shutdown + DrainCache not one
+// block buffer is still live.
+func TestEngineConformance(t *testing.T) {
+	for _, alg := range core.NamedAlgorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			t.Parallel()
+			const blockSize = 512
+			e, err := lapcache.New(lapcache.Config{
+				Alg:         alg,
+				Store:       lapcache.NewMemStore(blockSize, 0),
+				BlockSize:   blockSize,
+				CacheBlocks: 48, // smaller than the script's footprint: evictions happen
+				FileBlocks:  EngineFiles(),
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			e.SetPoisonBufs(true)
+			for _, st := range EngineScript() {
+				if _, _, err := e.Read(st.File, st.Block, int32(st.Count)); err != nil {
+					t.Fatalf("read %d:%d: %v", st.File, st.Block, err)
+				}
+			}
+			// Let in-flight prefetch chains run dry before auditing.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				s := e.Snapshot()
+				if s.PrefetchCompleted+s.PrefetchCancelled+s.PrefetchDupSkipped >= s.PrefetchIssued {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("prefetch chains never quiesced: %s", s)
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			snap := e.Snapshot()
+			if snap.LinearViolations != 0 {
+				t.Errorf("%d linearity violations", snap.LinearViolations)
+			}
+			if cap := alg.DegreeCap(); cap > 0 {
+				if hw := e.Ledger().MaxHighWater(); hw > cap {
+					t.Errorf("ledger high-water %d exceeds policy cap %d", hw, cap)
+				}
+			}
+			e.Shutdown()
+			e.DrainCache()
+			if live := e.BufLive(); live != 0 {
+				t.Errorf("BufLive = %d after drain, want 0 (leaked or double-held buffers)", live)
+			}
+		})
+	}
+}
+
+// TestMicroTraceValid pins the golden trace itself: it must validate
+// against the tiny machine and be deterministic, or every result above
+// is meaningless.
+func TestMicroTraceValid(t *testing.T) {
+	s := experiment.TinyScale()
+	tr := MicroTrace(s.NOW.Nodes, s.NOW.BlockSize)
+	if err := tr.Validate(s.NOW.Nodes, s.NOW.BlockSize); err != nil {
+		t.Fatalf("micro trace invalid: %v", err)
+	}
+	if !reflect.DeepEqual(tr, MicroTrace(s.NOW.Nodes, s.NOW.BlockSize)) {
+		t.Fatal("micro trace not deterministic")
+	}
+	if got := len(EngineScript()); got != 180 {
+		t.Fatalf("engine script has %d steps, want 180", got)
+	}
+	if !reflect.DeepEqual(EngineScript(), EngineScript()) {
+		t.Fatal("engine script not deterministic")
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // AlgKind selects the base predictor of an algorithm configuration.
 type AlgKind int
@@ -11,6 +15,8 @@ const (
 	AlgOBA                     // One-Block-Ahead
 	AlgISPPM                   // IS_PPM:Order
 	AlgBlockPPM                // original block-granularity PPM (related-work baseline)
+	AlgMithril                 // sporadic-association miner (MITHRIL-style)
+	AlgMarkov                  // probability-matrix Markov chains (Pangloss-style)
 )
 
 // AlgSpec is one named algorithm configuration from the paper's
@@ -47,13 +53,17 @@ func (s AlgSpec) Name() string {
 	switch s.Kind {
 	case AlgNone:
 		return "NP"
-	case AlgOBA, AlgISPPM, AlgBlockPPM:
+	case AlgOBA, AlgISPPM, AlgBlockPPM, AlgMithril, AlgMarkov:
 		base := "OBA"
 		switch s.Kind {
 		case AlgISPPM:
 			base = fmt.Sprintf("IS_PPM:%d", s.Order)
 		case AlgBlockPPM:
 			base = fmt.Sprintf("BlockPPM:%d", s.Order)
+		case AlgMithril:
+			base = "Mithril"
+		case AlgMarkov:
+			base = "Markov"
 		}
 		switch {
 		case s.Mode == ModeOneShot:
@@ -88,7 +98,7 @@ func (s AlgSpec) Name() string {
 // reject a bad specification up front instead of panicking mid-cell.
 func (s AlgSpec) Validate() error {
 	switch s.Kind {
-	case AlgNone, AlgOBA:
+	case AlgNone, AlgOBA, AlgMithril, AlgMarkov:
 	case AlgISPPM, AlgBlockPPM:
 		if s.Order < 1 {
 			return fmt.Errorf("core: %s needs order >= 1, got %d", s.Name(), s.Order)
@@ -158,6 +168,10 @@ func (s AlgSpec) NewPredictor() Predictor {
 		return m
 	case AlgBlockPPM:
 		return NewBlockPPM(s.Order)
+	case AlgMithril:
+		return NewMithril()
+	case AlgMarkov:
+		return NewMarkov()
 	default:
 		panic("core: AlgSpec " + s.Name() + " has no predictor")
 	}
@@ -193,6 +207,23 @@ var (
 	SpecAdAgrISPPM1 = AdaptiveVariant(SpecLnAgrISPPM1, DefaultAdaptiveCap)
 	// SpecAdAgrISPPM3 is adaptive aggressive IS_PPM:3.
 	SpecAdAgrISPPM3 = AdaptiveVariant(SpecLnAgrISPPM3, DefaultAdaptiveCap)
+
+	// The post-paper predictors (ROADMAP: "open the scenario space").
+	// One-shot, linear aggressive, and adaptive variants mirror the
+	// paper algorithms' ladder.
+
+	// SpecMithril is the one-shot sporadic-association miner.
+	SpecMithril = AlgSpec{Kind: AlgMithril, Mode: ModeOneShot, MaxOutstanding: 0}
+	// SpecLnAgrMithril is linear aggressive Mithril.
+	SpecLnAgrMithril = AlgSpec{Kind: AlgMithril, Mode: ModeAggressive, MaxOutstanding: 1}
+	// SpecAdAgrMithril is adaptive aggressive Mithril.
+	SpecAdAgrMithril = AdaptiveVariant(SpecLnAgrMithril, DefaultAdaptiveCap)
+	// SpecMarkov is the one-shot probability-matrix Markov predictor.
+	SpecMarkov = AlgSpec{Kind: AlgMarkov, Mode: ModeOneShot, MaxOutstanding: 0}
+	// SpecLnAgrMarkov is linear aggressive Markov.
+	SpecLnAgrMarkov = AlgSpec{Kind: AlgMarkov, Mode: ModeAggressive, MaxOutstanding: 1}
+	// SpecAdAgrMarkov is adaptive aggressive Markov.
+	SpecAdAgrMarkov = AdaptiveVariant(SpecLnAgrMarkov, DefaultAdaptiveCap)
 )
 
 // StandardAlgorithms returns the seven configurations every figure of
@@ -210,9 +241,11 @@ func StandardAlgorithms() []AlgSpec {
 }
 
 // NamedAlgorithms returns every configuration addressable by name:
-// the standard seven plus the unthrottled aggressive variants and the
-// block-granularity PPM baseline. Command-line tools resolve -alg
-// flags against this set.
+// the standard seven plus the unthrottled aggressive variants, the
+// block-granularity PPM baseline, and the post-paper Mithril/Markov
+// predictors in their one-shot, linear aggressive, and adaptive
+// forms. Command-line tools resolve -alg flags against this set, and
+// the conformance suite runs every entry.
 func NamedAlgorithms() []AlgSpec {
 	return append(StandardAlgorithms(),
 		AlgSpec{Kind: AlgOBA, Mode: ModeAggressive, MaxOutstanding: 0},
@@ -222,18 +255,40 @@ func NamedAlgorithms() []AlgSpec {
 		SpecAdAgrOBA,
 		SpecAdAgrISPPM1,
 		SpecAdAgrISPPM3,
+		SpecMithril,
+		SpecLnAgrMithril,
+		SpecAdAgrMithril,
+		SpecMarkov,
+		SpecLnAgrMarkov,
+		SpecAdAgrMarkov,
 	)
 }
 
+// UnknownAlgError reports a LookupAlg miss. It carries the full list
+// of valid names so command-line surfaces can print an actionable
+// message instead of a bare "unknown algorithm".
+type UnknownAlgError struct {
+	Name  string
+	Known []string
+}
+
+// Error lists the valid names, sorted, after the offending one.
+func (e *UnknownAlgError) Error() string {
+	known := append([]string(nil), e.Known...)
+	sort.Strings(known)
+	return fmt.Sprintf("unknown algorithm %q (valid: %s)", e.Name, strings.Join(known, ", "))
+}
+
 // LookupAlg resolves a paper-notation algorithm name ("NP", "OBA",
-// "Ln_Agr_IS_PPM:3", ...) to its configuration.
-func LookupAlg(name string) (AlgSpec, bool) {
+// "Ln_Agr_IS_PPM:3", ...) to its configuration. A miss returns an
+// *UnknownAlgError naming every valid configuration.
+func LookupAlg(name string) (AlgSpec, error) {
 	for _, s := range NamedAlgorithms() {
 		if s.Name() == name {
-			return s, true
+			return s, nil
 		}
 	}
-	return AlgSpec{}, false
+	return AlgSpec{}, &UnknownAlgError{Name: name, Known: AlgNames()}
 }
 
 // AlgNames returns the names of every named configuration, in order.

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -18,6 +22,12 @@ func TestAlgSpecNames(t *testing.T) {
 		{SpecLnAgrISPPM3, "Ln_Agr_IS_PPM:3"},
 		{AlgSpec{Kind: AlgOBA, Mode: ModeAggressive, MaxOutstanding: 0}, "Agr_OBA"},
 		{AlgSpec{Kind: AlgISPPM, Order: 2, Mode: ModeAggressive, MaxOutstanding: 4}, "K4_Agr_IS_PPM:2"},
+		{SpecMithril, "Mithril"},
+		{SpecLnAgrMithril, "Ln_Agr_Mithril"},
+		{SpecAdAgrMithril, "Ad_Agr_Mithril"},
+		{SpecMarkov, "Markov"},
+		{SpecLnAgrMarkov, "Ln_Agr_Markov"},
+		{SpecAdAgrMarkov, "Ad_Agr_Markov"},
 		{AlgSpec{Kind: AlgKind(99)}, "unknown(99)"},
 	}
 	for _, c := range cases {
@@ -67,6 +77,71 @@ func TestAlgSpecAblationNamesAndPriority(t *testing.T) {
 	}
 	if m.policy != MostProbableLinkPolicy || !m.noFallback {
 		t.Error("ablation switches not applied to the predictor")
+	}
+}
+
+// TestLookupAlgEveryRegisteredName: every name in the registry must
+// round-trip through LookupAlg to a spec with the identical name, and
+// every registered spec must validate and construct.
+func TestLookupAlgEveryRegisteredName(t *testing.T) {
+	names := AlgNames()
+	if len(names) != len(NamedAlgorithms()) {
+		t.Fatalf("AlgNames returned %d names for %d specs", len(names), len(NamedAlgorithms()))
+	}
+	seen := make(map[string]bool)
+	for _, name := range names {
+		if seen[name] {
+			t.Errorf("duplicate registered name %q", name)
+		}
+		seen[name] = true
+		spec, err := LookupAlg(name)
+		if err != nil {
+			t.Errorf("LookupAlg(%q): %v", name, err)
+			continue
+		}
+		if spec.Name() != name {
+			t.Errorf("LookupAlg(%q).Name() = %q", name, spec.Name())
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("registered spec %q does not validate: %v", name, err)
+		}
+		if spec.Prefetches() && spec.NewPredictor() == nil {
+			t.Errorf("registered spec %q constructs a nil predictor", name)
+		}
+	}
+	// The post-paper predictors must actually be registered.
+	for _, want := range []string{"Mithril", "Ln_Agr_Mithril", "Ad_Agr_Mithril", "Markov", "Ln_Agr_Markov", "Ad_Agr_Markov"} {
+		if !seen[want] {
+			t.Errorf("%q not in the named algorithm set", want)
+		}
+	}
+}
+
+// TestLookupAlgUnknownTypedError: a miss must surface as
+// *UnknownAlgError carrying the full valid-name list, so -alg error
+// messages are actionable.
+func TestLookupAlgUnknownTypedError(t *testing.T) {
+	_, err := LookupAlg("IS_PPM:9000")
+	if err == nil {
+		t.Fatal("LookupAlg on an unknown name returned nil error")
+	}
+	var ua *UnknownAlgError
+	if !errors.As(err, &ua) {
+		t.Fatalf("error is %T, want *UnknownAlgError", err)
+	}
+	if ua.Name != "IS_PPM:9000" {
+		t.Errorf("Name = %q", ua.Name)
+	}
+	wantKnown := AlgNames()
+	gotKnown := append([]string(nil), ua.Known...)
+	sort.Strings(wantKnown)
+	sort.Strings(gotKnown)
+	if !reflect.DeepEqual(gotKnown, wantKnown) {
+		t.Errorf("Known = %v, want every registered name", ua.Known)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "IS_PPM:9000") || !strings.Contains(msg, "Ln_Agr_Mithril") {
+		t.Errorf("message does not name the offender and the valid set: %q", msg)
 	}
 }
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"repro/internal/blockdev"
+)
+
+// Markov is a Pangloss-style Markov-chain predictor (Papaphilippou et
+// al.): a compact, row-normalized transition probability matrix over
+// request start blocks, predicted by *most-probable successor* chains
+// instead of the paper's most-recent links.
+//
+// It differs from the two PPM family members already in the package on
+// exactly the axes Pangloss argues for:
+//
+//   - BlockPPM keeps raw lifetime counts over an order-j history of
+//     individual blocks; Markov is first-order over request starts,
+//     and each row is a bounded candidate set whose counts age (halve)
+//     whenever the row total passes AgeThreshold, so the matrix tracks
+//     the *current* probability distribution, not the all-history one.
+//   - IS_PPM follows the single most-recent link; Markov ranks a row's
+//     candidates by estimated probability and only predicts when the
+//     winner's share of the row clears MinProb — a transition that is
+//     merely the latest is not worth prefetching if the row says it is
+//     a coin flip.
+//
+// Prediction chains walk successive most-probable transitions up to
+// MaxChain steps, mirroring Pangloss's limited-depth chained lookup.
+// Memory is bounded by MaxRows rows of at most RowWidth candidates,
+// evicting the least-recently-updated row when full.
+type Markov struct {
+	cfg MarkovConfig
+
+	seq     Tick
+	started bool
+	last    blockdev.BlockNo
+
+	rows map[blockdev.BlockNo]*markovRow
+}
+
+// MarkovConfig bounds the matrix. The zero value selects the defaults.
+type MarkovConfig struct {
+	// MaxRows bounds the number of states (request start blocks) the
+	// matrix keeps; RowWidth bounds the candidate successors per state.
+	// Defaults 4096 and 8.
+	MaxRows  int
+	RowWidth int
+	// AgeThreshold: when a row's total count reaches it, every count
+	// in the row is halved (Pangloss's aging), so stale transitions
+	// decay instead of pinning the argmax forever. Default 32.
+	AgeThreshold uint32
+	// MinProb is the minimum estimated probability (candidate count /
+	// row total) a successor needs to be predicted, in percent.
+	// Default 25.
+	MinProbPct uint32
+	// MaxChain bounds the speculative chain depth per real request.
+	// Default 8.
+	MaxChain int
+}
+
+// withDefaults fills unset fields.
+func (c MarkovConfig) withDefaults() MarkovConfig {
+	if c.MaxRows <= 0 {
+		c.MaxRows = 4096
+	}
+	if c.RowWidth <= 0 {
+		c.RowWidth = 8
+	}
+	if c.AgeThreshold == 0 {
+		c.AgeThreshold = 32
+	}
+	if c.MinProbPct == 0 {
+		c.MinProbPct = 25
+	}
+	if c.MaxChain <= 0 {
+		c.MaxChain = 8
+	}
+	return c
+}
+
+// markovCand is one candidate successor with its transition count.
+type markovCand struct {
+	block blockdev.BlockNo
+	size  int32
+	count uint32
+}
+
+// markovRow is one row of the probability matrix: a bounded candidate
+// set plus the row total the probabilities normalize against. total
+// includes displaced candidates' residue, so probabilities stay
+// honest when the row is under pressure.
+type markovRow struct {
+	cands      []markovCand
+	total      uint32
+	lastUpdate Tick
+}
+
+// markovCursor is a (real or speculative) position: the last block of
+// the walk plus the chain depth.
+type markovCursor struct {
+	block blockdev.BlockNo
+	depth int
+}
+
+// NewMarkov returns a predictor with the default configuration.
+func NewMarkov() *Markov { return NewMarkovConfigured(MarkovConfig{}) }
+
+// NewMarkovConfigured returns a predictor with explicit bounds.
+func NewMarkovConfigured(cfg MarkovConfig) *Markov {
+	return &Markov{cfg: cfg.withDefaults(), rows: make(map[blockdev.BlockNo]*markovRow)}
+}
+
+// Name identifies the algorithm.
+func (*Markov) Name() string { return "Markov" }
+
+// RowCount returns the number of matrix rows currently held.
+func (m *Markov) RowCount() int { return len(m.rows) }
+
+// MaxRows returns the configured row bound (for conformance checks).
+func (m *Markov) MaxRows() int { return m.cfg.MaxRows }
+
+// Observe records the transition last -> r.Offset.
+func (m *Markov) Observe(r Request, _ Tick) Cursor {
+	m.seq++
+	if m.started && m.last != r.Offset {
+		m.bump(m.last, r.Offset, r.Size, m.seq)
+	}
+	m.started = true
+	m.last = r.Offset
+	return markovCursor{block: r.Offset}
+}
+
+// bump counts one observed transition and ages the row when due.
+func (m *Markov) bump(src, dst blockdev.BlockNo, size int32, now Tick) {
+	row := m.rows[src]
+	if row == nil {
+		if len(m.rows) >= m.cfg.MaxRows {
+			m.evictOldestRow()
+		}
+		row = &markovRow{}
+		m.rows[src] = row
+	}
+	row.lastUpdate = now
+	row.total++
+	found := false
+	for i := range row.cands {
+		if row.cands[i].block == dst {
+			row.cands[i].count++
+			row.cands[i].size = size
+			found = true
+			break
+		}
+	}
+	if !found {
+		if len(row.cands) < m.cfg.RowWidth {
+			row.cands = append(row.cands, markovCand{block: dst, size: size, count: 1})
+		} else {
+			// Full row: decay the weakest candidate; once it hits zero,
+			// the newcomer takes the slot. Its count restarts at 1 while
+			// the row total remembers the history, which *underestimates*
+			// the newcomer's probability — the safe direction for a
+			// threshold-gated prefetcher.
+			weakest := 0
+			for i := 1; i < len(row.cands); i++ {
+				if row.cands[i].count < row.cands[weakest].count {
+					weakest = i
+				}
+			}
+			if row.cands[weakest].count <= 1 {
+				row.cands[weakest] = markovCand{block: dst, size: size, count: 1}
+			} else {
+				row.cands[weakest].count--
+			}
+		}
+	}
+	if row.total >= m.cfg.AgeThreshold {
+		m.age(row)
+	}
+}
+
+// age halves every count in the row (and the total), dropping
+// candidates that decay to zero.
+func (m *Markov) age(row *markovRow) {
+	out := row.cands[:0]
+	var total uint32
+	for _, c := range row.cands {
+		c.count /= 2
+		if c.count > 0 {
+			total += c.count
+			out = append(out, c)
+		}
+	}
+	row.cands = out
+	// Keep the displaced-candidate residue proportionally.
+	row.total /= 2
+	if row.total < total {
+		row.total = total
+	}
+}
+
+// evictOldestRow discards the least recently updated row.
+func (m *Markov) evictOldestRow() {
+	var victim blockdev.BlockNo
+	var at Tick
+	first := true
+	for b, row := range m.rows {
+		if first || row.lastUpdate < at {
+			victim, at, first = b, row.lastUpdate, false
+		}
+	}
+	if !first {
+		delete(m.rows, victim)
+	}
+}
+
+// Predict returns the most probable successor of the cursor's block if
+// its estimated probability clears the threshold.
+func (m *Markov) Predict(c Cursor) (Prediction, Cursor, bool) {
+	cur, ok := c.(markovCursor)
+	if !ok {
+		return Prediction{}, nil, false
+	}
+	if cur.depth >= m.cfg.MaxChain {
+		return Prediction{}, cur, false
+	}
+	row := m.rows[cur.block]
+	if row == nil || row.total == 0 {
+		return Prediction{}, cur, false
+	}
+	best := -1
+	for i := range row.cands {
+		if best < 0 || row.cands[i].count > row.cands[best].count {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Prediction{}, cur, false
+	}
+	cand := row.cands[best]
+	if uint64(cand.count)*100 < uint64(row.total)*uint64(m.cfg.MinProbPct) {
+		return Prediction{}, cur, false
+	}
+	p := Prediction{Request: Request{Offset: cand.block, Size: cand.size}}
+	return p, markovCursor{block: cand.block, depth: cur.depth + 1}, true
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+// fuzzPredictor drives one predictor with an arbitrary request stream
+// and checks the invariants every predictor owes the driver: no
+// panics, chains terminate, predictions name only previously-observed
+// blocks with positive sizes, and table memory stays under the
+// configured bound. maxRows/maxChain are the configured bounds of p.
+func fuzzPredictor(t *testing.T, p Predictor, stream []byte, maxRows, maxChain int, rowCount func() int) {
+	seen := make(map[blockdev.BlockNo]bool)
+	var cur Cursor
+	for i := 0; i+1 < len(stream); i += 2 {
+		b := blockdev.BlockNo(stream[i])
+		sz := int32(stream[i+1])%8 + 1
+		seen[b] = true
+		cur = p.Observe(Request{Offset: b, Size: sz}, Tick(i))
+
+		steps := 0
+		for {
+			pred, next, ok := p.Predict(cur)
+			if !ok {
+				break
+			}
+			if !seen[pred.Request.Offset] {
+				t.Fatalf("predicted never-observed block %d", pred.Request.Offset)
+			}
+			if pred.Request.Size <= 0 {
+				t.Fatalf("predicted non-positive size %d", pred.Request.Size)
+			}
+			cur = next
+			steps++
+			if steps > maxChain {
+				t.Fatalf("chain ran %d steps, cap is %d", steps, maxChain)
+			}
+		}
+		if rc := rowCount(); rc > maxRows {
+			t.Fatalf("table grew to %d rows, bound is %d", rc, maxRows)
+		}
+	}
+}
+
+// FuzzMithril feeds arbitrary access sequences to the association
+// miner under a deliberately tiny table so eviction and displacement
+// paths are exercised constantly.
+func FuzzMithril(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 1, 1, 1, 2, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{9, 1, 8, 1, 7, 1, 9, 1, 8, 1, 7, 1, 9, 1})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		m := NewMithrilConfigured(MithrilConfig{
+			ShortWindow: 2, LongWindow: 5, MinSupport: 2,
+			MaxRows: 8, RowWidth: 2, MaxChain: 4,
+		})
+		fuzzPredictor(t, m, stream, 8, 4, m.RowCount)
+	})
+}
+
+// FuzzMarkov does the same for the probability matrix, with aging
+// triggered every few transitions.
+func FuzzMarkov(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 1, 1, 1, 2, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{5, 1, 6, 1, 5, 1, 6, 1, 5, 1, 6, 1})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		m := NewMarkovConfigured(MarkovConfig{
+			MaxRows: 8, RowWidth: 2, AgeThreshold: 4, MinProbPct: 30, MaxChain: 4,
+		})
+		fuzzPredictor(t, m, stream, 8, 4, m.RowCount)
+	})
+}

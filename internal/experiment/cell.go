@@ -32,18 +32,31 @@ func (k FSKind) String() string {
 // WorkloadKind selects the trace workload (and with it the machine).
 type WorkloadKind int
 
-// Workloads under test.
+// Workloads under test. CHARISMA and Sprite are the paper's two;
+// CDN and OLTP open the scenario space for the post-paper predictors
+// (both run on the NOW machine — web edges and database clusters are
+// networks of workstations, not parallel machines).
 const (
 	Charisma WorkloadKind = iota // parallel machine (PM)
 	Sprite                       // network of workstations (NOW)
+	CDN                          // Zipf web/CDN pages (NOW)
+	OLTP                         // transaction point reads (NOW)
 )
 
 // String names the workload as in the paper.
 func (k WorkloadKind) String() string {
-	if k == Charisma {
+	switch k {
+	case Charisma:
 		return "CHARISMA"
+	case Sprite:
+		return "Sprite"
+	case CDN:
+		return "CDN"
+	case OLTP:
+		return "OLTP"
+	default:
+		return "unknown"
 	}
-	return "Sprite"
 }
 
 // Cell is one simulation run: a point on one curve of one figure.
@@ -137,6 +150,12 @@ func RunCellObserved(s Scale, c Cell, tracer sim.Tracer) (Result, error) {
 	case Sprite:
 		mach = s.NOW
 		tr, err = workload.GenerateSprite(s.Sprite)
+	case CDN:
+		mach = s.NOW
+		tr, err = workload.GenerateCDN(s.CDN)
+	case OLTP:
+		mach = s.NOW
+		tr, err = workload.GenerateOLTP(s.OLTP)
 	default:
 		return Result{}, fmt.Errorf("experiment: unknown workload %d", c.Workload)
 	}

@@ -24,9 +24,13 @@ type Scale struct {
 	PM  machine.Config
 	NOW machine.Config
 
-	// Charisma and Sprite are the workload generator parameters.
+	// Charisma and Sprite are the paper workloads' generator
+	// parameters; CDN and OLTP parameterize the post-paper scenario
+	// workloads (both simulated on the NOW machine).
 	Charisma workload.CharismaParams
 	Sprite   workload.SpriteParams
+	CDN      workload.CDNParams
+	OLTP     workload.OLTPParams
 
 	// WarmFraction of requests complete before measurement starts.
 	WarmFraction float64
@@ -74,12 +78,20 @@ func FullScale() Scale {
 	sp.SharedFiles = 60
 	sp.SessionsPerClient = 150
 
+	cdn := workload.DefaultCDNParams()
+	cdn.Nodes = now.Nodes
+
+	ol := workload.DefaultOLTPParams()
+	ol.Nodes = now.Nodes
+
 	return Scale{
 		Name:         "full",
 		PM:           pm,
 		NOW:          now,
 		Charisma:     ch,
 		Sprite:       sp,
+		CDN:          cdn,
+		OLTP:         ol,
 		WarmFraction: 0.15,
 		CacheSizesMB: []int{1, 2, 4, 8, 16},
 	}
@@ -102,6 +114,14 @@ func SmallScale() Scale {
 
 	s.Sprite.Nodes = s.NOW.Nodes
 	s.Sprite.SharedFiles = 30
+
+	s.CDN.Nodes = s.NOW.Nodes
+	s.CDN.Clients = 24
+	s.CDN.PagesPerClient = 150
+
+	s.OLTP.Nodes = s.NOW.Nodes
+	s.OLTP.Clients = 24
+	s.OLTP.TxPerClient = 180
 	return s
 }
 
@@ -129,6 +149,17 @@ func TinyScale() Scale {
 	s.Sprite.FilesPerClient = 40
 	s.Sprite.SharedFiles = 8
 	s.Sprite.SessionsPerClient = 40
+	s.CDN.Nodes = 4
+	s.CDN.Volumes = 2
+	s.CDN.ObjectsPerVolume = 128
+	s.CDN.Clients = 8
+	s.CDN.PagesPerClient = 40
+	s.OLTP.Nodes = 4
+	s.OLTP.Tables = 2
+	s.OLTP.DataBlocks = 512
+	s.OLTP.HotKeys = 128
+	s.OLTP.Clients = 8
+	s.OLTP.TxPerClient = 50
 	s.CacheSizesMB = []int{1, 4, 16}
 	return s
 }

@@ -227,9 +227,9 @@ func TestPrefetchLate(t *testing.T) {
 // the unthrottled aggressive driver must get refusals, counted as
 // drops, instead of blocking or growing the queue without bound.
 func TestBackpressureDrops(t *testing.T) {
-	agr, ok := core.LookupAlg("Agr_OBA")
-	if !ok {
-		t.Fatal("Agr_OBA not in the named algorithm set")
+	agr, err := core.LookupAlg("Agr_OBA")
+	if err != nil {
+		t.Fatal(err)
 	}
 	gs := newGateStore(NewMemStore(512, 0), 1)
 	e := newTestEngine(t, Config{

@@ -211,5 +211,10 @@ func EvaluateStandard(tr *workload.Trace, mode StreamMode, blockSize int64) []Re
 	// The original block-granularity PPM, for the §2.2 comparison.
 	out = append(out, Evaluate(tr, mode, blockSize, "BlockPPM:1",
 		func() core.Predictor { return core.NewBlockPPM(1) }))
+	// The post-paper association predictors.
+	out = append(out, Evaluate(tr, mode, blockSize, "Mithril",
+		func() core.Predictor { return core.NewMithril() }))
+	out = append(out, Evaluate(tr, mode, blockSize, "Markov",
+		func() core.Predictor { return core.NewMarkov() }))
 	return out
 }

@@ -113,10 +113,11 @@ func TestClosesAreIgnored(t *testing.T) {
 func TestEvaluateStandardShape(t *testing.T) {
 	tr := stridedTrace(3, 30)
 	results := EvaluateStandard(tr, PerFile, 8192)
-	if len(results) != 5 {
-		t.Fatalf("%d results, want 5", len(results))
+	if len(results) != 7 {
+		t.Fatalf("%d results, want 7", len(results))
 	}
-	if results[0].Predictor != "OBA" || results[1].Predictor != "IS_PPM:1" || results[4].Predictor != "BlockPPM:1" {
+	if results[0].Predictor != "OBA" || results[1].Predictor != "IS_PPM:1" || results[4].Predictor != "BlockPPM:1" ||
+		results[5].Predictor != "Mithril" || results[6].Predictor != "Markov" {
 		t.Error("result order wrong")
 	}
 	if results[1].ExactRatio() <= results[0].ExactRatio() {

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// CDNParams configures a synthetic web/CDN edge-cache workload in the
+// shape the block-prefetching literature after the paper evaluates
+// against (MITHRIL's CDN traces, PPE's production CDN): many small
+// objects with a Zipf popularity law, packed into large cache volume
+// files, requested as *pages* — a root object followed by its fixed
+// group of embedded assets — by many concurrent clients.
+//
+// The structural properties that open the scenario space beyond
+// CHARISMA/Sprite:
+//
+//   - objects are small (a block or two), so sequential readahead
+//     beyond an object's end is almost always wasted;
+//   - a page's assets are scattered across the volume, so the *useful*
+//     next blocks are not the neighbouring ones — One-Block-Ahead is
+//     wrong by construction, and so is any linear policy's fallback;
+//   - page composition is stable (the same root keeps pulling the same
+//     assets) but the gaps between a root and its assets vary with
+//     client timing, and many clients interleave on the same volume —
+//     the sporadic-association / transition-matrix regime, hostile to
+//     exact-history MRU chains.
+type CDNParams struct {
+	Seed  uint64
+	Nodes int // machine size (NOW-style edge cluster)
+
+	// Volumes is the number of cache volume files; ObjectsPerVolume
+	// small objects are packed back to back into each.
+	Volumes          int
+	ObjectsPerVolume int
+	// MaxObjectBlocks bounds object size; sizes are drawn uniformly
+	// from [1, MaxObjectBlocks], skewed small.
+	MaxObjectBlocks int
+	// ZipfSkew shapes page popularity inside a volume.
+	ZipfSkew float64
+	// AssetsPerPage is the size of the fixed embedded-asset group each
+	// root object pulls in (0 disables page structure entirely and
+	// leaves pure Zipf point requests).
+	AssetsPerPage int
+	// Clients is the number of concurrent request loops;
+	// PagesPerClient is how many page fetches each performs.
+	Clients        int
+	PagesPerClient int
+	// MeanThink is the mean think time between the requests of one
+	// page fetch; think between pages is 10x this.
+	MeanThink sim.Duration
+	// BlockSize converts blocks to bytes.
+	BlockSize int64
+}
+
+// DefaultCDNParams returns the configuration used by the predictors
+// experiment.
+func DefaultCDNParams() CDNParams {
+	return CDNParams{
+		Seed:             1,
+		Nodes:            50,
+		Volumes:          6,
+		ObjectsPerVolume: 512,
+		MaxObjectBlocks:  3,
+		ZipfSkew:         0.9,
+		AssetsPerPage:    4,
+		Clients:          40,
+		PagesPerClient:   220,
+		MeanThink:        sim.Milliseconds(6),
+		BlockSize:        8 * 1024,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (p CDNParams) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("cdn: nodes %d", p.Nodes)
+	case p.Volumes <= 0 || p.ObjectsPerVolume <= 1:
+		return fmt.Errorf("cdn: need at least one volume of two objects")
+	case p.MaxObjectBlocks <= 0:
+		return fmt.Errorf("cdn: max object blocks %d", p.MaxObjectBlocks)
+	case p.ZipfSkew <= 0:
+		return fmt.Errorf("cdn: zipf skew %v", p.ZipfSkew)
+	case p.AssetsPerPage < 0 || p.AssetsPerPage >= p.ObjectsPerVolume:
+		return fmt.Errorf("cdn: assets per page %d outside [0, objects)", p.AssetsPerPage)
+	case p.Clients <= 0 || p.PagesPerClient <= 0:
+		return fmt.Errorf("cdn: no clients or no pages")
+	case p.MeanThink < 0:
+		return fmt.Errorf("cdn: negative think")
+	case p.BlockSize <= 0:
+		return fmt.Errorf("cdn: block size %d", p.BlockSize)
+	}
+	return nil
+}
+
+// cdnVolume is one volume file's layout: where each object starts and
+// how long it is, plus the fixed asset group of each object when used
+// as a page root.
+type cdnVolume struct {
+	file   blockdev.FileID
+	starts []blockdev.BlockNo
+	sizes  []blockdev.BlockNo
+	assets [][]int
+}
+
+// GenerateCDN builds the workload. The result is deterministic in the
+// parameters.
+func GenerateCDN(p CDNParams) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(p.Seed)
+	tr := &Trace{
+		Name:       "cdn",
+		FileBlocks: make(map[blockdev.FileID]blockdev.BlockNo),
+	}
+
+	// Lay out the volumes: objects packed back to back, sizes skewed
+	// small (most web objects fit one block).
+	layoutRNG := rng.Split()
+	vols := make([]*cdnVolume, p.Volumes)
+	for vi := range vols {
+		v := &cdnVolume{
+			file:   blockdev.FileID(vi),
+			starts: make([]blockdev.BlockNo, p.ObjectsPerVolume),
+			sizes:  make([]blockdev.BlockNo, p.ObjectsPerVolume),
+			assets: make([][]int, p.ObjectsPerVolume),
+		}
+		var next blockdev.BlockNo
+		for oi := 0; oi < p.ObjectsPerVolume; oi++ {
+			size := blockdev.BlockNo(1)
+			if p.MaxObjectBlocks > 1 && layoutRNG.Float64() < 0.3 {
+				size = blockdev.BlockNo(2 + layoutRNG.Intn(p.MaxObjectBlocks-1))
+			}
+			v.starts[oi] = next
+			v.sizes[oi] = size
+			next += size
+		}
+		tr.FileBlocks[v.file] = next
+		// Fix each root's embedded-asset group: a stable set of other
+		// objects of the same volume, scattered anywhere in it. The
+		// stability is the signal; the scatter is what breaks linear
+		// prediction.
+		for oi := 0; oi < p.ObjectsPerVolume; oi++ {
+			group := make([]int, 0, p.AssetsPerPage)
+			for len(group) < p.AssetsPerPage {
+				a := layoutRNG.Intn(p.ObjectsPerVolume)
+				if a == oi {
+					continue
+				}
+				group = append(group, a)
+			}
+			v.assets[oi] = group
+		}
+		vols[vi] = v
+	}
+
+	pop := sim.NewZipfTable(p.ObjectsPerVolume, p.ZipfSkew)
+	for ci := 0; ci < p.Clients; ci++ {
+		crng := rng.Split()
+		proc := Process{Node: blockdev.NodeID(ci % p.Nodes)}
+		think := func(scale float64) sim.Duration {
+			return sim.Duration(crng.Exp(float64(p.MeanThink) * scale))
+		}
+		readObj := func(v *cdnVolume, oi int, t sim.Duration) {
+			proc.Steps = append(proc.Steps, Step{
+				Think:  t,
+				Kind:   OpRead,
+				File:   v.file,
+				Offset: int64(v.starts[oi]) * p.BlockSize,
+				Size:   int64(v.sizes[oi]) * p.BlockSize,
+			})
+		}
+		for pg := 0; pg < p.PagesPerClient; pg++ {
+			v := vols[crng.Intn(p.Volumes)]
+			root := pop.Sample(crng)
+			readObj(v, root, think(10))
+			for _, a := range v.assets[root] {
+				readObj(v, a, think(1))
+			}
+		}
+		tr.Procs = append(tr.Procs, proc)
+	}
+	return tr, nil
+}

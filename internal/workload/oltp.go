@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// OLTPParams configures a synthetic transaction-processing workload:
+// many concurrent clients issuing point transactions against a few
+// table files, each file an index region followed by a data region. A
+// point transaction reads the key's index block, then the key's data
+// block (and sometimes rewrites it); a minority of transactions run
+// short range scans over consecutive data blocks.
+//
+// The structural properties that stress the paper's algorithms:
+//
+//   - point reads land on Zipf-hot keys scattered over the data
+//     region — there is no sequential run for OBA to extend, so a
+//     linear-aggressive driver mostly prefetches garbage;
+//   - the index block -> data block transition of a hot key recurs
+//     for the workload's whole life with unrelated transactions
+//     interleaved between the two halves — exactly the bounded
+//     association a miner or a probability matrix captures, and
+//     exactly what perturbs an exact-history MRU chain;
+//   - the scan minority gives sequential prefetchers a real (but
+//     small) share of work, keeping the comparison honest.
+type OLTPParams struct {
+	Seed  uint64
+	Nodes int // machine size (NOW-style database cluster)
+
+	// Tables is the number of table files; each has IndexBlocks of
+	// index followed by DataBlocks of rows.
+	Tables      int
+	IndexBlocks int
+	DataBlocks  int
+	// HotKeys is the number of distinct keys per table the key Zipf
+	// distributes over; ZipfSkew shapes it.
+	HotKeys  int
+	ZipfSkew float64
+	// Clients is the number of concurrent transaction loops;
+	// TxPerClient is how many transactions each runs.
+	Clients     int
+	TxPerClient int
+	// ScanProb is the probability a transaction is a short range scan
+	// instead of a point access; scan lengths are uniform in
+	// [2, MaxScanBlocks].
+	ScanProb      float64
+	MaxScanBlocks int
+	// WriteProb is the probability a point transaction rewrites the
+	// data block after reading it.
+	WriteProb float64
+	// MeanThink is the mean think time between a transaction's
+	// requests; think between transactions is 10x this.
+	MeanThink sim.Duration
+	// BlockSize converts blocks to bytes.
+	BlockSize int64
+}
+
+// DefaultOLTPParams returns the configuration used by the predictors
+// experiment.
+func DefaultOLTPParams() OLTPParams {
+	return OLTPParams{
+		Seed:          1,
+		Nodes:         50,
+		Tables:        4,
+		IndexBlocks:   64,
+		DataBlocks:    2048,
+		HotKeys:       512,
+		ZipfSkew:      1.1,
+		Clients:       40,
+		TxPerClient:   260,
+		ScanProb:      0.12,
+		MaxScanBlocks: 8,
+		WriteProb:     0.25,
+		MeanThink:     sim.Milliseconds(6),
+		BlockSize:     8 * 1024,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (p OLTPParams) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("oltp: nodes %d", p.Nodes)
+	case p.Tables <= 0 || p.IndexBlocks <= 0 || p.DataBlocks <= 1:
+		return fmt.Errorf("oltp: degenerate table shape")
+	case p.HotKeys <= 0:
+		return fmt.Errorf("oltp: hot keys %d", p.HotKeys)
+	case p.ZipfSkew <= 0:
+		return fmt.Errorf("oltp: zipf skew %v", p.ZipfSkew)
+	case p.Clients <= 0 || p.TxPerClient <= 0:
+		return fmt.Errorf("oltp: no clients or no transactions")
+	case p.ScanProb < 0 || p.ScanProb > 1 || p.WriteProb < 0 || p.WriteProb > 1:
+		return fmt.Errorf("oltp: probability outside [0,1]")
+	case p.ScanProb > 0 && (p.MaxScanBlocks < 2 || p.MaxScanBlocks > p.DataBlocks):
+		return fmt.Errorf("oltp: max scan %d outside [2, data blocks]", p.MaxScanBlocks)
+	case p.MeanThink < 0:
+		return fmt.Errorf("oltp: negative think")
+	case p.BlockSize <= 0:
+		return fmt.Errorf("oltp: block size %d", p.BlockSize)
+	}
+	return nil
+}
+
+// GenerateOLTP builds the workload. The result is deterministic in the
+// parameters.
+func GenerateOLTP(p OLTPParams) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(p.Seed)
+	tr := &Trace{
+		Name:       "oltp",
+		FileBlocks: make(map[blockdev.FileID]blockdev.BlockNo),
+	}
+	for t := 0; t < p.Tables; t++ {
+		tr.FileBlocks[blockdev.FileID(t)] = blockdev.BlockNo(p.IndexBlocks + p.DataBlocks)
+	}
+
+	// Fixed key layout, shared by all clients: key k of any table
+	// lives in data block dataHome[k] and is found via index block
+	// indexHome[k]. The layout is scattered (hash-like), not sorted,
+	// so key popularity does not translate into spatial locality.
+	layoutRNG := rng.Split()
+	indexHome := make([]blockdev.BlockNo, p.HotKeys)
+	dataHome := make([]blockdev.BlockNo, p.HotKeys)
+	for k := range indexHome {
+		indexHome[k] = blockdev.BlockNo(layoutRNG.Intn(p.IndexBlocks))
+		dataHome[k] = blockdev.BlockNo(p.IndexBlocks + layoutRNG.Intn(p.DataBlocks))
+	}
+
+	keys := sim.NewZipfTable(p.HotKeys, p.ZipfSkew)
+	for ci := 0; ci < p.Clients; ci++ {
+		crng := rng.Split()
+		proc := Process{Node: blockdev.NodeID(ci % p.Nodes)}
+		emit := func(kind OpKind, file blockdev.FileID, off, size blockdev.BlockNo, scale float64) {
+			proc.Steps = append(proc.Steps, Step{
+				Think:  sim.Duration(crng.Exp(float64(p.MeanThink) * scale)),
+				Kind:   kind,
+				File:   file,
+				Offset: int64(off) * p.BlockSize,
+				Size:   int64(size) * p.BlockSize,
+			})
+		}
+		for tx := 0; tx < p.TxPerClient; tx++ {
+			file := blockdev.FileID(crng.Intn(p.Tables))
+			if crng.Float64() < p.ScanProb {
+				// Range scan: a short sequential run somewhere in the
+				// data region.
+				length := blockdev.BlockNo(2 + crng.Intn(p.MaxScanBlocks-1))
+				start := blockdev.BlockNo(p.IndexBlocks + crng.Intn(p.DataBlocks-int(length)+1))
+				emit(OpRead, file, start, length, 10)
+				continue
+			}
+			k := keys.Sample(crng)
+			emit(OpRead, file, indexHome[k], 1, 10) // index lookup
+			emit(OpRead, file, dataHome[k], 1, 1)   // row fetch
+			if crng.Float64() < p.WriteProb {
+				emit(OpWrite, file, dataHome[k], 1, 1) // row update
+			}
+		}
+		tr.Procs = append(tr.Procs, proc)
+	}
+	return tr, nil
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestOLTPSameSeedReproducible: generation must be a pure function of
+// the parameters.
+func TestOLTPSameSeedReproducible(t *testing.T) {
+	a, err := GenerateOLTP(DefaultOLTPParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateOLTP(DefaultOLTPParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different OLTP traces")
+	}
+	p := DefaultOLTPParams()
+	p.Seed = 2
+	c, err := GenerateOLTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical OLTP traces")
+	}
+}
+
+// TestOLTPValidates: the generated trace must pass the trace
+// consistency checks for its own machine size.
+func TestOLTPValidates(t *testing.T) {
+	p := DefaultOLTPParams()
+	tr, err := GenerateOLTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(p.Nodes, p.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOLTPMixAndSpans checks the step mix against the configured
+// probabilities and the span-length envelope: point requests are one
+// block, scans are uniform in [2, MaxScanBlocks], writes only happen
+// to data blocks just read, and the write share of point transactions
+// tracks WriteProb.
+func TestOLTPMixAndSpans(t *testing.T) {
+	p := DefaultOLTPParams()
+	p.Clients = 50
+	p.TxPerClient = 1000
+	tr, err := GenerateOLTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var points, scans, writes int
+	scanLens := make(map[int64]int)
+	indexTop := int64(p.IndexBlocks) * p.BlockSize
+	for _, proc := range tr.Procs {
+		for _, st := range proc.Steps {
+			blocks := st.Size / p.BlockSize
+			switch {
+			case st.Kind == OpWrite:
+				writes++
+				if blocks != 1 || st.Offset < indexTop {
+					t.Fatalf("write of %d blocks at offset %d — updates must be single data blocks", blocks, st.Offset)
+				}
+			case blocks == 1:
+				points++
+			default:
+				scans++
+				scanLens[blocks]++
+				if blocks < 2 || blocks > int64(p.MaxScanBlocks) {
+					t.Fatalf("scan of %d blocks outside [2, %d]", blocks, p.MaxScanBlocks)
+				}
+				if st.Offset < indexTop {
+					t.Fatalf("scan starts in the index region (offset %d)", st.Offset)
+				}
+			}
+		}
+	}
+
+	// Transaction mix: each scan is one step, each point transaction
+	// two reads (+ optional write).
+	tx := scans + points/2
+	if gotScan := float64(scans) / float64(tx); math.Abs(gotScan-p.ScanProb) > 0.02 {
+		t.Errorf("scan share = %.3f, want ~%v", gotScan, p.ScanProb)
+	}
+	if gotWrite := float64(writes) / float64(points/2); math.Abs(gotWrite-p.WriteProb) > 0.03 {
+		t.Errorf("write share of point transactions = %.3f, want ~%v", gotWrite, p.WriteProb)
+	}
+	// Scan lengths roughly uniform: every admissible length occurs.
+	for l := int64(2); l <= int64(p.MaxScanBlocks); l++ {
+		if scanLens[l] == 0 {
+			t.Errorf("scan length %d never generated", l)
+		}
+	}
+}
+
+// TestOLTPIndexThenData: point transactions must read an index block
+// immediately followed by a data block of the same table — the
+// recurring transition the association predictors are built to catch.
+func TestOLTPIndexThenData(t *testing.T) {
+	p := DefaultOLTPParams()
+	p.ScanProb = 0 // pure point workload
+	tr, err := GenerateOLTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexTop := int64(p.IndexBlocks) * p.BlockSize
+	pairs := make(map[[2]int64]bool) // (index offset, data offset) pairs seen
+	for _, proc := range tr.Procs {
+		steps := proc.Steps
+		for i := 0; i < len(steps); {
+			if steps[i].Offset >= indexTop {
+				t.Fatalf("transaction starts with a data access at offset %d", steps[i].Offset)
+			}
+			if i+1 >= len(steps) || steps[i+1].Offset < indexTop || steps[i+1].File != steps[i].File {
+				t.Fatal("index read not followed by a same-table data read")
+			}
+			pairs[[2]int64{steps[i].Offset, steps[i+1].Offset}] = true
+			i += 2
+			if i < len(steps) && steps[i].Kind == OpWrite {
+				i++
+			}
+		}
+	}
+	// The key layout is fixed, so the distinct (index, data) pairs are
+	// bounded by the key count — popularity concentrates transactions
+	// onto recurring transitions instead of spraying fresh ones.
+	if len(pairs) > p.HotKeys {
+		t.Fatalf("%d distinct index->data transitions for %d keys", len(pairs), p.HotKeys)
+	}
+}
+
+// TestOLTPValidateRejects: parameter validation must catch degenerate
+// shapes.
+func TestOLTPValidateRejects(t *testing.T) {
+	bad := []func(*OLTPParams){
+		func(p *OLTPParams) { p.Tables = 0 },
+		func(p *OLTPParams) { p.IndexBlocks = 0 },
+		func(p *OLTPParams) { p.HotKeys = 0 },
+		func(p *OLTPParams) { p.ZipfSkew = 0 },
+		func(p *OLTPParams) { p.ScanProb = 1.5 },
+		func(p *OLTPParams) { p.WriteProb = -0.1 },
+		func(p *OLTPParams) { p.MaxScanBlocks = 1 },
+		func(p *OLTPParams) { p.BlockSize = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultOLTPParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
